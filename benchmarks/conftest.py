@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each ``benchmarks/test_*.py`` wraps one experiment module from
+``repro.experiments`` in a pytest-benchmark target, prints the reproduced
+table, and asserts the paper's qualitative shape (who wins, by roughly
+what factor, where crossovers fall).  Parameters are scaled down from the
+headline runs so the whole suite finishes in minutes; run the experiment
+modules directly (``python -m repro.experiments.fig10``) for full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an ExperimentResult so `pytest -s` shows the regenerated rows."""
+    print()
+    print(result)

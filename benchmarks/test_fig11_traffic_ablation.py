@@ -1,0 +1,31 @@
+"""Bench: Figure 11 -- traffic analysis case study (scaled down)."""
+
+from conftest import report
+
+from repro.experiments import fig11
+
+
+def test_fig11_traffic_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11.run(duration_ms=8_000.0, iterations=7),
+        rounds=1, iterations=1,
+    )
+    report(result)
+
+    rps = {r[0]: r[1] for r in result.rows}
+    # Paper: Nexus 1.8-2.4x the baselines.  Ours: ~2.0x TF, ~2.4x Clipper.
+    assert rps["nexus"] > 1.5 * rps["tf_serving"]
+    assert rps["nexus"] > 1.5 * rps["clipper"]
+    # In our reproduction the non-OL ablations sit within the search's
+    # resolution of full Nexus on this workload (see EXPERIMENTS.md);
+    # assert they are in a tight band rather than strictly ordered.
+    for abl in ("-QA", "-ED"):
+        assert rps[abl] >= 0.7 * rps["nexus"], abl
+        assert rps[abl] <= 1.3 * rps["nexus"], abl
+    # -SS lands near the paper's own ratio (337/534 = 0.63x).
+    assert 0.45 * rps["nexus"] <= rps["-SS"] <= 1.3 * rps["nexus"]
+    # -OL is the clear loser, but its hit (ours ~2.4x) is far smaller
+    # than the game study's ~7x -- the paper's tight-SLO/small-model vs
+    # loose-SLO/large-model contrast.
+    assert rps["-OL"] < 0.6 * rps["nexus"]
+    assert rps["-OL"] > rps["nexus"] / 6

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Capacity planning with batching profiles and the squishy packer.
+
+A what-if tool built directly on the scheduling core (no simulation):
+given a set of model sessions -- each a (model, latency SLO, request
+rate) triple -- how many GPUs does the workload need, how does the count
+move with the SLO, and how far is the greedy packer from the provable
+optimum?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import Session, SessionLoad, exact_min_gpus, squishy_bin_packing
+from repro.core.profile import EffectiveProfile
+from repro.models import profile
+
+
+def load(model_id: str, slo_ms: float, rate_rps: float,
+         device: str = "gtx1080ti") -> SessionLoad:
+    prof = EffectiveProfile(base=profile(model_id, device), overlap=True)
+    return SessionLoad(Session(model_id, slo_ms), rate_rps, prof)
+
+
+def main() -> None:
+    # A realistic mixed fleet: two detectors, three recognizers.
+    workload = [
+        load("ssd_vgg", 300.0, 180.0),
+        load("resnet50", 100.0, 420.0),
+        load("googlenet", 150.0, 250.0),
+        load("mobilenet_v1", 80.0, 600.0),
+        load("inception_v3", 200.0, 90.0),
+    ]
+
+    plan = squishy_bin_packing(workload)
+    print(f"workload needs {plan.num_gpus} GPUs:")
+    for i, gpu in enumerate(plan.gpus):
+        kind = "saturated" if gpu.saturated else "shared"
+        members = ", ".join(
+            f"{a.session_id}(b={a.batch})" for a in gpu.allocations
+        )
+        print(f"  gpu{i} [{kind:9s}] occ={gpu.occupancy:4.0%}  {members}")
+
+    # SLO sensitivity: halving every SLO forces smaller batches.
+    tight = [
+        SessionLoad(
+            Session(l.session.model_id, l.slo_ms / 2), l.rate_rps, l.profile
+        )
+        for l in workload
+    ]
+    tight_plan = squishy_bin_packing(tight)
+    print(f"\nhalving every SLO: {plan.num_gpus} -> {tight_plan.num_gpus} GPUs")
+
+    # Optimality check on the residual (shared) portion via the exact
+    # solver -- the role CPLEX plays in the paper's section 6.1.
+    residual = [l for l in workload
+                if l.rate_rps < l.peak_throughput()]
+    if residual:
+        exact = exact_min_gpus(residual)
+        greedy = squishy_bin_packing(residual)
+        print(f"\nresidual sessions: greedy {greedy.num_gpus} GPUs, "
+              f"exact optimum {exact.num_gpus} GPUs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Baseline systems: batch-oblivious scheduling, Clipper, TF Serving."""
+
+from .batch_oblivious import batch_oblivious_plan
+from .clipper import CLIPPER_INTERFERENCE, clipper_config
+from .tf_serving import tf_serving_config
+
+__all__ = [
+    "batch_oblivious_plan",
+    "CLIPPER_INTERFERENCE",
+    "clipper_config",
+    "tf_serving_config",
+]

@@ -1,0 +1,113 @@
+"""Batch-oblivious scheduler: the external scheduler of section 7.2.
+
+Clipper and TF Serving assume cluster scheduling is handled externally, so
+the paper furnishes a baseline: "A batch-oblivious scheduler greedily
+allocates to each model/SLO a share of the cluster proportional to its
+request rate and inversely proportional to its maximum single-node
+throughput."
+
+Each session's cluster share is ``(rate / peak_throughput) / total`` of
+the available GPUs.  Whole GPUs are dedicated; fractional leftovers are
+co-located ("the oblivious scheduler may map multiple models onto a
+Clipper GPU, in which case we launch one container per model").  The
+crucial difference from squishy bin packing: co-location reasons about
+*throughput shares* only, never about how co-residents' executions
+interact with each other's latency SLOs -- that infeasibility is what
+Figure 16 measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.session import SessionLoad
+from ..core.squishy import Allocation, GpuPlan, SchedulePlan
+
+__all__ = ["batch_oblivious_plan"]
+
+
+def batch_oblivious_plan(
+    loads: list[SessionLoad],
+    num_gpus: int | None = None,
+) -> SchedulePlan:
+    """Allocate cluster shares proportional to ``rate / peak_throughput``.
+
+    Args:
+        loads: sessions with observed rates.
+        num_gpus: cluster size to divide up; defaults to the minimum
+            integral count covering the summed demand.
+
+    Returns:
+        A :class:`SchedulePlan`.  Co-located sessions get the batch size
+        they would use *alone* on a GPU; latency interactions are ignored,
+        so the plan may be latency-infeasible by design.
+    """
+    active = [l for l in loads if l.rate_rps > 0]
+    infeasible: list[SessionLoad] = []
+
+    shares: list[tuple[SessionLoad, float, int]] = []  # (load, demand_gpus, batch)
+    for load in active:
+        batch = load.profile.max_batch_under_slo(load.slo_ms)
+        if batch == 0:
+            infeasible.append(load)
+            continue
+        peak = load.profile.throughput(batch)
+        shares.append((load, load.rate_rps / peak, batch))
+
+    if not shares:
+        return SchedulePlan(gpus=[], infeasible=infeasible)
+
+    total_demand = sum(s for _, s, _ in shares)
+    if num_gpus is None:
+        num_gpus = max(1, math.ceil(total_demand))
+
+    # Proportional share of the cluster for each session.
+    scale = num_gpus / total_demand
+    shares = [(load, demand * scale, batch) for load, demand, batch in shares]
+
+    # Whole GPUs first, largest shares first; fractional leftovers are
+    # first-fit co-located onto shared GPUs.
+    shares.sort(key=lambda x: x[1], reverse=True)
+    plans: list[GpuPlan] = []
+    fractional: list[tuple[SessionLoad, float, int]] = []
+    gpus_left = num_gpus
+    for load, share, batch in shares:
+        whole = min(int(share), gpus_left)
+        per_share_rate = load.rate_rps / share if share > 0 else 0.0
+        for _ in range(whole):
+            plans.append(
+                GpuPlan(
+                    [Allocation(load.with_rate(per_share_rate), batch)],
+                    duty_cycle_ms=load.profile.latency(batch),
+                    saturated=True,
+                )
+            )
+        gpus_left -= whole
+        frac = share - whole
+        if frac > 1e-9:
+            fractional.append((load.with_rate(per_share_rate * frac), frac, batch))
+
+    fractional.sort(key=lambda x: x[1], reverse=True)
+    bins: list[tuple[float, list[tuple[SessionLoad, int]]]] = []
+    for load, frac, batch in fractional:
+        placed = False
+        for i, (used, members) in enumerate(bins):
+            if used + frac <= 1.0 + 1e-9:
+                bins[i] = (used + frac, members + [(load, batch)])
+                placed = True
+                break
+        if not placed and len(bins) < max(gpus_left, 1):
+            bins.append((frac, [(load, batch)]))
+            placed = True
+        if not placed:
+            # Cluster cap binds: pile onto the least-loaded shared GPU.
+            i = min(range(len(bins)), key=lambda j: bins[j][0])
+            used, members = bins[i]
+            bins[i] = (used + frac, members + [(load, batch)])
+
+    for used, members in bins:
+        allocs = [Allocation(load, batch) for load, batch in members]
+        duty = sum(a.exec_ms for a in allocs)
+        plans.append(GpuPlan(allocs, duty_cycle_ms=max(duty, 1e-9)))
+
+    return SchedulePlan(gpus=plans, infeasible=infeasible)

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments``            list reproducible tables/figures
+- ``run <experiment>``       regenerate one table/figure (``--quick`` for
+                             scaled-down parameters)
+- ``models``                 show the model zoo with sizes and profiles
+- ``profile <model>``        print a model's batching profile on a device
+- ``plan``                   capacity-plan a workload of sessions given as
+                             ``model:slo_ms:rate_rps`` triples
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments runnable from the CLI, with quick-mode overrides.
+_EXPERIMENTS: dict[str, dict] = {
+    "table1": {},
+    "fig2": {},
+    "fig4": {},
+    "fig5": {"quick": {"duration_ms": 20_000.0}},
+    "fig9": {"quick": {"duration_ms": 15_000.0, "iterations": 7}},
+    "fig10": {"quick": {"duration_ms": 5_000.0, "iterations": 6,
+                        "systems": ["nexus", "tf_serving", "-OL"]}},
+    "fig11": {"quick": {"duration_ms": 6_000.0, "iterations": 6,
+                        "systems": ["nexus", "tf_serving", "-OL"]}},
+    "fig12": {"quick": {"duration_ms": 6_000.0, "iterations": 6,
+                        "systems": ["nexus", "tf_serving"]}},
+    "fig14": {"quick": {"duration_ms": 6_000.0, "iterations": 6,
+                        "model_counts": (2, 4), "slos": (50.0, 200.0)}},
+    "fig15": {},
+    "fig16": {"quick": {"duration_ms": 5_000.0, "iterations": 6,
+                        "scenarios": ("mix_rates_inception",)}},
+    "fig17": {"quick": {"duration_ms": 6_000.0, "iterations": 6,
+                        "slos": (400.0,), "gammas": (1.0,)}},
+    "utilization": {"quick": {"duration_ms": 15_000.0}},
+    "ilp_gap": {"quick": {"sizes": (4, 6), "trials": 5}},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nexus (SOSP 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproducible tables/figures")
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down parameters (minutes -> seconds)")
+
+    sub.add_parser("models", help="show the model zoo")
+
+    prof = sub.add_parser("profile", help="print a model's batching profile")
+    prof.add_argument("model", help="zoo name, e.g. resnet50 or "
+                                    "'resnet50@task:40'")
+    prof.add_argument("--device", default="gtx1080ti")
+    prof.add_argument("--batches", default="1,2,4,8,16,32",
+                      help="comma-separated batch sizes")
+
+    plan = sub.add_parser("plan", help="capacity-plan a session workload")
+    plan.add_argument("sessions", nargs="+",
+                      help="model:slo_ms:rate_rps triples, e.g. "
+                           "resnet50:100:400")
+    plan.add_argument("--device", default="gtx1080ti")
+    plan.add_argument("--exact", action="store_true",
+                      help="also solve exactly (small workloads only)")
+
+    return parser
+
+
+def _cmd_experiments() -> int:
+    from .experiments import __doc__ as doc
+
+    print("reproducible artifacts (run with: python -m repro run <name>):")
+    for name in sorted(_EXPERIMENTS):
+        quick = " [--quick available]" if _EXPERIMENTS[name] else ""
+        print(f"  {name}{quick}")
+    print("\nfig13 (the 1000 s timeline) is driven via "
+          "repro.experiments.fig13.run() or benchmarks/ -- it takes minutes.")
+    return 0
+
+
+def _cmd_run(name: str, quick: bool) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    kwargs = _EXPERIMENTS[name].get("quick", {}) if quick else {}
+    result = module.run(**kwargs)
+    print(result)
+    return 0
+
+
+def _cmd_models() -> int:
+    from .experiments.common import format_table
+    from .models.zoo import MODEL_BUILDERS, get_model
+
+    rows = []
+    for name in sorted(MODEL_BUILDERS):
+        m = get_model(name)
+        rows.append([
+            name,
+            "x".join(str(d) for d in m.input_shape),
+            m.num_layers(),
+            round(m.total_flops() / 1e9, 2),
+            round(m.total_param_bytes() / 1e6, 1),
+        ])
+    print(format_table("model zoo",
+                       ["model", "input", "layers", "gflops", "params_mb"],
+                       rows))
+    return 0
+
+
+def _cmd_profile(model: str, device: str, batches: str) -> int:
+    from .experiments.common import format_table
+    from .models.profiler import profile
+
+    prof = profile(model, device)
+    rows = []
+    for b in (int(x) for x in batches.split(",")):
+        if b < 1 or b > prof.max_batch:
+            continue
+        rows.append([b, round(prof.latency(b), 3),
+                     round(prof.throughput(b), 1),
+                     round(prof.memory_bytes(b) / 1e6, 1)])
+    print(format_table(
+        f"{model} on {device} (alpha={prof.alpha:.3f} ms, "
+        f"beta={prof.beta:.3f} ms, max_batch={prof.max_batch})",
+        ["batch", "latency_ms", "throughput_rps", "memory_mb"], rows))
+    return 0
+
+
+def _cmd_plan(sessions: list[str], device: str, exact: bool) -> int:
+    from .core import Session, SessionLoad, squishy_bin_packing
+    from .core.ilp import exact_min_gpus
+    from .core.profile import EffectiveProfile
+    from .models.profiler import profile
+
+    loads = []
+    for spec in sessions:
+        try:
+            model, slo_s, rate_s = spec.rsplit(":", 2)
+            slo, rate = float(slo_s), float(rate_s)
+        except ValueError:
+            print(f"bad session spec {spec!r}; want model:slo_ms:rate_rps",
+                  file=sys.stderr)
+            return 2
+        prof = EffectiveProfile(base=profile(model, device), overlap=True)
+        loads.append(SessionLoad(Session(model, slo), rate, prof))
+
+    plan = squishy_bin_packing(loads)
+    print(f"{plan.num_gpus} GPUs ({device}):")
+    for i, gpu in enumerate(plan.gpus):
+        members = ", ".join(
+            f"{a.session_id} b={a.batch} ({a.exec_ms:.1f} ms)"
+            for a in gpu.allocations
+        )
+        kind = "saturated" if gpu.saturated else "shared"
+        print(f"  gpu{i} [{kind}] duty={gpu.duty_cycle_ms:.1f} ms "
+              f"occ={gpu.occupancy:.0%}: {members}")
+    for load in plan.infeasible:
+        print(f"  INFEASIBLE: {load.session_id} "
+              f"(l(1)={load.profile.latency(1):.1f} ms vs "
+              f"SLO {load.slo_ms:.0f} ms)")
+    if exact:
+        optimum = exact_min_gpus(loads)
+        print(f"exact optimum: {optimum.num_gpus} GPUs")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.quick)
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "profile":
+        return _cmd_profile(args.model, args.device, args.batches)
+    if args.command == "plan":
+        return _cmd_plan(args.sessions, args.device, args.exact)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Cluster runtime: frontends, backends, control plane, NexusCluster."""
+
+from .backend import Backend, BackendSession
+from .frontend import Frontend, QueryInstance, RoutingTable
+from .global_scheduler import BackendPool, PoolConfig, make_policy
+from .messages import Request
+from .nexus import AppSpec, ClusterConfig, ClusterResult, NexusCluster, find_max_rate
+
+__all__ = [
+    "Backend",
+    "BackendSession",
+    "Frontend",
+    "QueryInstance",
+    "RoutingTable",
+    "BackendPool",
+    "PoolConfig",
+    "make_policy",
+    "Request",
+    "AppSpec",
+    "ClusterConfig",
+    "ClusterResult",
+    "NexusCluster",
+    "find_max_rate",
+]

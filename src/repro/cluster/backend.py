@@ -1,0 +1,411 @@
+"""Backend node: per-GPU queues, duty-cycle round robin, batched execution.
+
+Paper sections 5 and 6.3.  Each backend owns one GPU.  The Nexus GPU
+scheduler executes the sessions assigned to it in a round-robin duty
+cycle, forming each batch with the early-drop policy and overlapping CPU
+pre-/post-processing with GPU execution.  The same class also emulates the
+baselines' execution disciplines through three knobs:
+
+- ``pacing="cycle"`` (Nexus): sessions execute once per duty cycle, which
+  lets batches fill to their planned size; ``pacing="greedy"`` (Clipper /
+  TF Serving): execute whatever is queued whenever the GPU frees up.
+- ``overlap``: section 6.3's OL -- without it the GPU idles through CPU
+  pre/post-processing (the dominant effect in the game study, Figure 10).
+- ``interference_factor``: Clipper runs co-located models in independent
+  containers whose kernels interleave arbitrarily on the GPU (section
+  6.3, "GPU multiplexing"), inflating everyone's latency; Nexus and TF
+  Serving run models one at a time and take no penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy, QueuedRequest
+from ..core.profile import BatchingProfile
+from ..metrics.collector import MetricsCollector, RequestRecord
+from ..simulation.simulator import EventHandle, Simulator
+from .messages import Request
+
+__all__ = ["BackendSession", "Backend", "ExecutionSpan"]
+
+
+@dataclass
+class ExecutionSpan:
+    """One batched execution on the GPU timeline (for tracing/tools)."""
+
+    gpu_id: int
+    session_id: str
+    start_ms: float
+    end_ms: float
+    batch: int
+    deferred: bool = False
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class BackendSession:
+    """One session's slot in a backend's execution schedule."""
+
+    session_id: str
+    profile: BatchingProfile
+    slo_ms: float
+    target_batch: int
+    duty_cycle_ms: float
+    policy: DropPolicy = None  # type: ignore[assignment]
+    #: one-time latency to load the model's weights onto this GPU when the
+    #: session is newly placed here (0 = already resident / not modeled).
+    load_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.target_batch < 1:
+            raise ValueError(f"target_batch must be >= 1, got {self.target_batch}")
+        if self.policy is None:
+            self.policy = EarlyDropPolicy(self.target_batch)
+
+
+class _SessionState:
+    """Backend-internal queue + pacing state for one scheduled session."""
+
+    __slots__ = ("spec", "queue", "deferred", "requests", "last_start_ms",
+                 "ready_ms")
+
+    def __init__(self, spec: BackendSession):
+        self.spec = spec
+        self.queue: list[QueuedRequest] = []
+        self.deferred: list[QueuedRequest] = []
+        self.requests: dict[int, Request] = {}
+        self.last_start_ms = -math.inf
+        #: absolute time the model finishes loading onto this GPU; no
+        #: batch of this session may start earlier.
+        self.ready_ms = -math.inf
+
+
+class Backend:
+    """A single-GPU backend module.
+
+    Args:
+        sim: the event loop.
+        gpu_id: identifier for metrics.
+        collector: sink for per-request outcome records (invocation
+            granularity); pass None to rely on callbacks only.
+        pacing: ``"cycle"`` or ``"greedy"`` (see module docstring).
+        overlap: CPU/GPU overlap (OL).
+        interference_factor: per-extra-co-located-session latency
+            inflation; 0 disables (Nexus, TF Serving).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu_id: int = 0,
+        collector: MetricsCollector | None = None,
+        pacing: str = "cycle",
+        overlap: bool = True,
+        interference_factor: float = 0.0,
+        defer_missed: bool = False,
+    ):
+        if pacing not in ("cycle", "greedy"):
+            raise ValueError(f"unknown pacing {pacing!r}")
+        self.sim = sim
+        self.gpu_id = gpu_id
+        self.collector = collector
+        self.pacing = pacing
+        self.overlap = overlap
+        self.interference_factor = interference_factor
+        #: section 5: "we could configure our system to simply delay the
+        #: execution of requests that miss their deadlines to a later time
+        #: and at a lower priority" -- the batch-application mode.  Missed
+        #: requests join a deferred queue served only when the GPU would
+        #: otherwise idle; they complete late rather than dropping.
+        self.defer_missed = defer_missed
+
+        self._sessions: dict[str, _SessionState] = {}
+        self._order: list[str] = []
+        self._cycle_pos = 0
+        self._busy = False
+        self._wake: EventHandle | None = None
+        self.busy_ms = 0.0
+        self.batches_executed = 0
+        #: set True to record an ExecutionSpan per batch (Gantt tooling).
+        self.trace_enabled = False
+        self.trace: list[ExecutionSpan] = []
+
+    # ------------------------------------------------------------- schedule
+
+    def set_schedule(self, specs: list[BackendSession]) -> None:
+        """Install (or replace) the execution schedule.
+
+        Queued requests of sessions that survive the update are kept;
+        queues of removed sessions are dropped (the global scheduler is
+        responsible for not stranding live sessions).
+        """
+        old = self._sessions
+        self._sessions = {}
+        self._order = []
+        now = self.sim.now
+        for spec in specs:
+            state = _SessionState(spec)
+            if spec.session_id in old:
+                prev = old[spec.session_id]
+                state.queue = prev.queue
+                state.deferred = prev.deferred
+                state.requests = prev.requests
+                state.last_start_ms = prev.last_start_ms
+            elif spec.load_ms > 0:
+                # Newly placed model: its weights stream over PCIe before
+                # the first batch can run (section 2.2).
+                state.ready_ms = now + spec.load_ms
+            self._sessions[spec.session_id] = state
+            self._order.append(spec.session_id)
+        for sid, prev in old.items():
+            if sid not in self._sessions:
+                for q in prev.queue + prev.deferred:
+                    self._finish_drop(prev, q)
+        self._cycle_pos = 0
+        self._kick()
+
+    def serves(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self._sessions)
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, request: Request) -> None:
+        state = self._sessions.get(request.session_id)
+        if state is None:
+            # Misrouted (e.g. schedule changed mid-flight): drop.
+            self._record_drop(request, self.sim.now)
+            return
+        state.queue.append(
+            QueuedRequest(request.request_id, request.arrival_ms,
+                          request.deadline_ms)
+        )
+        state.requests[request.request_id] = request
+        self._kick()
+
+    # ------------------------------------------------------------ execution
+
+    def _kick(self) -> None:
+        if self._busy:
+            return
+        if self._wake is not None:
+            self._wake.cancel()
+            self._wake = None
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        if not self._order:
+            return
+        now = self.sim.now
+
+        candidate = self._pick_session(now)
+        if candidate is None:
+            self._arm_wake(now)
+            return
+
+        if candidate.startswith("deferred:"):
+            self._run_deferred(self._sessions[candidate.split(":", 1)[1]], now)
+            return
+
+        state = self._sessions[candidate]
+        batch, dropped = state.spec.policy.select(
+            state.queue, now, state.spec.profile
+        )
+        taken = {q.request_id for q in batch} | {q.request_id for q in dropped}
+        state.queue = [q for q in state.queue if q.request_id not in taken]
+        for q in dropped:
+            if self.defer_missed:
+                state.deferred.append(q)
+            else:
+                self._finish_drop(state, q)
+        if not batch:
+            # Policy had nothing servable; try the next session right away.
+            self._advance_cycle(candidate)
+            self._try_dispatch()
+            return
+
+        exec_ms = state.spec.profile.occupancy_time(
+            len(batch), overlap=self.overlap
+        )
+        if self.interference_factor > 0 and len(self._sessions) > 1:
+            exec_ms *= 1.0 + self.interference_factor * (len(self._sessions) - 1)
+
+        state.last_start_ms = now
+        self._busy = True
+        self.busy_ms += exec_ms
+        self.batches_executed += 1
+        if self.collector is not None:
+            self.collector.record_gpu_busy(self.gpu_id, exec_ms)
+        completion = now + exec_ms
+        if self.trace_enabled:
+            self.trace.append(ExecutionSpan(
+                self.gpu_id, state.spec.session_id, now, completion,
+                len(batch),
+            ))
+        self._advance_cycle(candidate)
+        self.sim.schedule(exec_ms, lambda: self._on_batch_done(state, batch, completion))
+
+    def _pick_session(self, now: float) -> str | None:
+        """Choose the next session to execute, honoring pacing."""
+        n = len(self._order)
+        if self.pacing == "greedy":
+            # Serve the session whose head request is oldest (FIFO across
+            # sessions), mirroring a shared dispatch queue.
+            best, best_arrival = None, math.inf
+            for sid in self._order:
+                q = self._sessions[sid].queue
+                if q and q[0].arrival_ms < best_arrival:
+                    best, best_arrival = sid, q[0].arrival_ms
+            return best
+        # Cycle pacing: round robin, but a session only runs again once its
+        # duty cycle has elapsed -- unless its queue already holds a full
+        # batch (burst catch-up).
+        for i in range(n):
+            sid = self._order[(self._cycle_pos + i) % n]
+            state = self._sessions[sid]
+            if not state.queue or now < state.ready_ms:
+                continue
+            due = now - state.last_start_ms >= state.spec.duty_cycle_ms - 1e-9
+            full = len(state.queue) >= state.spec.target_batch
+            if due or full:
+                return sid
+        # Deadline rescue: a head request that cannot survive waiting for
+        # its session's next duty slot runs now (the GPU is idle anyway).
+        # Batched upstream completions inject pulses into downstream
+        # queues; without this, the second half of a pulse waits a full
+        # extra cycle and expires.
+        best, best_deadline = None, math.inf
+        for sid in self._order:
+            state = self._sessions[sid]
+            if not state.queue or now < state.ready_ms:
+                continue
+            head = state.queue[0]
+            if self._at_risk(state, head, now) and head.deadline_ms < best_deadline:
+                best, best_deadline = sid, head.deadline_ms
+        if best is not None:
+            return best
+        # Lowest priority: deferred (already-missed) work runs only when
+        # nothing live is runnable (section 5's delay-at-lower-priority
+        # option).
+        if self.defer_missed:
+            for sid in self._order:
+                state = self._sessions[sid]
+                if state.deferred and not state.queue:
+                    return f"deferred:{sid}"
+        return None
+
+    def _run_deferred(self, state: _SessionState, now: float) -> None:
+        """Serve a batch of already-missed requests at low priority."""
+        size = min(len(state.deferred), state.spec.target_batch,
+                   state.spec.profile.max_batch)
+        batch, state.deferred = state.deferred[:size], state.deferred[size:]
+        exec_ms = state.spec.profile.occupancy_time(
+            len(batch), overlap=self.overlap
+        )
+        state.last_start_ms = now
+        self._busy = True
+        self.busy_ms += exec_ms
+        self.batches_executed += 1
+        if self.collector is not None:
+            self.collector.record_gpu_busy(self.gpu_id, exec_ms)
+        completion = now + exec_ms
+        if self.trace_enabled:
+            self.trace.append(ExecutionSpan(
+                self.gpu_id, state.spec.session_id, now, completion,
+                len(batch), deferred=True,
+            ))
+        self.sim.schedule(
+            exec_ms, lambda: self._on_batch_done(state, batch, completion)
+        )
+
+    def _at_risk(self, state: _SessionState, head, now: float) -> bool:
+        """Would waiting for the next duty slot make ``head`` miss?"""
+        due_time = max(now, state.last_start_ms + state.spec.duty_cycle_ms)
+        batch = min(len(state.queue), state.spec.target_batch)
+        exec_ms = state.spec.profile.latency(max(1, batch))
+        return due_time + exec_ms > head.deadline_ms - 1e-6
+
+    def _advance_cycle(self, executed_sid: str) -> None:
+        try:
+            idx = self._order.index(executed_sid)
+        except ValueError:
+            return
+        self._cycle_pos = (idx + 1) % len(self._order)
+
+    def _arm_wake(self, now: float) -> None:
+        """Nothing runnable now: wake at the next dueness or rescue point."""
+        next_wake = math.inf
+        for state in self._sessions.values():
+            if not state.queue:
+                continue
+            due_time = state.last_start_ms + state.spec.duty_cycle_ms
+            head = state.queue[0]
+            batch = min(len(state.queue), state.spec.target_batch)
+            rescue_time = head.deadline_ms - state.spec.profile.latency(
+                max(1, batch)
+            )
+            next_wake = min(next_wake,
+                            max(min(due_time, rescue_time), state.ready_ms))
+        if self.defer_missed and not math.isfinite(next_wake):
+            if any(s.deferred for s in self._sessions.values()):
+                next_wake = now
+        if math.isfinite(next_wake):
+            delay = max(0.0, next_wake - now)
+            self._wake = self.sim.schedule(delay, self._kick)
+
+    def _on_batch_done(
+        self, state: _SessionState, batch: list[QueuedRequest], completion: float
+    ) -> None:
+        self._busy = False
+        for q in batch:
+            request = state.requests.pop(q.request_id, None)
+            if request is None:
+                continue
+            ok = completion <= q.deadline_ms
+            if self.collector is not None:
+                self.collector.record(
+                    RequestRecord(
+                        request_id=q.request_id,
+                        session_id=state.spec.session_id,
+                        arrival_ms=q.arrival_ms,
+                        deadline_ms=q.deadline_ms,
+                        completion_ms=completion,
+                    )
+                )
+            if request.on_complete is not None:
+                request.on_complete(request, completion, ok)
+        self._kick()
+
+    def _finish_drop(self, state: _SessionState, q: QueuedRequest) -> None:
+        request = state.requests.pop(q.request_id, None)
+        if request is None:
+            return
+        self._record_drop(request, self.sim.now)
+
+    def _record_drop(self, request: Request, now: float) -> None:
+        if self.collector is not None:
+            self.collector.record(
+                RequestRecord(
+                    request_id=request.request_id,
+                    session_id=request.session_id,
+                    arrival_ms=request.arrival_ms,
+                    deadline_ms=request.deadline_ms,
+                    completion_ms=None,
+                    dropped=True,
+                )
+            )
+        if request.on_drop is not None:
+            request.on_drop(request, now)
+
+    def utilization(self, span_ms: float) -> float:
+        if span_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / span_ms)

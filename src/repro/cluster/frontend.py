@@ -1,0 +1,281 @@
+"""Frontend: the Nexus library -- routing tables and query orchestration.
+
+Paper section 5 (data plane): "When a user request comes into (a replica
+of) an application container, the application invokes DNNs via the Nexus
+library API.  The library consults the local routing table to find a
+suitable backend for that model, dispatches the request to the backend,
+and delivers responses back to the application."
+
+This module provides:
+
+- :class:`RoutingTable` -- session -> weighted backend list, with
+  deterministic weighted round-robin dispatch;
+- :class:`Frontend` -- dispatches individual session requests and
+  orchestrates multi-stage queries: when a stage completes, its children
+  are invoked ``gamma`` times each (sampled), and the query succeeds iff
+  every spawned invocation finishes within the whole-query deadline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.query import Query, QueryStage
+from ..metrics.collector import MetricsCollector, RequestRecord
+from ..simulation.simulator import Simulator
+from .backend import Backend
+from .messages import Request, new_request_id
+
+__all__ = ["RoutingTable", "Frontend", "QueryInstance"]
+
+
+@dataclass
+class _Route:
+    backend: Backend
+    weight: float
+    served: int = 0
+    index: int = 0  # insertion order: the deterministic tie-breaker
+
+
+class RoutingTable:
+    """Session -> weighted backends, with smooth weighted round robin."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, list[_Route]] = {}
+        self._alias: dict[str, str] = {}
+
+    def set_routes(
+        self, session_id: str, backends: list[tuple[Backend, float]]
+    ) -> None:
+        routes = [_Route(b, w, index=i)
+                  for i, (b, w) in enumerate(backends) if w > 0]
+        if routes:
+            self._routes[session_id] = routes
+        else:
+            self._routes.pop(session_id, None)
+
+    def set_alias(self, session_id: str, target_session_id: str) -> None:
+        """Route one session's traffic into another (prefix-fused) session."""
+        self._alias[session_id] = target_session_id
+
+    def resolve(self, session_id: str) -> str:
+        return self._alias.get(session_id, session_id)
+
+    def pick(self, session_id: str) -> Backend | None:
+        """Deterministic weighted round robin: least served/weight first."""
+        routes = self._routes.get(self.resolve(session_id))
+        if not routes:
+            return None
+        best = min(routes, key=lambda r: (r.served / r.weight, r.index))
+        best.served += 1
+        return best.backend
+
+    def sessions(self) -> list[str]:
+        return list(self._routes)
+
+    def clear(self) -> None:
+        self._routes.clear()
+
+
+class QueryInstance:
+    """Tracks one in-flight multi-stage query."""
+
+    __slots__ = (
+        "query", "query_id", "arrival_ms", "deadline_ms", "outstanding",
+        "failed", "finished", "completion_ms", "frontend", "_budgets",
+    )
+
+    def __init__(self, frontend: "Frontend", query: Query, arrival_ms: float):
+        self.frontend = frontend
+        self.query = query
+        self.query_id = new_request_id()
+        self.arrival_ms = arrival_ms
+        self.deadline_ms = arrival_ms + query.slo_ms
+        self.outstanding = 0
+        self.failed = False
+        self.finished = False
+        self.completion_ms = arrival_ms
+
+    def spawn(self, stage: QueryStage, count: int) -> None:
+        self.outstanding += count
+        for _ in range(count):
+            self.frontend._dispatch_stage(self, stage)
+
+    def stage_done(self, stage: QueryStage, completion_ms: float, ok: bool) -> None:
+        self.outstanding -= 1
+        self.completion_ms = max(self.completion_ms, completion_ms)
+        if not ok:
+            self.failed = True
+        else:
+            for child in stage.children:
+                n = self.frontend._sample_fanout(child.gamma)
+                if n > 0:
+                    # A child may fail synchronously (unroutable) and
+                    # finish the query from inside spawn().
+                    self.spawn(child, n)
+        if self.outstanding == 0:
+            self.frontend._finish_query(self)
+
+    def stage_dropped(self, stage: QueryStage, time_ms: float) -> None:
+        self.outstanding -= 1
+        self.failed = True
+        self.completion_ms = max(self.completion_ms, time_ms)
+        if self.outstanding == 0:
+            self.frontend._finish_query(self)
+
+
+class Frontend:
+    """One frontend replica: dispatch + query orchestration.
+
+    Args:
+        sim: the event loop.
+        routing: the (shared) routing table pushed by the global scheduler.
+        query_collector: sink for whole-query outcome records.
+        seed: RNG seed for fan-out sampling (deterministic experiments).
+        session_prefix_fn: maps ``(query_name, stage_name)`` to the session
+            id used in the routing table; default ``"<query>/<stage>"``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routing: RoutingTable,
+        query_collector: MetricsCollector | None = None,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.routing = routing
+        self.query_collector = query_collector
+        self.rng = np.random.default_rng(seed)
+        self.dispatched = 0
+        self.routing_failures = 0
+        #: observed per-session arrival counters for workload statistics
+        #: (the control plane reads and resets these each epoch).
+        self.session_counters: dict[str, int] = {}
+        #: observed per-query arrival counters (whole queries, counted at
+        #: submission -- robust to source-stage roots that never dispatch).
+        self.query_counters: dict[str, int] = {}
+
+    # ------------------------------------------------------ single requests
+
+    def submit_request(
+        self, session_id: str, slo_ms: float,
+        on_complete=None, on_drop=None,
+    ) -> bool:
+        """Dispatch a single-model request; returns False if unroutable."""
+        now = self.sim.now
+        self.session_counters[session_id] = (
+            self.session_counters.get(session_id, 0) + 1
+        )
+        backend = self.routing.pick(session_id)
+        request = Request(
+            session_id=self.routing.resolve(session_id),
+            arrival_ms=now,
+            deadline_ms=now + slo_ms,
+            on_complete=on_complete,
+            on_drop=on_drop,
+        )
+        if backend is None:
+            self.routing_failures += 1
+            if on_drop is not None:
+                on_drop(request, now)
+            return False
+        self.dispatched += 1
+        backend.enqueue(request)
+        return True
+
+    # -------------------------------------------------------------- queries
+
+    def submit_query(self, query: Query,
+                     budgets_ms: dict[str, float] | None = None) -> QueryInstance:
+        """Start a query; per-stage SLOs come from ``budgets_ms`` (the
+        latency split) or default to the whole remaining query budget."""
+        instance = QueryInstance(self, query, self.sim.now)
+        instance._budgets = budgets_ms  # type: ignore[attr-defined]
+        self.query_counters[query.name] = (
+            self.query_counters.get(query.name, 0) + 1
+        )
+        instance.spawn(query.root, max(1, self._sample_fanout(query.root.gamma)))
+        return instance
+
+    def _stage_session_id(self, instance: QueryInstance, stage: QueryStage) -> str:
+        return f"{instance.query.name}/{stage.name}"
+
+    def _stage_budget(self, instance: QueryInstance, stage: QueryStage) -> float:
+        budgets = getattr(instance, "_budgets", None)
+        if budgets and stage.name in budgets:
+            return budgets[stage.name]
+        return instance.deadline_ms - self.sim.now
+
+    def _dispatch_stage(self, instance: QueryInstance, stage: QueryStage) -> None:
+        now = self.sim.now
+        if stage.is_source:
+            # Structural stage: completes instantly, fanning out children.
+            instance.stage_done(stage, now, True)
+            return
+        session_id = self._stage_session_id(instance, stage)
+        self.session_counters[session_id] = (
+            self.session_counters.get(session_id, 0) + 1
+        )
+        backend = self.routing.pick(session_id)
+        budget = self._stage_budget(instance, stage)
+        # The stage's own deadline: its latency split, but never beyond the
+        # whole-query deadline.
+        deadline = min(now + budget, instance.deadline_ms)
+        request = Request(
+            session_id=self.routing.resolve(session_id),
+            arrival_ms=now,
+            deadline_ms=deadline,
+            on_complete=lambda req, t, ok, s=stage: instance.stage_done(s, t, ok),
+            on_drop=lambda req, t, s=stage: instance.stage_dropped(s, t),
+            context=instance,
+        )
+        if backend is None:
+            self.routing_failures += 1
+            instance.stage_dropped(stage, now)
+            return
+        self.dispatched += 1
+        backend.enqueue(request)
+
+    def _sample_fanout(self, gamma: float) -> int:
+        """Integer fan-out with mean gamma.
+
+        Deterministic part + Bernoulli remainder keeps the variance low
+        (object counts in adjacent frames are correlated, not Poisson).
+        """
+        whole = int(gamma)
+        frac = gamma - whole
+        if frac > 0 and self.rng.random() < frac:
+            whole += 1
+        return whole
+
+    def _finish_query(self, instance: QueryInstance) -> None:
+        if instance.finished:
+            return
+        instance.finished = True
+        if self.query_collector is not None:
+            self.query_collector.record(
+                RequestRecord(
+                    request_id=instance.query_id,
+                    session_id=instance.query.name,
+                    arrival_ms=instance.arrival_ms,
+                    deadline_ms=instance.deadline_ms,
+                    completion_ms=None if instance.failed else instance.completion_ms,
+                    dropped=instance.failed,
+                )
+            )
+
+    # ------------------------------------------------------------ workload
+
+    def read_and_reset_counters(self) -> dict[str, int]:
+        counters = self.session_counters
+        self.session_counters = {}
+        return counters
+
+    def read_and_reset_query_counters(self) -> dict[str, int]:
+        counters = self.query_counters
+        self.query_counters = {}
+        return counters

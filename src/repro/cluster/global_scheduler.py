@@ -1,0 +1,189 @@
+"""Global scheduler: the control plane that turns plans into deployments.
+
+Paper section 5: the global scheduler collects load statistics from the
+runtime, invokes the epoch scheduler to decide which models execute where
+and at what batch size, and pushes routing tables to frontends and
+execution schedules to backends.
+
+:class:`BackendPool` owns the physical backends and applies a
+:class:`~repro.core.squishy.SchedulePlan` with minimal churn: new GPU
+plans are matched to the existing backends hosting the most-overlapping
+session sets before new backends are drafted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy
+from ..core.squishy import GpuPlan, SchedulePlan
+from ..metrics.collector import MetricsCollector
+from ..simulation.simulator import Simulator
+from .backend import Backend, BackendSession
+from .frontend import RoutingTable
+
+__all__ = ["BackendPool", "make_policy"]
+
+
+def make_policy(kind: str, target_batch: int) -> DropPolicy:
+    """Instantiate the configured drop policy for one session slot."""
+    if kind == "early":
+        return EarlyDropPolicy(target_batch)
+    if kind == "lazy":
+        return LazyDropPolicy(batch_cap=target_batch)
+    raise ValueError(f"unknown drop policy {kind!r}")
+
+
+@dataclass
+class PoolConfig:
+    """Runtime knobs applied to every backend in the pool."""
+
+    pacing: str = "cycle"
+    overlap: bool = True
+    drop_policy: str = "early"
+    interference_factor: float = 0.0
+    #: charge PCIe model-load latency when a session is newly placed on a
+    #: backend (section 2.2); the load time derives from the profile's
+    #: resident weight bytes at ~12 GB/s plus framework init.
+    model_loads: bool = True
+    #: pace each session to its planned duty cycle (Nexus's GPU scheduler);
+    #: baselines execute as soon as the GPU frees up.
+    paced: bool = True
+
+
+class BackendPool:
+    """Physical backends + the routing table, kept in sync with plans."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routing: RoutingTable,
+        collector: MetricsCollector | None = None,
+        config: PoolConfig | None = None,
+    ):
+        self.sim = sim
+        self.routing = routing
+        self.collector = collector
+        self.config = config or PoolConfig()
+        self.backends: list[Backend] = []
+        self._active: set[int] = set()
+
+    @property
+    def gpus_in_use(self) -> int:
+        return len(self._active)
+
+    def apply_plan(self, plan: SchedulePlan) -> None:
+        """Deploy a plan: match GPU plans to backends, push schedules/routes."""
+        assignments = self._match(plan.gpus)
+
+        new_routes: dict[str, list[tuple[Backend, float]]] = {}
+        self._active = set()
+        for backend_idx, gpu_plan in assignments:
+            backend = self._backend(backend_idx)
+            specs = []
+            for alloc in gpu_plan.allocations:
+                if not self.config.paced:
+                    duty = 0.0
+                else:
+                    duty = (
+                        gpu_plan.duty_cycle_ms
+                        if not gpu_plan.saturated
+                        else alloc.exec_ms
+                    )
+                    # Never pace a session slower than its SLO permits:
+                    # waiting longer than (SLO - batch latency) between
+                    # executions guarantees misses regardless of load.
+                    duty = min(duty, max(0.0, alloc.load.slo_ms - alloc.exec_ms))
+                load_ms = 0.0
+                if self.config.model_loads:
+                    load_ms = (
+                        50.0
+                        + alloc.load.profile.memory_model_bytes / 12e9 * 1000.0
+                    )
+                specs.append(
+                    BackendSession(
+                        session_id=alloc.session_id,
+                        profile=alloc.load.profile,
+                        slo_ms=alloc.load.slo_ms,
+                        target_batch=alloc.batch,
+                        duty_cycle_ms=duty,
+                        policy=make_policy(self.config.drop_policy, alloc.batch),
+                        load_ms=load_ms,
+                    )
+                )
+                capacity = alloc.batch / max(gpu_plan.duty_cycle_ms, 1e-9)
+                new_routes.setdefault(alloc.session_id, []).append(
+                    (backend, capacity)
+                )
+            backend.set_schedule(specs)
+            self._active.add(backend_idx)
+
+        # Drain backends not in the new plan.
+        for i, backend in enumerate(self.backends):
+            if i not in self._active and backend.num_sessions:
+                backend.set_schedule([])
+
+        for session_id in self.routing.sessions():
+            if session_id not in new_routes:
+                self.routing.set_routes(session_id, [])
+        for session_id, targets in new_routes.items():
+            self.routing.set_routes(session_id, targets)
+
+        if self.collector is not None:
+            self.collector.sample_gpu_count(self.sim.now, len(self._active))
+
+    def _backend(self, idx: int) -> Backend:
+        while len(self.backends) <= idx:
+            self.backends.append(
+                Backend(
+                    self.sim,
+                    gpu_id=len(self.backends),
+                    collector=self.collector,
+                    pacing=self.config.pacing,
+                    overlap=self.config.overlap,
+                    interference_factor=self.config.interference_factor,
+                )
+            )
+        return self.backends[idx]
+
+    def _match(self, gpu_plans: list[GpuPlan]) -> list[tuple[int, GpuPlan]]:
+        """Assign plans to backend slots, maximizing session overlap.
+
+        Greedy: plans with the largest overlap against an existing
+        backend's current sessions claim that backend; the rest fill free
+        or new slots.  Keeps models resident across epochs where possible
+        (section 6.1: "minimizing the movement of models across nodes").
+        """
+        current: dict[int, set[str]] = {
+            i: set(backend._sessions)  # noqa: SLF001 -- pool owns backends
+            for i, backend in enumerate(self.backends)
+        }
+
+        scored: list[tuple[int, int, int]] = []  # (-overlap, plan_idx, backend_idx)
+        for p_idx, plan in enumerate(gpu_plans):
+            sessions = set(plan.session_ids())
+            for b_idx, hosted in current.items():
+                overlap = len(sessions & hosted)
+                if overlap:
+                    scored.append((-overlap, p_idx, b_idx))
+        scored.sort()
+
+        plan_taken: set[int] = set()
+        backend_taken: set[int] = set()
+        out: list[tuple[int, GpuPlan]] = []
+        for neg, p_idx, b_idx in scored:
+            if p_idx in plan_taken or b_idx in backend_taken:
+                continue
+            plan_taken.add(p_idx)
+            backend_taken.add(b_idx)
+            out.append((b_idx, gpu_plans[p_idx]))
+
+        next_free = 0
+        for p_idx, plan in enumerate(gpu_plans):
+            if p_idx in plan_taken:
+                continue
+            while next_free in backend_taken:
+                next_free += 1
+            backend_taken.add(next_free)
+            out.append((next_free, plan))
+        return out

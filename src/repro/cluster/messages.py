@@ -1,0 +1,39 @@
+"""Data-plane records exchanged between frontends and backends."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Request", "new_request_id"]
+
+_request_ids = itertools.count()
+
+
+def new_request_id() -> int:
+    return next(_request_ids)
+
+
+@dataclass
+class Request:
+    """One model invocation in flight.
+
+    ``on_complete(request, completion_ms, ok)`` fires when the batched
+    execution containing this request finishes; ``on_drop(request,
+    time_ms)`` fires if admission control sheds it.  Query orchestration
+    in the frontend hangs its continuation logic on these callbacks.
+    """
+
+    session_id: str
+    arrival_ms: float
+    deadline_ms: float
+    request_id: int = field(default_factory=new_request_id)
+    on_complete: Callable[["Request", float, bool], None] | None = None
+    on_drop: Callable[["Request", float], None] | None = None
+    #: opaque payload for the application layer (e.g. query instance).
+    context: object = None
+
+    @property
+    def slo_ms(self) -> float:
+        return self.deadline_ms - self.arrival_ms

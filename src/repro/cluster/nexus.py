@@ -1,0 +1,594 @@
+"""NexusCluster: the deployable system, end to end.
+
+Wires the whole paper together: applications declare queries (dataflow
+graphs with a whole-query SLO) and offered rates; the cluster
+
+1. splits each query's SLO across stages (query analysis, section 6.2 --
+   or an even split when disabled, the -QA ablation);
+2. fuses sessions whose models share a prefix and latency SLO into
+   prefix-batched pseudo-models (section 6.3, the -PB ablation);
+3. packs sessions onto GPUs with squishy bin packing (section 6.1 -- or
+   the batch-oblivious baseline, the -SS ablation);
+4. deploys schedules/routes and serves traffic through the event-driven
+   runtime with early-drop admission control and CPU/GPU overlap (the
+   -ED and -OL ablations);
+5. optionally re-plans every epoch from observed workload statistics
+   (section 5's control plane; Figure 13).
+
+The paper's baselines are configurations of the same machinery: see
+:func:`repro.baselines.clipper_config` and
+:func:`repro.baselines.tf_serving_config`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..core.epoch import EpochScheduler
+from ..core.prefix import PrefixGroup
+from ..core.profile import EffectiveProfile
+from ..core.query import Query, QueryStage, even_split, plan_query
+from ..core.session import Session, SessionLoad
+from ..core.squishy import SchedulePlan, squishy_bin_packing
+from ..baselines.batch_oblivious import batch_oblivious_plan  # noqa: E402 -- leaf module, no cycle
+from ..metrics.collector import MetricsCollector
+from ..models import get_device, get_model, prefix_suffix_profiles
+from ..simulation.simulator import Simulator
+from ..workloads.arrivals import poisson_arrivals, uniform_arrivals
+from .frontend import Frontend, RoutingTable
+from .global_scheduler import BackendPool, PoolConfig
+
+__all__ = ["ClusterConfig", "AppSpec", "ClusterResult", "NexusCluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Feature flags and sizing for one cluster deployment.
+
+    The default configuration is full Nexus; each ablation in Figures 10
+    and 11 flips one field.
+    """
+
+    device: str = "gtx1080ti"
+    max_gpus: int | None = None
+    scheduler: str = "squishy"          # "squishy" | "batch_oblivious"
+    pacing: str = "cycle"               # "cycle" | "greedy"
+    drop_policy: str = "early"          # "early" | "lazy"
+    overlap: bool = True                # OL
+    prefix_batching: bool = True        # PB
+    query_analysis: bool = True         # QA
+    interference_factor: float = 0.0    # Clipper-style container interference
+    paced: bool = True                  # duty-cycle pacing (Nexus GPU scheduler)
+    #: capacity cushion: plan for (1 + headroom) x the offered rate so the
+    #: deployment is not balanced on a knife edge (real deployments do the
+    #: same; the paper's 84%-of-optimal utilization reflects such slack).
+    plan_headroom: float = 0.15
+    #: plan sessions against (1 - slo_margin) x their latency budget so the
+    #: runtime has jitter room; request deadlines still use the full budget.
+    slo_margin: float = 0.1
+    #: extra margin for non-root query stages: their arrivals come in
+    #: pulses (a whole upstream batch completes at once), so they need
+    #: more frequent, smaller batches than a smooth-arrival plan would
+    #: pick.  Planning them against a tighter SLO buys exactly that.
+    child_slo_margin: float = 0.35
+    qa_epsilon_ms: float = 5.0
+    qa_worst_case_factor: float = 2.0
+    epoch_ms: float = 30_000.0
+    dynamic: bool = False               # re-plan each epoch from observed load
+    #: frontend replicas; the paper's frontend is distributed and a cluster
+    #: load balancer spreads user requests across replicas (section 5).
+    num_frontends: int = 1
+    #: with a fixed cluster size, scale the plan out to use every GPU
+    #: (the paper's fixed-cluster throughput experiments); dynamic
+    #: deployments keep the minimal allocation so idle GPUs are released.
+    expand_to_cluster: bool = True
+    seed: int = 0
+
+
+@dataclass
+class AppSpec:
+    """One application: a query plus its offered load."""
+
+    query: Query
+    rate_rps: float
+    arrival: str = "uniform"            # "uniform" | "poisson"
+    #: optional time-varying rate, ms -> rps (drives Figure 13); when set,
+    #: ``rate_rps`` is only the planning-time estimate.
+    rate_fn: object = None
+
+
+@dataclass
+class ClusterResult:
+    """Everything a run produced."""
+
+    query_metrics: MetricsCollector
+    invocation_metrics: MetricsCollector
+    plan: SchedulePlan
+    gpus_used: int
+    duration_ms: float
+    epochs: int = 0
+
+    @property
+    def good_rate(self) -> float:
+        return self.query_metrics.good_rate
+
+    @property
+    def bad_rate(self) -> float:
+        return self.query_metrics.bad_rate
+
+    def goodput_rps(self) -> float:
+        return self.query_metrics.goodput_rps(self.duration_ms)
+
+
+class NexusCluster:
+    """Build, plan, and run one cluster deployment."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.apps: list[AppSpec] = []
+        self._session_loads: list[SessionLoad] = []
+        self._aliases: dict[str, str] = {}
+        self._splits: dict[str, dict[str, float]] = {}
+        self._child_sessions: set[str] = set()
+
+    # ----------------------------------------------------------- declaring
+
+    def add_app(self, app: AppSpec) -> None:
+        self.apps.append(app)
+
+    def add_query(self, query: Query, rate_rps: float, arrival: str = "uniform",
+                  rate_fn=None) -> None:
+        self.add_app(AppSpec(query, rate_rps, arrival, rate_fn))
+
+    # ------------------------------------------------------------ planning
+
+    def build_session_loads(
+        self, rates: dict[str, float] | None = None
+    ) -> list[SessionLoad]:
+        """Steps 1-2: latency splits + prefix fusion -> session loads.
+
+        Args:
+            rates: per-app rate overrides keyed by query name (used by the
+                dynamic control plane); defaults to the declared rates.
+        """
+        cfg = self.config
+        loads: list[SessionLoad] = []
+        self._aliases = {}
+        self._splits = {}
+        self._child_sessions: set[str] = set()
+        for app in self.apps:
+            rate = app.rate_rps if rates is None else rates.get(
+                app.query.name, app.rate_rps
+            )
+            planned = rate * (1.0 + cfg.plan_headroom)
+            # Plan splits against *effective* profiles (CPU occupancy
+            # folded in, per the overlap setting) so the DP's view of each
+            # stage's capacity matches what the packer and runtime see.
+            eff_query = self._effective_query(app.query)
+            even = even_split(
+                eff_query, max(planned, 1e-6),
+                worst_case_factor=cfg.qa_worst_case_factor,
+            )
+            split = even
+            if cfg.query_analysis and len(app.query.stages()) > 1:
+                try:
+                    dp = plan_query(
+                        eff_query,
+                        max(planned, 1e-6),
+                        epsilon_ms=cfg.qa_epsilon_ms,
+                        worst_case_factor=cfg.qa_worst_case_factor,
+                    )
+                except ValueError:
+                    dp = None
+                # Adopt the DP split only when it predicts a real saving:
+                # uneven splits shave children's budgets, which costs the
+                # runtime burst slack, so a sub-noise predicted gain is not
+                # worth taking.  (Also covers SLOs the even split cannot
+                # satisfy at all.)
+                if dp is not None and (
+                    math.isinf(even.total_gpus)
+                    or dp.total_gpus <= 0.97 * even.total_gpus
+                ):
+                    split = dp
+            split = replace(split, rate_rps=planned)
+            self._splits[app.query.name] = dict(split.budgets_ms)
+            app_loads = split.sessions(app.query)  # raw profiles; wrapped below
+            root_name = app.query.root.name
+            for load in app_loads:
+                stage_name = load.session_id.rsplit("/", 1)[-1]
+                is_child = stage_name != root_name and not (
+                    app.query.root.is_source
+                    and any(c.name == stage_name
+                            for c in app.query.root.children)
+                )
+                self._child_sessions.add(load.session_id) if is_child else None
+            loads.extend(app_loads)
+
+        if cfg.prefix_batching:
+            loads = self._fuse_prefixes(loads)
+        loads = [self._effective(load) for load in loads]
+        self._session_loads = loads
+        return loads
+
+    def _effective_query(self, query: Query) -> Query:
+        """A copy of the query whose stage profiles are effective views."""
+        cfg = self.config
+
+        def clone(stage: QueryStage) -> QueryStage:
+            prof = stage.profile
+            if prof is not None and not isinstance(prof, EffectiveProfile):
+                prof = EffectiveProfile(base=prof, overlap=cfg.overlap)
+            out = QueryStage(
+                name=stage.name, profile=prof, gamma=stage.gamma,
+                model_id=stage.model_id,
+            )
+            for child in stage.children:
+                out.add_child(clone(child))
+            return out
+
+        return Query(query.name, clone(query.root), query.slo_ms)
+
+    def _effective(self, load: SessionLoad) -> SessionLoad:
+        """Fold CPU occupancy into the profile and shave the planning SLO.
+
+        The scheduler must see how long a batch ties up the GPU slot
+        (``max(gpu, cpu)`` with overlap, ``gpu + cpu`` without), and plans
+        against a slightly tightened SLO so worst-case bounds are not met
+        with equality; the runtime keeps the full deadline.
+        """
+        cfg = self.config
+        profile = load.profile
+        if not isinstance(profile, EffectiveProfile):
+            profile = EffectiveProfile(base=profile, overlap=cfg.overlap)
+        slo = load.session.slo_ms
+        margin = cfg.slo_margin
+        if load.session_id in getattr(self, "_child_sessions", set()):
+            margin = max(margin, cfg.child_slo_margin)
+        tightened = slo * (1.0 - margin)
+        if 2.0 * profile.latency(1) > tightened:
+            # Session can't afford the cushion: plan against the full SLO
+            # and let admission control absorb the tail.
+            tightened = slo
+        session = Session(
+            model_id=load.session.model_id,
+            slo_ms=tightened,
+            session_id=load.session.session_id,
+        )
+        return SessionLoad(session, load.rate_rps, profile)
+
+    def _fuse_prefixes(self, loads: list[SessionLoad]) -> list[SessionLoad]:
+        """Fuse sessions whose models share a prefix and latency SLO.
+
+        Grouping key: (base model name, SLO rounded to the ms).  Only
+        zoo-resolvable specialized models ("base@variant") participate;
+        everything else passes through unchanged.
+        """
+        groups: dict[tuple[str, float], list[SessionLoad]] = {}
+        passthrough: list[SessionLoad] = []
+        for load in loads:
+            model_id = load.session.model_id
+            if "@" not in model_id:
+                passthrough.append(load)
+                continue
+            base = model_id.split("@", 1)[0]
+            key = (base, round(load.slo_ms, 1))
+            groups.setdefault(key, []).append(load)
+
+        fused: list[SessionLoad] = []
+        for (base, slo), members in groups.items():
+            if len(members) < 2:
+                passthrough.extend(members)
+                continue
+            try:
+                graphs = [get_model(m.session.model_id) for m in members]
+                device = get_device(self.config.device)
+                prefix_prof, suffix_profs, plen = prefix_suffix_profiles(
+                    graphs, device
+                )
+            except (KeyError, ValueError):
+                passthrough.extend(members)
+                continue
+            group = PrefixGroup(
+                model_ids=[m.session.model_id for m in members],
+                prefix_profile=prefix_prof,
+                suffix_profiles=suffix_profs,
+                prefix_len=plen,
+            )
+            rates = [m.rate_rps for m in members]
+            total_rate = sum(rates)
+            weights = (
+                [r / total_rate for r in rates]
+                if total_rate > 0
+                else None
+            )
+            fused_id = f"pb:{base}@{slo:g}ms#{len(members)}"
+            combined = group.combined_profile(weights, name=fused_id)
+            fused.append(
+                SessionLoad(
+                    Session(model_id=fused_id, slo_ms=slo, session_id=fused_id),
+                    total_rate,
+                    combined,
+                )
+            )
+            for m in members:
+                self._aliases[m.session_id] = fused_id
+        return passthrough + fused
+
+    def plan(self, rates: dict[str, float] | None = None) -> SchedulePlan:
+        """Steps 1-3: produce the cluster plan (no deployment)."""
+        loads = self.build_session_loads(rates)
+        return self._pack(loads)
+
+    def _pack(self, loads: list[SessionLoad]) -> SchedulePlan:
+        cfg = self.config
+        device = get_device(cfg.device)
+        if cfg.scheduler == "squishy":
+            memory = int(device.mem_capacity)
+            plan = squishy_bin_packing(loads, memory_capacity=memory)
+            if cfg.max_gpus is not None:
+                if plan.num_gpus > cfg.max_gpus:
+                    plan = self._shrink(loads, memory, cfg.max_gpus)
+                elif cfg.expand_to_cluster and not cfg.dynamic:
+                    plan = self._expand(loads, plan, memory, cfg.max_gpus)
+            return plan
+        if cfg.scheduler == "batch_oblivious":
+            return batch_oblivious_plan(loads, num_gpus=cfg.max_gpus)
+        raise ValueError(f"unknown scheduler {cfg.scheduler!r}")
+
+    @staticmethod
+    def _shrink(
+        loads: list[SessionLoad],
+        memory: int,
+        max_gpus: int,
+    ) -> SchedulePlan:
+        """Demand exceeds the cluster: shed load *proportionally*.
+
+        Scaling every session's rate down by a common factor until the
+        plan fits keeps all sessions served (admission control absorbs the
+        shed fraction uniformly); dropping whole GPU plans would zero out
+        some sessions entirely.
+        """
+        def pack_at(scale: float) -> SchedulePlan:
+            scaled = [l.with_rate(l.rate_rps * scale) for l in loads]
+            return squishy_bin_packing(scaled, memory_capacity=memory)
+
+        lo, hi = 0.02, 1.0
+        best = pack_at(lo)
+        if best.num_gpus > max_gpus:
+            return best  # even 2% does not fit; nothing better to do
+        for _ in range(12):
+            mid = (lo + hi) / 2
+            cand = pack_at(mid)
+            if cand.num_gpus <= max_gpus:
+                lo = mid
+                best = cand
+            else:
+                hi = mid
+        return best
+
+    @staticmethod
+    def _expand(
+        loads: list[SessionLoad],
+        plan: SchedulePlan,
+        memory: int,
+        max_gpus: int,
+    ) -> SchedulePlan:
+        """Scale rates up until the plan fills the fixed cluster.
+
+        The fixed-cluster throughput experiments hand Nexus all 16 GPUs;
+        extra capacity beyond demand absorbs bursts.  Binary search on a
+        uniform rate multiplier keeps the allocation shape the packer
+        chose.
+        """
+        if plan.num_gpus >= max_gpus:
+            return plan
+
+        def pack_at(scale: float) -> SchedulePlan:
+            scaled = [l.with_rate(l.rate_rps * scale) for l in loads]
+            return squishy_bin_packing(scaled, memory_capacity=memory)
+
+        lo, hi = 1.0, 2.0
+        while pack_at(hi).num_gpus <= max_gpus and hi < 64:
+            lo, hi = hi, hi * 2
+        best = plan
+        for _ in range(10):
+            mid = (lo + hi) / 2
+            cand = pack_at(mid)
+            if cand.num_gpus <= max_gpus:
+                lo = mid
+                best = cand
+            else:
+                hi = mid
+        return best
+
+    # -------------------------------------------------------------- running
+
+    def run(self, duration_ms: float, warmup_ms: float = 0.0) -> ClusterResult:
+        """Plan, deploy, generate traffic, and serve for ``duration_ms``.
+
+        ``warmup_ms`` excludes an initial window from the metrics (queries
+        *arriving* before it are not recorded).
+        """
+        cfg = self.config
+        sim = Simulator()
+        routing = RoutingTable()
+        invocation_metrics = MetricsCollector()
+        query_metrics = MetricsCollector()
+        warm_query_metrics = MetricsCollector()
+
+        pool = BackendPool(
+            sim,
+            routing,
+            collector=invocation_metrics,
+            config=PoolConfig(
+                pacing=cfg.pacing,
+                overlap=cfg.overlap,
+                drop_policy=cfg.drop_policy,
+                interference_factor=cfg.interference_factor,
+                paced=cfg.paced,
+            ),
+        )
+        frontends = [
+            Frontend(sim, routing, query_collector=query_metrics,
+                     seed=cfg.seed + 1009 * i)
+            for i in range(max(1, cfg.num_frontends))
+        ]
+
+        plan = self.plan()
+        for sid, target in self._aliases.items():
+            routing.set_alias(sid, target)
+        pool.apply_plan(plan)
+
+        self._generate_traffic(sim, frontends, duration_ms, warmup_ms)
+
+        if cfg.dynamic:
+            self._install_epoch_loop(sim, frontends, pool, duration_ms)
+
+        tail_ms = max((a.query.slo_ms for a in self.apps), default=0.0)
+        sim.run_until(duration_ms + tail_ms + 1000)
+        epochs = getattr(self, "_epoch_state", {"epochs": 0})["epochs"]
+
+        if warmup_ms > 0:
+            warm_query_metrics.records = [
+                r for r in query_metrics.records if r.arrival_ms >= warmup_ms
+            ]
+            warm_query_metrics.gpu_busy_ms = query_metrics.gpu_busy_ms
+            query_metrics = warm_query_metrics
+
+        return ClusterResult(
+            query_metrics=query_metrics,
+            invocation_metrics=invocation_metrics,
+            plan=pool_plan_snapshot(pool, plan),
+            gpus_used=max(pool.gpus_in_use, plan.num_gpus),
+            duration_ms=duration_ms - warmup_ms,
+            epochs=epochs,
+        )
+
+    def _generate_traffic(
+        self, sim: Simulator, frontends: list[Frontend], duration_ms: float,
+        warmup_ms: float,
+    ) -> None:
+        cfg = self.config
+        for i, app in enumerate(self.apps):
+            arrivals = self._app_arrivals(app, duration_ms, cfg.seed + i * 7919)
+            budgets = self._splits.get(app.query.name)
+            # The cluster load balancer spreads queries round-robin over
+            # the frontend replicas (section 5).
+            for j, t in enumerate(arrivals):
+                fe = frontends[j % len(frontends)]
+                sim.schedule_at(
+                    t,
+                    lambda q=app.query, b=budgets, f=fe: f.submit_query(q, b),
+                )
+
+    def _app_arrivals(
+        self, app: AppSpec, duration_ms: float, seed: int
+    ) -> list[float]:
+        gen = poisson_arrivals if app.arrival == "poisson" else uniform_arrivals
+        if app.rate_fn is None:
+            return gen(app.rate_rps, duration_ms, seed=seed)
+        # Time-varying rate: generate per 1-second slices.
+        out: list[float] = []
+        t = 0.0
+        slice_ms = 1000.0
+        k = 0
+        while t < duration_ms:
+            rate = float(app.rate_fn(t))
+            span = min(slice_ms, duration_ms - t)
+            chunk = gen(rate, span, seed=seed + k)
+            out.extend(t + x for x in chunk)
+            t += span
+            k += 1
+        return out
+
+    def _install_epoch_loop(
+        self, sim: Simulator, frontends: list[Frontend], pool: BackendPool,
+        duration_ms: float,
+    ) -> int:
+        """Section 5's control loop: measure, re-plan, redeploy."""
+        cfg = self.config
+        scheduler = EpochScheduler(
+            epoch_ms=cfg.epoch_ms,
+            memory_capacity=int(get_device(cfg.device).mem_capacity),
+            max_gpus=cfg.max_gpus,
+        )
+        state = {"epochs": 0, "last": 0.0}
+
+        def tick() -> None:
+            now = sim.now
+            span_s = max((now - state["last"]) / 1000.0, 1e-9)
+            counters: dict[str, int] = {}
+            for fe in frontends:
+                fe.read_and_reset_counters()
+                for name, n in fe.read_and_reset_query_counters().items():
+                    counters[name] = counters.get(name, 0) + n
+            # App-level observed rates (whole-query arrivals).
+            rates: dict[str, float] = {}
+            for app in self.apps:
+                rates[app.query.name] = counters.get(app.query.name, 0) / span_s
+            state["last"] = now
+            plan = self.plan(rates)
+            for sid, target in self._aliases.items():
+                frontends[0].routing.set_alias(sid, target)
+            pool.apply_plan(plan)
+            state["epochs"] += 1
+            if now + cfg.epoch_ms <= duration_ms:
+                sim.schedule(cfg.epoch_ms, tick)
+
+        sim.schedule(cfg.epoch_ms, tick)
+        # Return count lazily via closure; run() reads after sim completes.
+        self._epoch_state = state
+        return 0
+
+    # ------------------------------------------------------------- measure
+
+    def measure_goodput(
+        self, duration_ms: float = 30_000.0, warmup_ms: float = 2_000.0
+    ) -> ClusterResult:
+        return self.run(duration_ms, warmup_ms)
+
+
+def pool_plan_snapshot(pool: BackendPool, plan: SchedulePlan) -> SchedulePlan:
+    """The plan actually deployed (currently the static plan)."""
+    return plan
+
+
+def find_max_rate(
+    make_cluster,
+    base_rates: dict[str, float],
+    target_good_rate: float = 0.99,
+    duration_ms: float = 20_000.0,
+    warmup_ms: float = 2_000.0,
+    lo_scale: float = 0.05,
+    hi_scale: float = 4.0,
+    iterations: int = 8,
+) -> tuple[float, ClusterResult | None]:
+    """Binary-search the workload scale keeping query good rate >= target.
+
+    The paper's throughput metric at cluster level.  ``make_cluster`` is a
+    ``scale -> NexusCluster`` factory that declares apps with rates
+    ``scale * base_rates[app]`` (and plans for them).
+
+    Returns ``(max_total_rps, result_at_max)``.
+    """
+    total_base = sum(base_rates.values())
+
+    def attempt(scale: float) -> tuple[bool, ClusterResult]:
+        cluster = make_cluster(scale)
+        result = cluster.run(duration_ms, warmup_ms)
+        return result.good_rate >= target_good_rate, result
+
+    ok_lo, res_lo = attempt(lo_scale)
+    if not ok_lo:
+        return 0.0, res_lo
+    lo, hi = lo_scale, hi_scale
+    best = res_lo
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        ok, res = attempt(mid)
+        if ok:
+            lo, best = mid, res
+        else:
+            hi = mid
+    return lo * total_base, best

@@ -1,0 +1,304 @@
+"""Fork-join query planning: the general case of section 6.2.
+
+The paper: "We use dynamic programming to solve this optimization problem
+for the case of fork-join dependency graphs, but limit our exposition to
+the simpler case of tree-like dependency graphs."  :mod:`repro.core.query`
+implements the tree exposition; this module implements the general
+fork-join case via **series-parallel decomposition**:
+
+- a *series* composition runs parts one after another: budgets add along
+  the chain (min-plus composition of the parts' cost tables);
+- a *parallel* composition runs branches concurrently between the same
+  fork and join points: every branch must finish within the same shared
+  window, so costs add at equal budget.
+
+Any fork-join dataflow (single source, single sink, nested fork/join
+pairs) decomposes into these two operators, and the tree DP is the
+special case where every parallel composition joins directly at the sink.
+
+The planner here covers the *scheduling* side (latency budgets and GPU
+costs); the runtime continues to orchestrate tree-shaped queries, as in
+the paper's exposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .profile import BatchingProfile
+
+__all__ = ["SPStage", "Series", "Parallel", "SPPlan", "plan_sp",
+           "sp_from_edges"]
+
+
+@dataclass
+class SPStage:
+    """A leaf of the series-parallel expression: one model invocation.
+
+    ``rate_multiplier`` is the stage's invocation rate relative to the
+    query root (the product of fan-outs on the way in, times the number
+    of join inputs consumed per output where applicable).
+    """
+
+    name: str
+    profile: BatchingProfile
+    rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_multiplier < 0:
+            raise ValueError(
+                f"rate_multiplier must be >= 0, got {self.rate_multiplier}"
+            )
+
+
+@dataclass
+class Series:
+    """Parts executed one after another; budgets add along the chain."""
+
+    parts: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise ValueError("Series needs at least one part")
+
+
+@dataclass
+class Parallel:
+    """Branches executed concurrently between a fork and its join."""
+
+    branches: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("Parallel needs at least two branches")
+
+
+@dataclass
+class SPPlan:
+    """Planned budgets for every stage plus the total GPU cost."""
+
+    budgets_ms: dict[str, float]
+    total_gpus: float
+    slo_ms: float
+
+
+def _stage_costs(stage: SPStage, rate_rps: float, budgets: list[float],
+                 worst_case_factor: float) -> list[float]:
+    costs = []
+    rate = rate_rps * stage.rate_multiplier
+    for budget in budgets:
+        b = stage.profile.max_batch_with_latency(budget / worst_case_factor)
+        if b == 0:
+            costs.append(math.inf)
+        else:
+            costs.append(rate * stage.profile.latency(b) / b / 1000.0)
+    return costs
+
+
+def plan_sp(
+    expr,
+    slo_ms: float,
+    rate_rps: float,
+    epsilon_ms: float = 5.0,
+    worst_case_factor: float = 1.0,
+) -> SPPlan:
+    """Plan latency budgets over a series-parallel expression.
+
+    Args:
+        expr: an :class:`SPStage`, :class:`Series`, or :class:`Parallel`.
+        slo_ms: whole-query latency SLO.
+        rate_rps: offered rate at the query root.
+        epsilon_ms: budget discretization.
+        worst_case_factor: see :mod:`repro.core.query`.
+
+    Returns:
+        :class:`SPPlan` with per-stage budgets summing within ``slo_ms``
+        along every source-to-sink path.
+
+    Raises:
+        ValueError: if no feasible assignment exists.
+    """
+    if slo_ms <= 0:
+        raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+    steps = max(1, int(round(slo_ms / epsilon_ms)))
+    budgets = [i * slo_ms / steps for i in range(steps + 1)]
+
+    # Each node yields (cost_table, assign) where cost_table[t] is the min
+    # GPU cost within budget index t, and assign(t, out) writes the
+    # chosen per-stage budgets into `out` for that allocation.
+    def solve(node):
+        if isinstance(node, SPStage):
+            costs = _stage_costs(node, rate_rps, budgets, worst_case_factor)
+            # A stage's cost is non-increasing in budget; make the table
+            # monotone so callers can always spend the full window.
+            best = list(costs)
+            best_k = list(range(steps + 1))
+            for t in range(1, steps + 1):
+                if best[t - 1] < best[t]:
+                    best[t] = best[t - 1]
+                    best_k[t] = best_k[t - 1]
+                else:
+                    best_k[t] = t
+
+            def assign(t, out, _k=best_k):
+                out[node.name] = budgets[t]
+
+            return best, assign
+
+        if isinstance(node, Parallel):
+            tables = [solve(b) for b in node.branches]
+
+            def cost(t):
+                total = 0.0
+                for tab, _ in tables:
+                    c = tab[t]
+                    if math.isinf(c):
+                        return math.inf
+                    total += c
+                return total
+
+            table = [cost(t) for t in range(steps + 1)]
+
+            def assign(t, out):
+                for _, sub_assign in tables:
+                    sub_assign(t, out)
+
+            return table, assign
+
+        if isinstance(node, Series):
+            tables = [solve(p) for p in node.parts]
+            # Min-plus composition, one part at a time.
+            acc = [0.0] * (steps + 1)
+            choices: list[list[int]] = []
+            for tab, _ in tables:
+                new = [math.inf] * (steps + 1)
+                choice = [0] * (steps + 1)
+                for t in range(steps + 1):
+                    for k in range(t + 1):
+                        c = tab[k]
+                        rest = acc[t - k]
+                        if math.isinf(c) or math.isinf(rest):
+                            continue
+                        if c + rest < new[t]:
+                            new[t] = c + rest
+                            choice[t] = k
+                acc = new
+                choices.append(choice)
+
+            def assign(t, out):
+                remaining = t
+                # Walk parts in reverse: each recorded its chosen k given
+                # the budget remaining when it was composed.
+                for (tab, sub_assign), choice in zip(
+                    reversed(tables), reversed(choices)
+                ):
+                    k = choice[remaining]
+                    sub_assign(k, out)
+                    remaining -= k
+
+            return acc, assign
+
+        raise TypeError(f"not a series-parallel node: {node!r}")
+
+    table, assign = solve(expr)
+    if math.isinf(table[steps]):
+        raise ValueError(
+            f"no feasible budget assignment within {slo_ms} ms"
+        )
+    out: dict[str, float] = {}
+    assign(steps, out)
+    return SPPlan(budgets_ms=out, total_gpus=table[steps], slo_ms=slo_ms)
+
+
+def sp_from_edges(
+    stages: dict[str, SPStage], edges: list[tuple[str, str]]
+):
+    """Build a series-parallel expression from a fork-join edge list.
+
+    Supports the common fork-join shapes by recursive decomposition of the
+    single-source, single-sink DAG: serial chains become :class:`Series`,
+    branch bundles between a fork node and the (unique) join node where
+    all branches reconverge become :class:`Parallel`.
+
+    Raises:
+        ValueError: if the graph is not series-parallel decomposable.
+    """
+    succ: dict[str, list[str]] = {name: [] for name in stages}
+    pred: dict[str, list[str]] = {name: [] for name in stages}
+    for a, b in edges:
+        if a not in stages or b not in stages:
+            raise ValueError(f"edge ({a!r}, {b!r}) references unknown stage")
+        succ[a].append(b)
+        pred[b].append(a)
+
+    sources = [n for n in stages if not pred[n]]
+    sinks = [n for n in stages if not succ[n]]
+    if len(sources) != 1 or len(sinks) != 1:
+        raise ValueError(
+            f"need a single source and sink; got {sources} / {sinks}"
+        )
+
+    def reachable(start: str) -> set[str]:
+        seen, stack = set(), [start]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(succ[n])
+        return seen
+
+    def decompose(start: str, stop: str):
+        """SP expression covering start..stop inclusive of start,
+        exclusive of stop."""
+        parts = []
+        node = start
+        while node != stop:
+            parts.append(stages[node])
+            outs = succ[node]
+            if len(outs) == 1:
+                node = outs[0]
+            elif len(outs) == 0:
+                raise ValueError(f"dead end at {node!r} before {stop!r}")
+            else:
+                # Fork: the join is the unique node reachable from every
+                # branch where they reconverge.
+                branch_reach = [reachable(o) for o in outs]
+                common = set.intersection(*branch_reach)
+                if not common:
+                    raise ValueError(f"branches from {node!r} never join")
+                # The join is the common node none of whose predecessors
+                # within `common` precede it... pick the one all branch
+                # heads reach first: the common node with every other
+                # common node reachable from it is the *last*; we want the
+                # earliest: the one from which all of `common` is
+                # reachable.
+                join = None
+                for cand in common:
+                    if common.issubset(reachable(cand)):
+                        join = cand
+                        break
+                if join is None:
+                    raise ValueError(
+                        f"fork at {node!r} is not series-parallel"
+                    )
+                branches = []
+                for o in outs:
+                    if o == join:
+                        raise ValueError(
+                            f"fork at {node!r} has an empty branch to "
+                            f"{join!r}; not supported"
+                        )
+                    branches.append(decompose(o, join))
+                parts.append(Parallel(branches=branches))
+                node = join
+        return parts[0] if len(parts) == 1 else Series(parts=parts)
+
+    sink = sinks[0]
+    expr = decompose(sources[0], sink)
+    tail = stages[sink]
+    if isinstance(expr, Series):
+        expr.parts.append(tail)
+        return expr
+    return Series(parts=[expr, tail])

@@ -1,0 +1,241 @@
+"""Incremental epoch scheduling: adapt the plan across workload changes.
+
+Paper section 5: "Allocation, scheduling, and routing updates happen at
+the granularity of an epoch, typically 30-60s ... To prevent oscillation
+from frequent reconfiguration, we limit the minimum period between two
+epochs to 10 seconds."  Section 6.1's closing paragraph describes the
+incremental policy this module implements:
+
+- if workload *decreases*, move sessions off the least-utilized backends
+  and release backends that no longer run anything;
+- if a backend becomes *overloaded*, evict its cheapest sessions until it
+  is feasible again, then re-pack the evicted sessions (plus any brand-new
+  demand) with squishy bin packing.
+
+:class:`EpochScheduler` owns the evolving plan and reports churn metrics
+(GPUs added/released, sessions moved) so the large-scale experiment
+(Figure 13) can show adaptation lag and reconfiguration cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .session import SessionLoad
+from .squishy import (
+    Allocation,
+    GpuPlan,
+    SchedulePlan,
+    schedule_residue,
+    schedule_saturate,
+    squishy_bin_packing,
+)
+
+__all__ = ["EpochUpdate", "EpochScheduler"]
+
+
+@dataclass
+class EpochUpdate:
+    """What one epoch's rescheduling changed."""
+
+    epoch: int
+    time_ms: float
+    gpus_before: int
+    gpus_after: int
+    sessions_moved: int
+    triggered: bool
+
+    @property
+    def gpus_added(self) -> int:
+        return max(0, self.gpus_after - self.gpus_before)
+
+    @property
+    def gpus_released(self) -> int:
+        return max(0, self.gpus_before - self.gpus_after)
+
+
+@dataclass
+class EpochScheduler:
+    """Stateful scheduler reacting to per-epoch workload statistics.
+
+    Args:
+        epoch_ms: nominal epoch length (30-60 s in the paper).
+        min_period_ms: minimum gap between reschedules (10 s in the paper).
+        change_threshold: relative rate change that triggers an early epoch.
+        memory_capacity: per-GPU memory bound handed to the packer.
+        max_gpus: optional cluster size cap; demand beyond it is left to
+            admission control (the runtime's drop policy).
+    """
+
+    epoch_ms: float = 30_000.0
+    min_period_ms: float = 10_000.0
+    change_threshold: float = 0.25
+    memory_capacity: int | None = None
+    max_gpus: int | None = None
+
+    plan: SchedulePlan = field(default_factory=lambda: SchedulePlan(gpus=[]))
+    updates: list[EpochUpdate] = field(default_factory=list)
+    _epoch: int = 0
+    _last_schedule_ms: float = -math.inf
+    _last_rates: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- triggers
+
+    def should_reschedule(self, now_ms: float, loads: list[SessionLoad]) -> bool:
+        """Epoch boundary reached, or a large workload change observed."""
+        if now_ms - self._last_schedule_ms < self.min_period_ms:
+            return False
+        if now_ms - self._last_schedule_ms >= self.epoch_ms:
+            return True
+        for load in loads:
+            old = self._last_rates.get(load.session_id, 0.0)
+            new = load.rate_rps
+            base = max(old, 1e-9)
+            if old == 0.0 and new > 0.0:
+                return True
+            if abs(new - old) / base > self.change_threshold:
+                return True
+        return False
+
+    # ------------------------------------------------------------- schedule
+
+    def update(self, now_ms: float, loads: list[SessionLoad]) -> EpochUpdate:
+        """Run one epoch: adapt the plan to the new rates.
+
+        Call this when :meth:`should_reschedule` returns True (or
+        unconditionally at epoch boundaries); it records and returns the
+        churn summary either way.
+        """
+        before = self.plan.num_gpus
+        before_assignment = self._assignment()
+
+        new_plan = self._incremental_plan(loads)
+        if self.max_gpus is not None and new_plan.num_gpus > self.max_gpus:
+            new_plan = self._capped_plan(loads, new_plan)
+        self.plan = new_plan
+
+        moved = self._count_moves(before_assignment, self._assignment())
+        self._epoch += 1
+        self._last_schedule_ms = now_ms
+        self._last_rates = {l.session_id: l.rate_rps for l in loads}
+        update = EpochUpdate(
+            epoch=self._epoch,
+            time_ms=now_ms,
+            gpus_before=before,
+            gpus_after=self.plan.num_gpus,
+            sessions_moved=moved,
+            triggered=True,
+        )
+        self.updates.append(update)
+        return update
+
+    def _incremental_plan(self, loads: list[SessionLoad]) -> SchedulePlan:
+        """Keep feasible nodes; evict/repack only what must change."""
+        by_id = {l.session_id: l for l in loads}
+        demand = {l.session_id: l.rate_rps for l in loads}
+
+        kept: list[GpuPlan] = []
+        evicted: list[str] = []
+
+        # Walk existing nodes from most- to least-utilized so that, when
+        # demand shrinks, the least-utilized backends are the ones drained
+        # (section 6.1: "the scheduler attempts to move sessions from the
+        # least utilized backends to other backends").
+        for node in sorted(self.plan.gpus, key=lambda n: n.occupancy, reverse=True):
+            new_allocs: list[Allocation] = []
+            for alloc in node.allocations:
+                sid = alloc.session_id
+                if sid not in by_id:
+                    continue  # session retired entirely
+                remaining = demand.get(sid, 0.0)
+                if remaining <= 1e-9:
+                    continue  # demand already covered by earlier nodes
+                supplied = alloc.batch / max(node.duty_cycle_ms, 1e-9) * 1000.0
+                take = min(remaining, supplied)
+                demand[sid] = remaining - take
+                new_allocs.append(
+                    Allocation(by_id[sid].with_rate(take), alloc.batch)
+                )
+            if not new_allocs:
+                continue  # release this backend
+            candidate = GpuPlan(
+                new_allocs, node.duty_cycle_ms, saturated=node.saturated
+            )
+            # Overload check: evict cheapest sessions until feasible.
+            while candidate.validate(self.memory_capacity):
+                cheapest = min(
+                    range(len(candidate.allocations)),
+                    key=lambda i: candidate.allocations[i].exec_ms,
+                )
+                victim = candidate.allocations[cheapest]
+                evicted.append(victim.session_id)
+                demand[victim.session_id] = (
+                    demand.get(victim.session_id, 0.0) + victim.load.rate_rps
+                )
+                rest = [
+                    a for i, a in enumerate(candidate.allocations) if i != cheapest
+                ]
+                if not rest:
+                    candidate = None  # type: ignore[assignment]
+                    break
+                candidate = GpuPlan(
+                    rest, candidate.duty_cycle_ms, saturated=candidate.saturated
+                )
+            if candidate is not None and candidate.allocations:
+                kept.append(candidate)
+
+        # Pack all uncovered demand (new sessions, rate growth, evictions).
+        residual_loads = [
+            by_id[sid].with_rate(rate)
+            for sid, rate in demand.items()
+            if rate > 1e-9
+        ]
+        extra = squishy_bin_packing(
+            residual_loads, memory_capacity=self.memory_capacity
+        )
+        return SchedulePlan(
+            gpus=kept + extra.gpus, infeasible=extra.infeasible
+        )
+
+    def _capped_plan(
+        self, loads: list[SessionLoad], plan: SchedulePlan
+    ) -> SchedulePlan:
+        """Shrink to the GPU cap by dropping the least-utilized nodes.
+
+        The runtime's admission control absorbs the lost capacity by
+        dropping excess requests (section 5: "Nexus relies on admission
+        control that drops excessive requests").
+        """
+        assert self.max_gpus is not None
+        nodes = sorted(plan.gpus, key=lambda n: n.occupancy, reverse=True)
+        return SchedulePlan(
+            gpus=nodes[: self.max_gpus], infeasible=plan.infeasible
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def _assignment(self) -> dict[str, list[int]]:
+        out: dict[str, list[int]] = {}
+        for i, node in enumerate(self.plan.gpus):
+            for alloc in node.allocations:
+                out.setdefault(alloc.session_id, []).append(i)
+        return out
+
+    @staticmethod
+    def _count_moves(
+        before: dict[str, list[int]], after: dict[str, list[int]]
+    ) -> int:
+        """Sessions whose GPU-set changed (coarse churn measure)."""
+        moved = 0
+        for sid, gpus in after.items():
+            if before.get(sid) != gpus:
+                moved += 1
+        return moved
+
+    def capacity_rps(self, session_id: str) -> float:
+        return self.plan.capacity_rps(session_id)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.plan.num_gpus

@@ -1,0 +1,168 @@
+"""Prefix batching: batch specialized models through their shared trunk.
+
+Paper section 6.3: transfer learning re-trains only the last layer(s) of a
+model, so "several models may differ only by their output layer.  Batching
+the execution of all but the output layer can yield substantial batching
+gains."  Nexus hashes every sub-tree of an uploaded model's schema against
+the model database; at runtime, models with known common sub-trees are
+loaded partially and batched at prefix granularity, with the different
+suffixes executed sequentially.
+
+This module provides:
+
+- :func:`find_prefix_groups` -- the ingest-time clustering of models into
+  prefix-sharing families;
+- :class:`PrefixGroup` / :class:`PrefixBatchedProfile` -- a family fused
+  into one schedulable pseudo-model whose "batch" is the combined input
+  count across all variants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..models.graph import ModelGraph
+from .profile import BatchingProfile, LinearProfile
+
+__all__ = ["PrefixGroup", "PrefixBatchedProfile", "find_prefix_groups",
+           "group_memory_bytes", "unbatched_memory_bytes"]
+
+
+def find_prefix_groups(
+    models: list[ModelGraph], min_shared_frac: float = 0.5
+) -> list[list[int]]:
+    """Cluster models into prefix-sharing families.
+
+    Two models join the same group when their common prefix carries at
+    least ``min_shared_frac`` of *both* models' FLOPs -- prefix batching a
+    trivially-shared stem would not pay for the bookkeeping.
+
+    Returns index lists into ``models``; singletons are included, so the
+    result is a partition.
+    """
+    if not 0.0 < min_shared_frac <= 1.0:
+        raise ValueError(f"min_shared_frac must be in (0, 1], got {min_shared_frac}")
+    groups: list[list[int]] = []
+    for i, model in enumerate(models):
+        placed = False
+        for group in groups:
+            rep = models[group[0]]
+            shared = rep.common_prefix_len(model)
+            shared_flops = rep.prefix_flops(shared)
+            if (
+                shared_flops >= min_shared_frac * rep.total_flops()
+                and shared_flops >= min_shared_frac * model.total_flops()
+            ):
+                group.append(i)
+                placed = True
+                break
+        if not placed:
+            groups.append([i])
+    return groups
+
+
+@dataclass
+class PrefixGroup:
+    """A family of specialized models fused for prefix-batched execution.
+
+    Attributes:
+        model_ids: names of the member models, in suffix order.
+        prefix_profile: profile of the shared trunk.
+        suffix_profiles: one profile per member's private suffix.
+        prefix_len: number of shared leading graph nodes (for reporting).
+    """
+
+    model_ids: list[str]
+    prefix_profile: BatchingProfile
+    suffix_profiles: list[BatchingProfile]
+    prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.model_ids) != len(self.suffix_profiles):
+            raise ValueError(
+                f"{len(self.model_ids)} models but "
+                f"{len(self.suffix_profiles)} suffix profiles"
+            )
+        if len(self.model_ids) < 2:
+            raise ValueError("a prefix group needs at least two members")
+
+    @property
+    def size(self) -> int:
+        return len(self.model_ids)
+
+    def combined_profile(
+        self, weights: list[float] | None = None, name: str = ""
+    ) -> "PrefixBatchedProfile":
+        """Fuse into a single schedulable profile.
+
+        ``weights`` gives each member's share of the combined batch
+        (normalized internally); default is an even split.
+        """
+        if weights is None:
+            weights = [1.0] * self.size
+        if len(weights) != self.size or any(w < 0 for w in weights):
+            raise ValueError(f"bad weights {weights} for group of {self.size}")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return PrefixBatchedProfile(
+            name=name or "+".join(self.model_ids),
+            prefix=self.prefix_profile,
+            suffixes=list(self.suffix_profiles),
+            weights=[w / total for w in weights],
+        )
+
+
+@dataclass
+class PrefixBatchedProfile(BatchingProfile):
+    """Latency model of a prefix-batched family.
+
+    A combined batch of ``b`` inputs runs the prefix once at batch ``b``,
+    then each suffix ``i`` sequentially on its own sub-batch
+    ``ceil(weights[i] * b)`` (section 6.3: "the different suffix parts are
+    then executed sequentially").
+    """
+
+    name: str = "?"
+    prefix: BatchingProfile = None  # type: ignore[assignment]
+    suffixes: list[BatchingProfile] = field(default_factory=list)
+    weights: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.prefix is None or not self.suffixes:
+            raise ValueError("need a prefix profile and at least one suffix")
+        if len(self.weights) != len(self.suffixes):
+            raise ValueError("weights/suffixes length mismatch")
+        self.max_batch = self.prefix.max_batch
+        self.pre_ms = self.prefix.pre_ms
+        self.post_ms = sum(
+            w * s.post_ms for w, s in zip(self.weights, self.suffixes)
+        )
+        self.cpu_workers = self.prefix.cpu_workers
+        self.memory_model_bytes = self.prefix.memory_model_bytes + sum(
+            s.memory_model_bytes for s in self.suffixes
+        )
+        self.memory_per_input_bytes = self.prefix.memory_per_input_bytes
+
+    def latency(self, batch: int) -> float:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        total = self.prefix.latency(batch)
+        for weight, suffix in zip(self.weights, self.suffixes):
+            sub = math.ceil(weight * batch)
+            if sub >= 1:
+                total += suffix.latency(min(sub, suffix.max_batch))
+        return total
+
+
+def group_memory_bytes(group: PrefixGroup) -> int:
+    """GPU memory for the fused family: one trunk + all suffixes."""
+    return group.prefix_profile.memory_model_bytes + sum(
+        s.memory_model_bytes for s in group.suffix_profiles
+    )
+
+
+def unbatched_memory_bytes(full_profiles: list[BatchingProfile]) -> int:
+    """GPU memory when each variant is loaded whole (no prefix sharing)."""
+    return sum(p.memory_model_bytes for p in full_profiles)

@@ -1,0 +1,343 @@
+"""Complex query scheduling: latency-SLO splits for dataflow queries.
+
+Paper section 4.2 and 6.2.  Applications express groups of dependent DNN
+invocations as a query (e.g. traffic analysis: SSD detection feeding car
+and face recognizers -- Figure 8) with a single whole-query latency SLO.
+The system must split that SLO across stages; the best split depends on
+per-stage batching profiles *and* the fan-out ``gamma`` (average outputs
+per invocation: <1 filters, =1 maps, >1 expands).
+
+The optimization (section 6.2):
+
+    minimize    sum_v  R_v * l_v(b_v) / b_v         (total GPUs)
+    subject to  sum_{u on any root->leaf path} l_u(b_u) <= L
+
+solved by dynamic programming over the (tree-shaped) dataflow graph with
+the time budget discretized into ``L / epsilon`` segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .profile import BatchingProfile
+from .session import Session, SessionLoad
+
+__all__ = ["QueryStage", "Query", "LatencySplit", "plan_query", "evaluate_split",
+           "even_split", "average_throughput"]
+
+
+@dataclass
+class QueryStage:
+    """One model invocation stage in a query dataflow graph.
+
+    Attributes:
+        name: stage label (e.g. ``"ssd"``, ``"face"``).
+        profile: batching profile of the stage's model.
+        gamma: average number of invocations of THIS stage per invocation
+            of its parent (1.0 for the root).  Section 4.2's γ.
+        children: downstream stages fed by this one's outputs.
+        model_id: optional zoo model name, for building sessions.
+    """
+
+    name: str
+    profile: BatchingProfile | None
+    gamma: float = 1.0
+    children: list["QueryStage"] = field(default_factory=list)
+    model_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+        if not self.model_id:
+            self.model_id = self.name
+
+    @property
+    def is_source(self) -> bool:
+        """Structural (cost-free) stage: fans out children in parallel.
+
+        A ``profile=None`` stage consumes no GPU and no latency budget; it
+        exists so queries whose per-frame invocations are *parallel* (e.g.
+        the game app's 6 digit recognizers + 1 icon recognizer) can hang
+        them all off one root.
+        """
+        return self.profile is None
+
+    def add_child(self, stage: "QueryStage") -> "QueryStage":
+        self.children.append(stage)
+        return stage
+
+    def walk(self):
+        """Yield (stage, rate_multiplier) preorder; multiplier is the
+        product of gammas from the root down to the stage inclusive."""
+        stack = [(self, self.gamma)]
+        while stack:
+            stage, mult = stack.pop()
+            yield stage, mult
+            for child in stage.children:
+                stack.append((child, mult * child.gamma))
+
+
+@dataclass
+class Query:
+    """A named query: a root stage plus a whole-query latency SLO."""
+
+    name: str
+    root: QueryStage
+    slo_ms: float
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+
+    def stages(self) -> list[tuple[QueryStage, float]]:
+        """All stages with their rate multipliers, preorder."""
+        return list(self.root.walk())
+
+    def stage_names(self) -> list[str]:
+        return [s.name for s, _ in self.stages()]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf chain of *model* stages (sources free)."""
+
+        def rec(s: QueryStage) -> int:
+            own = 0 if s.is_source else 1
+            return own + max((rec(c) for c in s.children), default=0)
+
+        return max(1, rec(self.root))
+
+
+@dataclass
+class LatencySplit:
+    """Result of query planning: per-stage latency budget and batch."""
+
+    budgets_ms: dict[str, float]
+    batches: dict[str, int]
+    total_gpus: float
+    rate_rps: float
+
+    def sessions(self, query: Query) -> list[SessionLoad]:
+        """Materialize one SessionLoad per stage for the squishy scheduler."""
+        out = []
+        for stage, mult in query.stages():
+            if stage.is_source:
+                continue
+            session = Session(
+                model_id=stage.model_id,
+                slo_ms=self.budgets_ms[stage.name],
+                session_id=f"{query.name}/{stage.name}",
+            )
+            out.append(SessionLoad(session, self.rate_rps * mult, stage.profile))
+        return out
+
+
+def _stage_cost_table(
+    profile: BatchingProfile | None,
+    rate_rps: float,
+    budgets_ms: list[float],
+    worst_case_factor: float,
+) -> tuple[list[float], list[int]]:
+    """For each candidate budget, the stage's GPU cost and chosen batch.
+
+    GPU cost = rate * per-input latency = R * l(b)/b / 1000 (rates are per
+    second, latencies per millisecond).  ``worst_case_factor`` scales the
+    latency the budget must cover: 1.0 follows the paper's DP formulation
+    (budget bounds the batch execution latency); 2.0 applies the section
+    4.1 worst-case rule, for use when the split feeds the real scheduler.
+    """
+    if profile is None:
+        # Source stage: free everywhere; zero budget suffices.
+        return [0.0] * len(budgets_ms), [0] * len(budgets_ms)
+    costs: list[float] = []
+    batches: list[int] = []
+    for budget in budgets_ms:
+        b = profile.max_batch_with_latency(budget / worst_case_factor)
+        if b == 0:
+            costs.append(math.inf)
+            batches.append(0)
+        else:
+            costs.append(rate_rps * profile.latency(b) / b / 1000.0)
+            batches.append(b)
+    return costs, batches
+
+
+def plan_query(
+    query: Query,
+    rate_rps: float,
+    epsilon_ms: float = 5.0,
+    worst_case_factor: float = 1.0,
+    min_stage_frac: float = 0.2,
+    slack_tolerance: float = 0.05,
+) -> LatencySplit:
+    """Find the latency split minimizing total GPUs (section 6.2 DP).
+
+    Args:
+        query: the dataflow query with profiles and gammas attached.
+        rate_rps: offered rate at the query root.
+        epsilon_ms: budget discretization; the DP is quadratic in
+            ``slo / epsilon``.
+        worst_case_factor: see :func:`_stage_cost_table`.
+        min_stage_frac: floor on each model stage's budget, as a fraction
+            of the whole-query SLO.  The pure DP objective happily starves
+            cheap stages down to near-zero budgets (their GPU cost barely
+            changes) -- but a near-zero latency budget is unservable at
+            runtime, where queueing jitter is not free.  Clamped so deep
+            chains stay feasible.
+        slack_tolerance: bounded regret for the per-stage budget choice:
+            each stage takes the smallest budget within this fraction of
+            the optimal subtree cost, leaving slack to its descendants
+            (worst case the plan costs ``(1+tol)^depth`` of optimal).
+
+    Returns:
+        The optimal :class:`LatencySplit`.
+
+    Raises:
+        ValueError: if no split can satisfy the SLO at all.
+    """
+    if rate_rps < 0:
+        raise ValueError(f"rate_rps must be >= 0, got {rate_rps}")
+    steps = max(1, int(round(query.slo_ms / epsilon_ms)))
+    budgets = [i * query.slo_ms / steps for i in range(steps + 1)]
+    floor_frac = min(min_stage_frac, 0.8 / max(1, query.depth()))
+    floor_idx = int(floor_frac * steps)
+
+    # Bottom-up DP: for each stage, f[t] = min GPUs to run the stage and
+    # its whole subtree within budget index t.  ``tables`` captures each
+    # stage's (chosen-k, batch) tables for top-down reconstruction.
+    tables: dict[int, tuple[list[int], list[int]]] = {}
+
+    def solve(stage: QueryStage, mult: float) -> list[float]:
+        stage_rate = rate_rps * mult
+        costs, batch_tab = _stage_cost_table(
+            stage.profile, stage_rate, budgets, worst_case_factor
+        )
+        child_fs = [solve(child, mult * child.gamma) for child in stage.children]
+        k_min = 0 if stage.is_source else floor_idx
+        f = [math.inf] * (steps + 1)
+        choice = [0] * (steps + 1)
+        for t in range(steps + 1):
+            # Below the floor the stage is unservable: f[t] stays infinite
+            # and the parent must leave more budget.
+            totals = [math.inf] * (t + 1)
+            for k in range(k_min, t + 1):
+                c = costs[k]
+                if math.isinf(c):
+                    continue
+                rest = t - k
+                bad = False
+                for child_f in child_fs:
+                    if math.isinf(child_f[rest]):
+                        bad = True
+                        break
+                    c += child_f[rest]
+                if bad:
+                    continue
+                totals[k] = c
+                if c < f[t]:
+                    f[t] = c
+            if math.isinf(f[t]):
+                continue
+            # Bounded-regret tie-break: take the SMALLEST own budget whose
+            # total cost is within `slack_tolerance` of optimal, leaving
+            # the slack downstream -- the runtime converts child budget
+            # into burst absorption, which the cost model cannot see.
+            limit = f[t] * (1.0 + slack_tolerance)
+            for k in range(k_min, t + 1):
+                if totals[k] <= limit:
+                    choice[t] = k
+                    break
+        tables[id(stage)] = (choice, batch_tab)
+        return f
+
+    root_f = solve(query.root, query.root.gamma)
+    if math.isinf(root_f[steps]):
+        raise ValueError(
+            f"query {query.name!r}: no feasible latency split within "
+            f"{query.slo_ms}ms SLO"
+        )
+
+    budgets_out: dict[str, float] = {}
+    batches_out: dict[str, int] = {}
+
+    def reconstruct(stage: QueryStage, t: int) -> None:
+        choice, batch_tab = tables[id(stage)]
+        k = choice[t]
+        if not stage.children and not stage.is_source:
+            # Leaf stages absorb all remaining path slack: ties in the DP
+            # cost table otherwise pin them at the smallest tied budget,
+            # which starves the runtime of latency room for free.
+            k = t
+        budgets_out[stage.name] = budgets[k]
+        batches_out[stage.name] = batch_tab[k]
+        for child in stage.children:
+            reconstruct(child, t - k)
+
+    reconstruct(query.root, steps)
+    return LatencySplit(
+        budgets_ms=budgets_out,
+        batches=batches_out,
+        total_gpus=root_f[steps],
+        rate_rps=rate_rps,
+    )
+
+
+def even_split(query: Query, rate_rps: float,
+               worst_case_factor: float = 1.0) -> LatencySplit:
+    """The baseline of sections 7.2/7.5: split the SLO evenly across the
+    depth of the query, ignoring profiles and gammas."""
+    per_stage = query.slo_ms / query.depth()
+    budgets_out: dict[str, float] = {}
+    batches_out: dict[str, int] = {}
+    total = 0.0
+    for stage, mult in query.stages():
+        if stage.is_source:
+            budgets_out[stage.name] = 0.0
+            batches_out[stage.name] = 0
+            continue
+        budgets_out[stage.name] = per_stage
+        b = stage.profile.max_batch_with_latency(per_stage / worst_case_factor)
+        batches_out[stage.name] = b
+        if b == 0:
+            total = math.inf
+        else:
+            total += rate_rps * mult * stage.profile.latency(b) / b / 1000.0
+    return LatencySplit(budgets_out, batches_out, total, rate_rps)
+
+
+def evaluate_split(
+    profiles: dict[str, BatchingProfile],
+    budgets_ms: dict[str, float],
+    gammas: dict[str, float],
+) -> float:
+    """Section 4.2's *average throughput* for a linear pipeline.
+
+    For a two-stage pipeline X -> Y with per-GPU throughputs T_X, T_Y
+    (each at its own latency budget) and fan-out gamma, balancing GPUs so
+    neither stage bottlenecks (gamma * p * T_X = q * T_Y) gives average
+    throughput ``p * T_X / (p + q) = T_X * T_Y / (T_Y + gamma * T_X)``.
+    Generalized here to a chain by accumulating GPU-cost per unit of root
+    throughput.
+
+    Args:
+        profiles: per-stage profiles keyed by stage name.
+        budgets_ms: per-stage latency budgets (execution-latency bound).
+        gammas: per-stage rate multiplier *relative to the root* (the
+            root's entry is 1.0).
+    """
+    gpu_cost_per_root_rps = 0.0
+    for name, prof in profiles.items():
+        budget = budgets_ms[name]
+        b = prof.max_batch_with_latency(budget)
+        if b == 0:
+            return 0.0
+        per_gpu_tput = prof.throughput(b)
+        gpu_cost_per_root_rps += gammas[name] / per_gpu_tput
+    return 1.0 / gpu_cost_per_root_rps
+
+
+def average_throughput(split: LatencySplit) -> float:
+    """Pipeline throughput per GPU implied by a planned split."""
+    if split.total_gpus <= 0:
+        return 0.0
+    return split.rate_rps / split.total_gpus

@@ -1,0 +1,79 @@
+"""Sessions: the unit of scheduling in Nexus.
+
+Paper section 6.1: "We refer to the requests for a given model and latency
+SLO as a session."  A session aggregates traffic from many users and
+applications that invoke the same model under the same latency constraint;
+the global scheduler allocates GPUs to sessions, not to applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .profile import BatchingProfile
+
+__all__ = ["Session", "SessionLoad"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """A (model, latency SLO) pair -- the key the scheduler packs by.
+
+    Attributes:
+        model_id: name of the model (zoo name or specialized variant).
+        slo_ms: end-to-end latency bound for requests in this session.
+        session_id: unique id; defaults to ``"<model>@<slo>ms"``.  Distinct
+            sessions may serve the same model at different SLOs.
+    """
+
+    model_id: str
+    slo_ms: float
+    session_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if not self.session_id:
+            object.__setattr__(
+                self, "session_id", f"{self.model_id}@{self.slo_ms:g}ms"
+            )
+
+    def __str__(self) -> str:
+        return self.session_id
+
+
+@dataclass
+class SessionLoad:
+    """A session together with its observed request rate and profile.
+
+    This is the scheduler's working record: ``rate_rps`` comes from the
+    runtime's workload statistics (control plane), ``profile`` from the
+    model database.
+    """
+
+    session: Session
+    rate_rps: float
+    profile: BatchingProfile
+
+    def __post_init__(self) -> None:
+        if self.rate_rps < 0:
+            raise ValueError(f"rate_rps must be >= 0, got {self.rate_rps}")
+
+    @property
+    def slo_ms(self) -> float:
+        return self.session.slo_ms
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    def with_rate(self, rate_rps: float) -> "SessionLoad":
+        return SessionLoad(self.session, rate_rps, self.profile)
+
+    def peak_throughput(self) -> float:
+        """Best single-GPU rate for this session (saturate regime)."""
+        return self.profile.peak_throughput_under_slo(self.slo_ms)
+
+    def is_feasible(self) -> bool:
+        """Can even a batch of one meet this session's SLO?"""
+        return self.profile.max_batch_under_slo(self.slo_ms) >= 1

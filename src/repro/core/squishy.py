@@ -1,0 +1,385 @@
+"""Squishy bin packing: the paper's Algorithm 1 (section 6.1).
+
+Bin packing where the "balls" change size with the batch they are squished
+into.  The algorithm has two phases:
+
+1. **ScheduleSaturate** -- for each session, compute the largest batch
+   ``B`` with ``2*l(B) <= SLO`` (a request that just misses a batch waits
+   for the whole next one), hence the session's peak single-GPU throughput
+   ``T = B / l(B)``.  Allocate ``floor(rate / T)`` whole GPUs and emit the
+   remainder as a *residual load*.
+
+2. **ScheduleResidue** -- for each residual load pick the largest batch
+   ``b`` satisfying Equation 2, ``b/r + l(b) <= SLO`` (duty cycle to
+   gather the batch plus its execution), giving duty cycle ``d = b/r`` and
+   occupancy ``l(b)/d``.  Sort residues by occupancy descending and
+   best-fit merge them into existing duty cycles (Figure 7): the merged
+   node adopts the smaller duty cycle, every member's batch shrinks to
+   ``ceil(d * r) <= b`` (which can only improve its worst-case latency),
+   and the merge is accepted only if the members' batch latencies still
+   fit inside the new duty cycle and the GPU's memory.
+
+The only assumptions on profiles are that latency is non-decreasing and
+throughput non-decreasing in batch size -- no linearity required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .session import SessionLoad
+
+__all__ = [
+    "Allocation",
+    "GpuPlan",
+    "SchedulePlan",
+    "schedule_saturate",
+    "schedule_residue",
+    "squishy_bin_packing",
+]
+
+
+@dataclass
+class Allocation:
+    """One session's share of one GPU's duty cycle."""
+
+    load: SessionLoad
+    batch: int
+
+    @property
+    def session_id(self) -> str:
+        return self.load.session_id
+
+    @property
+    def exec_ms(self) -> float:
+        """Batch execution latency for this allocation."""
+        return self.load.profile.latency(self.batch)
+
+    def worst_case_latency(self, duty_cycle_ms: float) -> float:
+        """Section 4.1: duty cycle + own batch execution cost."""
+        return duty_cycle_ms + self.exec_ms
+
+    def gather_wait_ms(self) -> float:
+        """Worst wait of a batch's first request until the batch fills."""
+        if self.load.rate_rps <= 0:
+            return 0.0
+        return (self.batch - 1) / self.load.rate_rps * 1000.0
+
+    def memory_bytes(self) -> int:
+        return self.load.profile.memory_bytes(self.batch)
+
+
+@dataclass
+class GpuPlan:
+    """The schedule for one GPU: sessions executed round-robin in a cycle.
+
+    ``duty_cycle_ms`` is the period over which the GPU cycles through all
+    its allocations.  A saturated GPU (single session at peak batch) uses
+    ``duty_cycle = l(B)`` and back-to-back batches.
+    """
+
+    allocations: list[Allocation]
+    duty_cycle_ms: float
+    saturated: bool = False
+
+    @property
+    def busy_ms(self) -> float:
+        return sum(a.exec_ms for a in self.allocations)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the duty cycle spent executing."""
+        if self.duty_cycle_ms <= 0:
+            return 0.0
+        return self.busy_ms / self.duty_cycle_ms
+
+    def throughput_rps(self, session_id: str) -> float:
+        """Capacity this GPU provides to one session (requests/second)."""
+        total = 0.0
+        for a in self.allocations:
+            if a.session_id == session_id:
+                total += a.batch / self.duty_cycle_ms * 1000.0
+        return total
+
+    def memory_bytes(self) -> int:
+        return sum(a.memory_bytes() for a in self.allocations)
+
+    def session_ids(self) -> list[str]:
+        return [a.session_id for a in self.allocations]
+
+    def validate(self, memory_capacity: int | None = None) -> list[str]:
+        """Return human-readable constraint violations (empty if valid)."""
+        problems = []
+        if self.busy_ms > self.duty_cycle_ms + 1e-9:
+            problems.append(
+                f"busy {self.busy_ms:.2f}ms exceeds duty cycle "
+                f"{self.duty_cycle_ms:.2f}ms"
+            )
+        for a in self.allocations:
+            wc = a.worst_case_latency(self.duty_cycle_ms)
+            if self.saturated:
+                wc = 2 * a.exec_ms
+            elif len(self.allocations) == 1:
+                # A lone residual session dispatches as soon as its batch
+                # fills: its first request waits the gather time, not the
+                # nominal duty cycle.
+                wc = min(wc, a.gather_wait_ms() + a.exec_ms)
+            if wc > a.load.slo_ms + 1e-9:
+                problems.append(
+                    f"{a.session_id}: worst-case {wc:.2f}ms > SLO "
+                    f"{a.load.slo_ms:.2f}ms"
+                )
+        if memory_capacity is not None and self.memory_bytes() > memory_capacity:
+            problems.append(
+                f"memory {self.memory_bytes()} > capacity {memory_capacity}"
+            )
+        return problems
+
+
+@dataclass
+class SchedulePlan:
+    """Full cluster plan: one GpuPlan per allocated GPU."""
+
+    gpus: list[GpuPlan]
+    infeasible: list[SessionLoad] = field(default_factory=list)
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    def capacity_rps(self, session_id: str) -> float:
+        return sum(g.throughput_rps(session_id) for g in self.gpus)
+
+    def validate(self, memory_capacity: int | None = None) -> list[str]:
+        problems = []
+        for i, gpu in enumerate(self.gpus):
+            problems.extend(f"gpu{i}: {p}" for p in gpu.validate(memory_capacity))
+        return problems
+
+
+@dataclass
+class _Residual:
+    """Working record for ScheduleResidue."""
+
+    load: SessionLoad
+    batch: int
+    duty_ms: float
+
+    @property
+    def occupancy(self) -> float:
+        return self.load.profile.latency(self.batch) / self.duty_ms
+
+
+def schedule_saturate(
+    loads: list[SessionLoad],
+) -> tuple[list[GpuPlan], list[SessionLoad], list[SessionLoad]]:
+    """Phase 1: allocate whole GPUs to sessions that can fill them.
+
+    Returns ``(gpu_plans, residual_loads, infeasible_loads)``.  A load is
+    infeasible when even a batch of one misses its SLO on this profile.
+    """
+    plans: list[GpuPlan] = []
+    residuals: list[SessionLoad] = []
+    infeasible: list[SessionLoad] = []
+    for load in loads:
+        if load.rate_rps <= 0:
+            continue
+        peak_batch = load.profile.max_batch_under_slo(load.slo_ms)
+        if peak_batch == 0:
+            # Too tight for back-to-back batching (2*l(1) > SLO), but may
+            # still be servable on-arrival at batch ~1: shard the rate
+            # across enough residual-only nodes.
+            if load.profile.latency(1) > load.slo_ms:
+                infeasible.append(load)
+            else:
+                residuals.extend(_shard_tight_session(load))
+            continue
+        peak_tput = load.profile.throughput(peak_batch)
+        whole_gpus = int(load.rate_rps // peak_tput)
+        for _ in range(whole_gpus):
+            plans.append(
+                GpuPlan(
+                    allocations=[Allocation(load.with_rate(peak_tput), peak_batch)],
+                    duty_cycle_ms=load.profile.latency(peak_batch),
+                    saturated=True,
+                )
+            )
+        residue_rate = load.rate_rps - whole_gpus * peak_tput
+        if residue_rate > 1e-9:
+            residuals.append(load.with_rate(residue_rate))
+    return plans, residuals, infeasible
+
+
+def _shard_tight_session(load: SessionLoad) -> list[SessionLoad]:
+    """Split a too-tight-to-saturate session into residual-sized shards.
+
+    Each shard must fit one GPU's residual capacity (the batch/duty pair
+    of Equation 2 with the duty capped at the SLO slack); the smallest
+    shard count whose per-shard rate fits is used.
+    """
+    for shards in range(1, 10_000):
+        shard = load.with_rate(load.rate_rps / shards)
+        res = _initial_residual(shard)
+        if res is None:
+            continue
+        capacity = res.batch / res.duty_ms * 1000.0
+        if capacity >= shard.rate_rps * (1 - 1e-9):
+            return [shard] * shards
+    return [load]  # give the packer one oversized shard; drops absorb it
+
+
+def _initial_residual(load: SessionLoad) -> _Residual | None:
+    """Largest batch (and duty cycle) satisfying Equation 2 for this load.
+
+    The duty cycle is the gather time ``b / r`` -- but never longer than
+    the session's SLO slack ``L - l(b)``: a low-rate session must still be
+    *visited* often enough that a request arriving right after its slot
+    does not miss the SLO waiting for the next cycle.  (The GPU simply
+    idles through slots whose queue is empty.)
+    """
+    batch = load.profile.max_batch_residual(load.rate_rps, load.slo_ms)
+    if batch == 0:
+        return None
+    while batch >= 1:
+        exec_ms = load.profile.latency(batch)
+        duty_ms = min(batch / load.rate_rps * 1000.0,
+                      load.slo_ms - exec_ms)
+        if duty_ms >= exec_ms:
+            return _Residual(load, batch, duty_ms)
+        batch -= 1
+    # Very tight sessions (SLO - l(1) < l(1)): no cycle grants a
+    # worst-case guarantee, but a mostly-idle solo node serves requests on
+    # arrival within l(1) <= SLO.  Model it as batch-1 slots at a
+    # conservative utilization (the duty is the capacity bound, not a
+    # visit interval); such nodes never merge (duty + l exceeds the SLO).
+    exec_ms = load.profile.latency(1)
+    if exec_ms <= load.slo_ms:
+        duty_ms = exec_ms / _TIGHT_SESSION_UTILIZATION
+        if 1.0 / duty_ms * 1000.0 >= load.rate_rps * (1 - 1e-9):
+            return _Residual(load, 1, duty_ms)
+    return None
+
+
+#: Ceiling on merged-node occupancy.  1.0 is the paper's rule (the worked
+#: example of section 4.1 packs A+B to exactly 100% of the duty cycle);
+#: lower values trade GPUs for burst slack -- the ablation bench sweeps
+#: this.
+MERGE_OCCUPANCY_CAP = 1.0
+
+#: Target utilization for sessions so tight (SLO - l(1) < l(1)) that no
+#: duty cycle guarantees their worst case: they get dedicated batch-1
+#: slots kept mostly idle so queueing rarely pushes waits past the slack.
+_TIGHT_SESSION_UTILIZATION = 0.55
+
+
+def _try_merge(
+    node: GpuPlan, res: _Residual, memory_capacity: int | None,
+    occupancy_cap: float = MERGE_OCCUPANCY_CAP,
+) -> GpuPlan | None:
+    """Figure 7's merge: shrink to the smaller duty cycle, re-derive batches.
+
+    Returns the merged plan, or None if latency/memory constraints fail.
+    Shards of the same session never share a GPU (one queue per session
+    per backend): sharding exists to spread one session across GPUs.
+    """
+    if any(a.session_id == res.load.session_id for a in node.allocations):
+        return None
+    new_duty = min(node.duty_cycle_ms, res.duty_ms)
+    members = [(a.load, a.batch) for a in node.allocations] + [(res.load, res.batch)]
+    new_allocs: list[Allocation] = []
+    busy = 0.0
+    for load, old_batch in members:
+        # ceil(d * r) <= old_batch because d <= old duty = old_batch / r,
+        # so worst-case latency can only improve (section 6.1's argument).
+        new_batch = min(old_batch, math.ceil(new_duty * load.rate_rps / 1000.0))
+        if new_batch < 1:
+            new_batch = 1
+        exec_ms = load.profile.latency(new_batch)
+        if new_duty + exec_ms > load.slo_ms + 1e-9:
+            return None
+        busy += exec_ms
+        new_allocs.append(Allocation(load, new_batch))
+    if busy > occupancy_cap * new_duty + 1e-9:
+        return None
+    merged = GpuPlan(new_allocs, new_duty)
+    if memory_capacity is not None and merged.memory_bytes() > memory_capacity:
+        return None
+    return merged
+
+
+def schedule_residue(
+    residuals: list[SessionLoad],
+    memory_capacity: int | None = None,
+    merge_order: str = "best_fit",
+) -> tuple[list[GpuPlan], list[SessionLoad]]:
+    """Phase 2: pack residual loads into shared duty cycles.
+
+    Args:
+        residuals: loads, each needing less than one GPU.
+        memory_capacity: per-GPU memory bound, or None to ignore memory.
+        merge_order: ``"best_fit"`` (paper: merge into the candidate whose
+            merged occupancy is highest), ``"first_fit"``, or
+            ``"worst_fit"`` -- the alternatives exist for the ablation
+            bench on merge policy.
+
+    Returns ``(gpu_plans, infeasible_loads)``.
+    """
+    if merge_order not in ("best_fit", "first_fit", "worst_fit"):
+        raise ValueError(f"unknown merge_order {merge_order!r}")
+
+    work: list[_Residual] = []
+    infeasible: list[SessionLoad] = []
+    for load in residuals:
+        if load.rate_rps <= 0:
+            continue
+        res = _initial_residual(load)
+        if res is None:
+            infeasible.append(load)
+        else:
+            work.append(res)
+
+    # Best-fit decreasing: consider heaviest residuals first.
+    work.sort(key=lambda r: r.occupancy, reverse=True)
+
+    nodes: list[GpuPlan] = []
+    for res in work:
+        chosen_idx: int | None = None
+        chosen_plan: GpuPlan | None = None
+        for i, node in enumerate(nodes):
+            merged = _try_merge(node, res, memory_capacity)
+            if merged is None:
+                continue
+            if merge_order == "first_fit":
+                chosen_idx, chosen_plan = i, merged
+                break
+            better = (
+                chosen_plan is None
+                or (merge_order == "best_fit" and merged.occupancy > chosen_plan.occupancy)
+                or (merge_order == "worst_fit" and merged.occupancy < chosen_plan.occupancy)
+            )
+            if better:
+                chosen_idx, chosen_plan = i, merged
+        if chosen_plan is not None and chosen_idx is not None:
+            nodes[chosen_idx] = chosen_plan
+        else:
+            nodes.append(
+                GpuPlan([Allocation(res.load, res.batch)], res.duty_ms)
+            )
+    return nodes, infeasible
+
+
+def squishy_bin_packing(
+    loads: list[SessionLoad],
+    memory_capacity: int | None = None,
+    merge_order: str = "best_fit",
+) -> SchedulePlan:
+    """Algorithm 1 end-to-end: saturate, then pack residues."""
+    saturated, residuals, infeasible = schedule_saturate(loads)
+    residual_nodes, more_infeasible = schedule_residue(
+        residuals, memory_capacity=memory_capacity, merge_order=merge_order
+    )
+    return SchedulePlan(
+        gpus=saturated + residual_nodes,
+        infeasible=infeasible + more_infeasible,
+    )

@@ -1,0 +1,107 @@
+"""Shared harness for the per-figure/table experiment modules.
+
+Every experiment module exposes a ``run(...)`` returning an
+:class:`ExperimentResult` whose rows mirror the paper's table or figure
+series, so the benchmarks can both regenerate and sanity-check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.nexus import ClusterConfig, NexusCluster
+from ..core.query import Query
+
+__all__ = ["ExperimentResult", "max_rate_search", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: named columns + rows + notes."""
+
+    name: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def lookup(self, **key) -> list[list]:
+        """Rows matching all given column=value filters."""
+        idxs = {self.columns.index(k): v for k, v in key.items()}
+        return [
+            row for row in self.rows
+            if all(row[i] == v for i, v in idxs.items())
+        ]
+
+    def __str__(self) -> str:
+        return format_table(self.name, self.columns, self.rows, self.notes)
+
+
+def format_table(name: str, columns: list[str], rows: list[list],
+                 notes: str = "") -> str:
+    """Render rows as an aligned text table (what the harness prints)."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [f"== {name} =="]
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if notes:
+        lines.append(f"({notes})")
+    return "\n".join(lines)
+
+
+def max_rate_search(
+    make_cluster,
+    target_good_rate: float = 0.99,
+    lo_rps: float = 5.0,
+    hi_rps: float = 20_000.0,
+    iterations: int = 9,
+    duration_ms: float = 10_000.0,
+    warmup_ms: float = 2_000.0,
+) -> float:
+    """The paper's throughput metric on a cluster deployment.
+
+    ``make_cluster(rate_rps)`` must return a fully-declared
+    :class:`NexusCluster` offered ``rate_rps`` total.  Binary-searches the
+    largest rate whose query good rate stays >= ``target_good_rate``.
+    """
+    warmup_ms = min(warmup_ms, duration_ms / 2)
+
+    def good(rate: float) -> bool:
+        cluster = make_cluster(rate)
+        result = cluster.run(duration_ms, warmup_ms)
+        # An empty measurement window is evidence of nothing: fail it.
+        if result.query_metrics.total == 0:
+            return False
+        return result.good_rate >= target_good_rate
+
+    if not good(lo_rps):
+        return 0.0
+    lo, hi = lo_rps, hi_rps
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if good(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

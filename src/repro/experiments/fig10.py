@@ -1,0 +1,106 @@
+"""Figure 10: game-analysis case study -- baselines + Nexus ablation.
+
+Section 7.3.1: 20 game streams, each frame requiring six digit
+recognitions (per-font LeNet specializations) and one icon recognition
+(last-layer-specialized ResNet-50), latency SLO 50 ms, request rates
+Zipf-0.9 across games, on a 16-GPU cluster.  The metric is the maximal
+query rate with >= 99% served within SLO.
+
+Baseline concession, as in the paper: "we allow the two baselines to
+invoke just the ResNet model" (their LeNet throughput collapses from lack
+of CPU/GPU parallelism), so TF Serving and Clipper serve icon-only
+queries here.
+
+Ablations flip one Nexus feature each: -PB (prefix batching), -SS
+(squishy scheduling -> batch-oblivious), -ED (early drop -> lazy),
+-OL (CPU/GPU overlap).  Paper: Nexus 4120 r/s = 9.4x Clipper, 12.7x TF;
+OL dominates in this tight-SLO/small-model regime (7.4x); -PB 1.7x.
+"""
+
+from __future__ import annotations
+
+from ..baselines import clipper_config, tf_serving_config
+from ..cluster.nexus import ClusterConfig, NexusCluster
+from ..core.query import Query, QueryStage
+from ..models.profiler import profile
+from ..workloads.apps import game_queries
+from ..workloads.arrivals import zipf_rates
+from .common import ExperimentResult, max_rate_search
+
+__all__ = ["run", "make_game_cluster", "GAME_SLO_MS"]
+
+GAME_SLO_MS = 50.0
+NUM_GAMES = 20
+PAPER_RPS = {
+    "tf_serving": 440, "clipper": 325, "nexus": 4120,
+    "-PB": 2413, "-SS": 2489, "-ED": 3628, "-OL": 557,
+}
+
+
+def icon_only_queries(device: str, num_games: int) -> list[Query]:
+    """The baselines' concession: serve only the ResNet icon model."""
+    out = []
+    for i in range(num_games):
+        stage = QueryStage(
+            name="icon",
+            profile=profile(f"resnet50@game{i}_icon:40", device),
+            model_id=f"resnet50@game{i}_icon:40",
+        )
+        out.append(Query(name=f"game{i}", root=stage, slo_ms=GAME_SLO_MS))
+    return out
+
+
+def make_game_cluster(config: ClusterConfig, total_rate: float,
+                      icon_only: bool = False,
+                      num_games: int = NUM_GAMES) -> NexusCluster:
+    cluster = NexusCluster(config)
+    queries = (
+        icon_only_queries(config.device, num_games)
+        if icon_only
+        else game_queries(config.device, num_games, GAME_SLO_MS)
+    )
+    for query, rate in zip(queries, zipf_rates(total_rate, num_games)):
+        cluster.add_query(query, rate_rps=rate)
+    return cluster
+
+
+def _configs(device: str, gpus: int) -> list[tuple[str, ClusterConfig, bool]]:
+    return [
+        ("tf_serving", tf_serving_config(device, gpus), True),
+        ("clipper", clipper_config(device, gpus), True),
+        ("nexus", ClusterConfig(device=device, max_gpus=gpus), False),
+        ("-PB", ClusterConfig(device=device, max_gpus=gpus,
+                              prefix_batching=False), False),
+        ("-SS", ClusterConfig(device=device, max_gpus=gpus,
+                              scheduler="batch_oblivious"), False),
+        ("-ED", ClusterConfig(device=device, max_gpus=gpus,
+                              drop_policy="lazy"), False),
+        ("-OL", ClusterConfig(device=device, max_gpus=gpus,
+                              overlap=False), False),
+    ]
+
+
+def run(device: str = "gtx1080ti", gpus: int = 16,
+        duration_ms: float = 8_000.0, iterations: int = 8,
+        systems: list[str] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 10: game analysis ablation (16 GPUs, SLO 50 ms)",
+        columns=["system", "throughput_rps", "paper_rps"],
+        notes="baselines serve icon-only queries, as in the paper",
+    )
+    for name, config, icon_only in _configs(device, gpus):
+        if systems is not None and name not in systems:
+            continue
+        rate = max_rate_search(
+            lambda r, c=config, io=icon_only: make_game_cluster(c, r, io),
+            duration_ms=duration_ms,
+            warmup_ms=duration_ms / 5,
+            iterations=iterations,
+            hi_rps=40_000.0,
+        )
+        result.add(name, round(rate), PAPER_RPS[name])
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,79 @@
+"""Figure 11: traffic-monitoring case study -- baselines + Nexus ablation.
+
+Section 7.3.2: SSD object detection feeding VGG-Face and GoogleNet-car
+recognizers (Figure 8's dataflow) over 20 streams, latency SLO 400 ms, on
+16 GPUs.  Query analysis (QA) replaces prefix batching in this ablation:
+the published QA split gives SSD 345 ms of the 400 ms budget, worth ~19%
+throughput; -OL matters far less than in the game study (larger models,
+looser SLO).
+
+Paper: TF 297, Clipper 227, Nexus 534; -QA 433, -SS 337, -ED 326, -OL 216.
+"""
+
+from __future__ import annotations
+
+from ..baselines import clipper_config, tf_serving_config
+from ..cluster.nexus import ClusterConfig, NexusCluster
+from ..workloads.apps import traffic_query
+from .common import ExperimentResult, max_rate_search
+
+__all__ = ["run", "make_traffic_cluster", "TRAFFIC_SLO_MS"]
+
+TRAFFIC_SLO_MS = 400.0
+PAPER_RPS = {
+    "tf_serving": 297, "clipper": 227, "nexus": 534,
+    "-QA": 433, "-SS": 337, "-ED": 326, "-OL": 216,
+}
+
+
+def make_traffic_cluster(config: ClusterConfig, rate: float,
+                         gamma_car: float = 1.5,
+                         gamma_face: float = 0.5) -> NexusCluster:
+    cluster = NexusCluster(config)
+    cluster.add_query(
+        traffic_query(config.device, TRAFFIC_SLO_MS,
+                      gamma_car=gamma_car, gamma_face=gamma_face),
+        rate_rps=rate,
+    )
+    return cluster
+
+
+def _configs(device: str, gpus: int) -> list[tuple[str, ClusterConfig]]:
+    return [
+        ("tf_serving", tf_serving_config(device, gpus)),
+        ("clipper", clipper_config(device, gpus)),
+        ("nexus", ClusterConfig(device=device, max_gpus=gpus)),
+        ("-QA", ClusterConfig(device=device, max_gpus=gpus,
+                              query_analysis=False)),
+        ("-SS", ClusterConfig(device=device, max_gpus=gpus,
+                              scheduler="batch_oblivious")),
+        ("-ED", ClusterConfig(device=device, max_gpus=gpus,
+                              drop_policy="lazy")),
+        ("-OL", ClusterConfig(device=device, max_gpus=gpus,
+                              overlap=False)),
+    ]
+
+
+def run(device: str = "gtx1080ti", gpus: int = 16,
+        duration_ms: float = 10_000.0, iterations: int = 8,
+        systems: list[str] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 11: traffic analysis ablation (16 GPUs, SLO 400 ms)",
+        columns=["system", "throughput_rps", "paper_rps"],
+    )
+    for name, config in _configs(device, gpus):
+        if systems is not None and name not in systems:
+            continue
+        rate = max_rate_search(
+            lambda r, c=config: make_traffic_cluster(c, r),
+            duration_ms=duration_ms,
+            warmup_ms=duration_ms / 5,
+            iterations=iterations,
+            hi_rps=8_000.0,
+        )
+        result.add(name, round(rate), PAPER_RPS[name])
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,65 @@
+"""Figure 12: diurnal throughput variation for traffic analysis.
+
+Section 7.3.2: rush-hour footage detects more vehicles per frame, so the
+recognition stages fan out harder (higher gamma) and every system's
+throughput falls; Nexus keeps a significant lead, and QA's relative
+benefit shrinks as subsystems oversubscribe.
+
+Paper (req/s): TF 227 -> 146, Clipper 297 -> 61*, Nexus-QA 433 -> 254,
+Nexus 534 -> 264.  (*the authors could not explain Clipper's rush-hour
+collapse.)
+"""
+
+from __future__ import annotations
+
+from ..baselines import clipper_config, tf_serving_config
+from ..cluster.nexus import ClusterConfig
+from ..workloads.traces import rush_hour_gammas
+from .common import ExperimentResult, max_rate_search
+from .fig11 import make_traffic_cluster
+
+__all__ = ["run"]
+
+PAPER = {
+    ("tf_serving", "non-rush"): 227, ("tf_serving", "rush"): 146,
+    ("clipper", "non-rush"): 297, ("clipper", "rush"): 61,
+    ("nexus-QA", "non-rush"): 433, ("nexus-QA", "rush"): 254,
+    ("nexus", "non-rush"): 534, ("nexus", "rush"): 264,
+}
+
+
+def run(device: str = "gtx1080ti", gpus: int = 16,
+        duration_ms: float = 10_000.0, iterations: int = 8,
+        systems: list[str] | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 12: rush vs non-rush hour traffic throughput",
+        columns=["system", "period", "throughput_rps", "paper_rps"],
+    )
+    configs = [
+        ("tf_serving", tf_serving_config(device, gpus)),
+        ("clipper", clipper_config(device, gpus)),
+        ("nexus-QA", ClusterConfig(device=device, max_gpus=gpus,
+                                   query_analysis=False)),
+        ("nexus", ClusterConfig(device=device, max_gpus=gpus)),
+    ]
+    for name, config in configs:
+        if systems is not None and name not in systems:
+            continue
+        for period in ("non-rush", "rush"):
+            gammas = rush_hour_gammas(period == "rush")
+            rate = max_rate_search(
+                lambda r, c=config, g=gammas: make_traffic_cluster(
+                    c, r, gamma_car=g["gamma_car"],
+                    gamma_face=g["gamma_face"],
+                ),
+                duration_ms=duration_ms,
+                warmup_ms=duration_ms / 5,
+                iterations=iterations,
+                hi_rps=8_000.0,
+            )
+            result.add(name, period, round(rate), PAPER[(name, period)])
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

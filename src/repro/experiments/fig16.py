@@ -1,0 +1,106 @@
+"""Figure 16: squishy scheduling vs batch-oblivious across session mixes.
+
+Section 7.5: 16 sessions scheduled onto 8 GPUs under five scenarios --
+(a) Inception with mixed SLOs 50-200 ms, (b) ResNet with mixed SLOs,
+(c) Inception with Zipf-0.9 mixed rates, (d) ResNet with mixed rates,
+(e) 8 model architectures x {50, 100} ms SLOs.  The figure reports
+throughput of Nexus relative to the batch-oblivious baseline (both on the
+Nexus runtime).  Paper: squishy wins every mix; largest gains (up to 64%)
+on mixed rates, smallest (11%) on mixed models.
+"""
+
+from __future__ import annotations
+
+from ..cluster.nexus import ClusterConfig, NexusCluster
+from ..core.query import Query, QueryStage
+from ..models.profiler import profile
+from ..workloads.arrivals import zipf_rates
+from .common import ExperimentResult, max_rate_search
+
+__all__ = ["run", "SCENARIOS", "make_mix_cluster"]
+
+_MIXED_SLOS = (50.0, 100.0, 150.0, 200.0) * 4
+_EIGHT_MODELS = (
+    "inception_v3", "resnet50", "googlenet", "mobilenet_v1",
+    "vgg16", "inception_v4", "darknet53", "lenet5",
+)
+
+
+def _sessions(scenario: str) -> list[tuple[str, float, float]]:
+    """Return 16 sessions as (model_id, slo_ms, rate_weight)."""
+    if scenario == "mix_slos_inception":
+        return [(f"inception_v3@v{i}:100", _MIXED_SLOS[i], 1.0)
+                for i in range(16)]
+    if scenario == "mix_slos_resnet":
+        return [(f"resnet50@v{i}:100", _MIXED_SLOS[i], 1.0)
+                for i in range(16)]
+    if scenario == "mix_rates_inception":
+        weights = zipf_rates(16.0, 16)
+        return [(f"inception_v3@v{i}:100", 100.0, w)
+                for i, w in enumerate(weights)]
+    if scenario == "mix_rates_resnet":
+        weights = zipf_rates(16.0, 16)
+        return [(f"resnet50@v{i}:100", 100.0, w)
+                for i, w in enumerate(weights)]
+    if scenario == "mix_models_slos":
+        out = []
+        for i, model in enumerate(_EIGHT_MODELS):
+            for slo in (100.0, 200.0):
+                out.append((f"{model}@v{i}:100", slo, 1.0))
+        return out
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+SCENARIOS = (
+    "mix_slos_inception",
+    "mix_slos_resnet",
+    "mix_rates_inception",
+    "mix_rates_resnet",
+    "mix_models_slos",
+)
+
+
+def make_mix_cluster(config: ClusterConfig, total_rate: float,
+                     scenario: str) -> NexusCluster:
+    cluster = NexusCluster(config)
+    sessions = _sessions(scenario)
+    total_w = sum(w for _, _, w in sessions)
+    for i, (model_id, slo, weight) in enumerate(sessions):
+        stage = QueryStage(name="m", profile=profile(model_id, config.device),
+                           model_id=model_id)
+        cluster.add_query(
+            Query(name=f"s{i}", root=stage, slo_ms=slo),
+            rate_rps=total_rate * weight / total_w,
+        )
+    return cluster
+
+
+def run(device: str = "gtx1080ti", gpus: int = 8,
+        duration_ms: float = 8_000.0, iterations: int = 8,
+        scenarios: tuple[str, ...] = SCENARIOS) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 16: squishy vs batch-oblivious scheduling",
+        columns=["scenario", "baseline_rps", "nexus_rps", "relative"],
+        notes="16 sessions on 8 GPUs; prefix batching disabled to isolate "
+              "the scheduler, as in the paper",
+    )
+    for scenario in scenarios:
+        rates = {}
+        for label, scheduler in (("baseline", "batch_oblivious"),
+                                 ("nexus", "squishy")):
+            config = ClusterConfig(
+                device=device, max_gpus=gpus, scheduler=scheduler,
+                prefix_batching=False, query_analysis=False,
+            )
+            rates[label] = max_rate_search(
+                lambda r, c=config, s=scenario: make_mix_cluster(c, r, s),
+                duration_ms=duration_ms, warmup_ms=duration_ms / 5,
+                iterations=iterations, lo_rps=80.0, hi_rps=30_000.0,
+            )
+        result.add(scenario, round(rates["baseline"]), round(rates["nexus"]),
+                   round(rates["nexus"] / max(rates["baseline"], 1e-9), 3))
+    return result
+
+
+if __name__ == "__main__":
+    print(run(scenarios=("mix_rates_inception",)))

@@ -1,0 +1,63 @@
+"""Figure 17: complex query analysis vs even latency splits.
+
+Section 7.5: a two-stage query -- SSD detection feeding Inception
+recognition gamma times per frame -- on 8 GPUs, with the whole-query SLO
+swept over {300, 400, 500} ms and gamma over {0.1, 1, 10}.  The baseline
+splits the SLO evenly across stages; query analysis adapts the split to
+the profiles and gamma.  Paper: QA yields 13-55% higher throughput.
+"""
+
+from __future__ import annotations
+
+from ..cluster.nexus import ClusterConfig, NexusCluster
+from ..core.query import Query, QueryStage
+from ..models.profiler import profile
+from .common import ExperimentResult, max_rate_search
+
+__all__ = ["run", "make_qa_cluster"]
+
+
+def make_qa_cluster(config: ClusterConfig, rate: float,
+                    slo_ms: float, gamma: float) -> NexusCluster:
+    cluster = NexusCluster(config)
+    root = QueryStage("ssd", profile("ssd_vgg", config.device),
+                      model_id="ssd_vgg")
+    root.add_child(
+        QueryStage("inception", profile("inception_v3", config.device),
+                   gamma=gamma, model_id="inception_v3")
+    )
+    cluster.add_query(Query("qa", root, slo_ms), rate_rps=rate)
+    return cluster
+
+
+def run(device: str = "gtx1080ti", gpus: int = 8,
+        duration_ms: float = 10_000.0, iterations: int = 10,
+        slos: tuple[float, ...] = (300.0, 400.0, 500.0),
+        gammas: tuple[float, ...] = (0.1, 1.0, 10.0)) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 17: query analysis vs even split (SSD -> Inception)",
+        columns=["slo_ms", "gamma", "baseline_rps", "nexus_rps", "gain"],
+        notes="paper: QA gives 13-55% higher throughput",
+    )
+    for slo in slos:
+        for gamma in gammas:
+            rates = {}
+            for label, qa in (("baseline", False), ("nexus", True)):
+                config = ClusterConfig(
+                    device=device, max_gpus=gpus, query_analysis=qa,
+                    prefix_batching=False,
+                )
+                rates[label] = max_rate_search(
+                    lambda r, c=config, s=slo, g=gamma:
+                        make_qa_cluster(c, r, s, g),
+                    duration_ms=duration_ms, warmup_ms=duration_ms / 5,
+                    iterations=iterations, hi_rps=2_000.0,
+                )
+            result.add(slo, gamma, round(rates["baseline"]),
+                       round(rates["nexus"]),
+                       round(rates["nexus"] / max(rates["baseline"], 1e-9), 3))
+    return result
+
+
+if __name__ == "__main__":
+    print(run(slos=(400.0,), gammas=(1.0,)))

@@ -1,0 +1,75 @@
+"""Table 2 / Figure 2: the squishy-bin-packing worked example of section 4.1.
+
+Reproduces both regimes:
+
+- *saturate* (Figure 2a): models A/B/C each with enough load for whole
+  GPUs -- batch 16, per-GPU throughputs 160/128/128 req/s;
+- *residual* (Figure 2b): A=64, B=32, C=32 req/s -- A(batch 8) and
+  B(batch 4) share a 125 ms duty cycle, C gets its own GPU.
+"""
+
+from __future__ import annotations
+
+from ..core.profile import TabulatedProfile
+from ..core.session import Session, SessionLoad
+from ..core.squishy import squishy_bin_packing
+from .common import ExperimentResult
+
+__all__ = ["run", "table2_profiles", "residual_loads"]
+
+
+def table2_profiles() -> dict[str, TabulatedProfile]:
+    """The exact batching profiles of Table 2."""
+    return {
+        "A": TabulatedProfile(name="A", points=((4, 50.0), (8, 75.0), (16, 100.0))),
+        "B": TabulatedProfile(name="B", points=((4, 50.0), (8, 90.0), (16, 125.0))),
+        "C": TabulatedProfile(name="C", points=((4, 60.0), (8, 95.0), (16, 125.0))),
+    }
+
+
+SLOS = {"A": 200.0, "B": 250.0, "C": 250.0}
+
+
+def residual_loads() -> list[SessionLoad]:
+    """Section 4.1's residual workload: A=64, B=C=32 req/s."""
+    profiles = table2_profiles()
+    rates = {"A": 64.0, "B": 32.0, "C": 32.0}
+    return [
+        SessionLoad(Session(m, SLOS[m]), rates[m], profiles[m])
+        for m in ("A", "B", "C")
+    ]
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 2: resource allocation example (Table 2 profiles)",
+        columns=["regime", "gpu", "sessions", "batches", "duty_ms",
+                 "occupancy", "throughput_rps"],
+        notes="paper: saturate A/B/C = 160/128/128 r/s at batch 16; "
+              "residual packs A(b=8)+B(b=4) in a 125 ms cycle, C alone",
+    )
+
+    # Saturate regime: peak single-GPU throughputs.
+    profiles = table2_profiles()
+    for m in ("A", "B", "C"):
+        prof = profiles[m]
+        batch = prof.max_batch_under_slo(SLOS[m])
+        result.add("saturate", m, m, batch, round(prof.latency(batch), 1),
+                   1.0, round(prof.throughput(batch), 1))
+
+    # Residual regime: the packing itself.
+    plan = squishy_bin_packing(residual_loads())
+    for i, gpu in enumerate(plan.gpus):
+        names = "+".join(a.session_id.split("@")[0] for a in gpu.allocations)
+        batches = "+".join(str(a.batch) for a in gpu.allocations)
+        tput = sum(
+            gpu.throughput_rps(a.session_id) for a in gpu.allocations
+        )
+        result.add("residual", f"gpu{i}", names, batches,
+                   round(gpu.duty_cycle_ms, 1), round(gpu.occupancy, 2),
+                   round(tput, 1))
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

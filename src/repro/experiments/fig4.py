@@ -1,0 +1,77 @@
+"""Figures 3-4: average throughput of latency-split plans vs fan-out gamma.
+
+Uses Figure 3's exact (latency, throughput) table for models X and Y and
+the section 4.2 balance condition gamma*p*T_X = q*T_Y, reproducing Figure
+4's nine cells.  Also runs the section 6.2 DP on the same profiles to show
+it picks (one of) the best plans for each gamma.
+"""
+
+from __future__ import annotations
+
+from ..core.profile import TabulatedProfile
+from ..core.query import Query, QueryStage, plan_query
+from .common import ExperimentResult
+
+__all__ = ["run", "average_throughput_closed_form", "FIG3"]
+
+#: Figure 3: latency budget (ms) -> per-GPU throughput (req/s).
+FIG3 = {
+    "X": {40.0: 200.0, 50.0: 250.0, 60.0: 300.0},
+    "Y": {40.0: 300.0, 50.0: 400.0, 60.0: 500.0},
+}
+
+#: Figure 4's published cells for side-by-side reporting.
+PAPER = {
+    (40, 60): {0.1: 192.3, 1.0: 142.9, 10.0: 40.0},
+    (50, 50): {0.1: 235.3, 1.0: 153.8, 10.0: 34.5},
+    (60, 40): {0.1: 272.7, 1.0: 150.0, 10.0: 27.3},
+}
+
+
+def average_throughput_closed_form(tx: float, ty: float, gamma: float) -> float:
+    """Section 4.2: with gamma*p*T_X = q*T_Y, average throughput is
+    ``p*T_X / (p+q) = T_X*T_Y / (T_Y + gamma*T_X)``."""
+    return tx * ty / (ty + gamma * tx)
+
+
+def fig3_tabulated() -> tuple[TabulatedProfile, TabulatedProfile]:
+    """Figure 3 as batching profiles (batch = latency * throughput)."""
+    def to_profile(name: str) -> TabulatedProfile:
+        pts = tuple(
+            (round(lat * tput / 1000.0), lat)
+            for lat, tput in sorted(FIG3[name].items())
+        )
+        return TabulatedProfile(name=name, points=pts)
+
+    return to_profile("X"), to_profile("Y")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 4: average throughput of latency split plans vs gamma",
+        columns=["split_x_ms", "split_y_ms", "gamma", "avg_rps", "paper_rps"],
+        notes="closed form from Figure 3's table; DP rows appended",
+    )
+    for (bx, by), cells in PAPER.items():
+        for gamma, paper_val in cells.items():
+            avg = average_throughput_closed_form(
+                FIG3["X"][float(bx)], FIG3["Y"][float(by)], gamma
+            )
+            result.add(bx, by, gamma, round(avg, 1), paper_val)
+
+    # Section 6.2's DP on the same profiles: which split does it pick?
+    x, y = fig3_tabulated()
+    for gamma in (0.1, 1.0, 10.0):
+        root = QueryStage("X", x)
+        root.add_child(QueryStage("Y", y, gamma=gamma))
+        query = Query("xy", root, slo_ms=100.0)
+        split = plan_query(query, rate_rps=1000.0, epsilon_ms=10.0)
+        result.add(
+            round(split.budgets_ms["X"]), round(split.budgets_ms["Y"]),
+            gamma, round(split.rate_rps / split.total_gpus, 1), "DP-chosen"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,69 @@
+"""Appendix A companion: greedy squishy packing vs the exact optimum.
+
+The paper solves the section 6.1 integer program with CPLEX on benchmark
+workloads and reports it intractable (hours for 25 sessions), justifying
+the greedy algorithm.  Our exact solver (DP over subsets) plays CPLEX's
+role at small n: this experiment samples random residual workloads and
+reports the greedy algorithm's optimality gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ilp import exact_min_gpus
+from ..core.profile import LinearProfile
+from ..core.session import Session, SessionLoad
+from ..core.squishy import squishy_bin_packing
+from .common import ExperimentResult
+
+__all__ = ["run", "random_instance"]
+
+
+def random_instance(n: int, rng: np.random.Generator) -> list[SessionLoad]:
+    """A random residual workload of n sessions."""
+    loads = []
+    for i in range(n):
+        alpha = float(rng.uniform(0.2, 2.0))
+        beta = float(rng.uniform(2.0, 30.0))
+        slo = float(rng.uniform(80.0, 400.0))
+        profile = LinearProfile(name=f"m{i}", alpha=alpha, beta=beta,
+                                max_batch=64)
+        # Keep rates residual-sized: below one GPU's peak for this SLO.
+        peak = profile.peak_throughput_under_slo(slo)
+        if peak <= 0:
+            continue
+        rate = float(rng.uniform(0.05, 0.8)) * peak
+        loads.append(SessionLoad(Session(f"m{i}", slo), rate, profile))
+    return loads
+
+
+def run(sizes: tuple[int, ...] = (4, 6, 8, 10), trials: int = 10,
+        seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Greedy squishy packing vs exact optimum (Appendix A companion)",
+        columns=["n_sessions", "trials", "mean_exact", "mean_greedy",
+                 "mean_gap", "worst_gap"],
+        notes="gap = greedy_gpus / exact_gpus",
+    )
+    rng = np.random.default_rng(seed)
+    for n in sizes:
+        gaps, exacts, greedys = [], [], []
+        for _ in range(trials):
+            loads = random_instance(n, rng)
+            if not loads:
+                continue
+            exact = exact_min_gpus(loads).num_gpus
+            greedy = squishy_bin_packing(loads).num_gpus
+            exacts.append(exact)
+            greedys.append(greedy)
+            gaps.append(greedy / max(exact, 1))
+        result.add(n, len(gaps), round(float(np.mean(exacts)), 2),
+                   round(float(np.mean(greedys)), 2),
+                   round(float(np.mean(gaps)), 3),
+                   round(float(np.max(gaps)), 3))
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,53 @@
+"""Report generation: run a set of experiments and emit one document.
+
+``python -m repro.experiments.report`` regenerates the cheap artifacts
+(everything that runs in seconds) into a single markdown report — the
+quick way to sanity-check a fresh checkout or a substrate change without
+the multi-minute cluster searches.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import time
+
+from .common import ExperimentResult
+
+__all__ = ["FAST_EXPERIMENTS", "generate_report"]
+
+#: Experiments cheap enough for an interactive report, with kwargs.
+FAST_EXPERIMENTS: list[tuple[str, dict]] = [
+    ("table1", {}),
+    ("fig2", {}),
+    ("fig4", {}),
+    ("fig5", {"duration_ms": 30_000.0}),
+    ("fig9", {"duration_ms": 15_000.0, "iterations": 7}),
+    ("fig15", {}),
+    ("ilp_gap", {"sizes": (4, 6, 8), "trials": 6}),
+    ("utilization", {"duration_ms": 15_000.0}),
+]
+
+
+def generate_report(
+    experiments: list[tuple[str, dict]] | None = None,
+) -> str:
+    """Run the listed experiments and render a markdown report."""
+    out = io.StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write("Regenerated tables/figures (fast subset; see EXPERIMENTS.md "
+              "for the headline runs and paper-vs-measured analysis).\n")
+    for name, kwargs in experiments or FAST_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.perf_counter()
+        result = module.run(**kwargs)
+        elapsed = time.perf_counter() - t0
+        if isinstance(result, tuple):  # fig13-style (table, extras)
+            result = result[0]
+        assert isinstance(result, ExperimentResult)
+        out.write(f"\n## {name} ({elapsed:.1f}s)\n\n```\n{result}\n```\n")
+    return out.getvalue()
+
+
+if __name__ == "__main__":
+    print(generate_report())

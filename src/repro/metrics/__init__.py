@@ -1,0 +1,7 @@
+"""Metrics: request outcomes, goodput, utilization, Figure-13 timelines."""
+
+from .collector import MetricsCollector, RequestRecord, TimeSeries
+from .render import render_figure13, render_gantt, render_series
+
+__all__ = ["MetricsCollector", "RequestRecord", "TimeSeries",
+           "render_figure13", "render_gantt", "render_series"]

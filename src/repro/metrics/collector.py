@@ -1,0 +1,202 @@
+"""Metrics collection: request outcomes, goodput, utilization, timelines.
+
+Everything the evaluation reports reduces to per-request outcome records:
+the paper's *throughput* is the max offered rate with >= 99% of requests
+served within SLO; the *bad rate* is the complement; Figure 13 plots
+windowed workload / GPU usage / bad-rate series.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["RequestRecord", "MetricsCollector", "TimeSeries"]
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one request (or one whole query)."""
+
+    request_id: int
+    session_id: str
+    arrival_ms: float
+    deadline_ms: float
+    completion_ms: float | None  # None = dropped
+    dropped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.dropped
+            and self.completion_ms is not None
+            and self.completion_ms <= self.deadline_ms
+        )
+
+    @property
+    def latency_ms(self) -> float | None:
+        if self.completion_ms is None:
+            return None
+        return self.completion_ms - self.arrival_ms
+
+
+@dataclass
+class TimeSeries:
+    """Windowed time series: (window start, value) pairs."""
+
+    window_ms: float
+    times_ms: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.times_ms, self.values))
+
+
+class MetricsCollector:
+    """Accumulates request records and derives the paper's metrics."""
+
+    def __init__(self) -> None:
+        self.records: list[RequestRecord] = []
+        self.gpu_busy_ms: dict[int, float] = {}
+        self._gpu_count_samples: list[tuple[float, int]] = []
+
+    # -------------------------------------------------------------- feeding
+
+    def record(self, rec: RequestRecord) -> None:
+        self.records.append(rec)
+
+    def record_gpu_busy(self, gpu_id: int, busy_ms: float) -> None:
+        self.gpu_busy_ms[gpu_id] = self.gpu_busy_ms.get(gpu_id, 0.0) + busy_ms
+
+    def sample_gpu_count(self, time_ms: float, count: int) -> None:
+        self._gpu_count_samples.append((time_ms, count))
+
+    # ------------------------------------------------------------- summary
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def late_count(self) -> int:
+        return sum(
+            1 for r in self.records if not r.dropped and not r.ok
+        )
+
+    @property
+    def good_rate(self) -> float:
+        if not self.records:
+            return 1.0
+        return self.ok_count / self.total
+
+    @property
+    def bad_rate(self) -> float:
+        return 1.0 - self.good_rate
+
+    def goodput_rps(self, span_ms: float | None = None) -> float:
+        if not self.records:
+            return 0.0
+        if span_ms is None:
+            start = min(r.arrival_ms for r in self.records)
+            end = max(
+                r.completion_ms or r.arrival_ms for r in self.records
+            )
+            span_ms = max(end - start, 1e-9)
+        return self.ok_count / span_ms * 1000.0
+
+    def latency_percentile(self, pct: float) -> float:
+        """Latency percentile over served (not dropped) requests."""
+        lats = sorted(
+            r.latency_ms for r in self.records if r.latency_ms is not None
+        )
+        if not lats:
+            return math.nan
+        if not 0 <= pct <= 100:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
+        idx = min(len(lats) - 1, int(math.ceil(pct / 100.0 * len(lats))) - 1)
+        return lats[max(0, idx)]
+
+    def utilization(self, num_gpus: int, span_ms: float) -> float:
+        if num_gpus <= 0 or span_ms <= 0:
+            return 0.0
+        busy = sum(self.gpu_busy_ms.values())
+        return min(1.0, busy / (num_gpus * span_ms))
+
+    # ------------------------------------------------------------ timelines
+
+    def _sorted_by_arrival(self) -> list[RequestRecord]:
+        return sorted(self.records, key=lambda r: r.arrival_ms)
+
+    def workload_series(self, window_ms: float, end_ms: float) -> TimeSeries:
+        """Offered requests/second per window (Figure 13 top panel)."""
+        series = TimeSeries(window_ms)
+        recs = self._sorted_by_arrival()
+        arrivals = [r.arrival_ms for r in recs]
+        t = 0.0
+        while t < end_ms:
+            lo = bisect.bisect_left(arrivals, t)
+            hi = bisect.bisect_left(arrivals, t + window_ms)
+            series.times_ms.append(t)
+            series.values.append((hi - lo) / window_ms * 1000.0)
+            t += window_ms
+        return series
+
+    def bad_rate_series(self, window_ms: float, end_ms: float) -> TimeSeries:
+        """Bad rate per window (Figure 13 bottom panel)."""
+        series = TimeSeries(window_ms)
+        recs = self._sorted_by_arrival()
+        arrivals = [r.arrival_ms for r in recs]
+        t = 0.0
+        while t < end_ms:
+            lo = bisect.bisect_left(arrivals, t)
+            hi = bisect.bisect_left(arrivals, t + window_ms)
+            window = recs[lo:hi]
+            bad = sum(1 for r in window if not r.ok)
+            series.times_ms.append(t)
+            series.values.append(bad / len(window) if window else 0.0)
+            t += window_ms
+        return series
+
+    def gpu_count_series(self, window_ms: float, end_ms: float) -> TimeSeries:
+        """GPUs allocated over time (Figure 13 middle panel)."""
+        series = TimeSeries(window_ms)
+        samples = sorted(self._gpu_count_samples)
+        t = 0.0
+        current = samples[0][1] if samples else 0
+        idx = 0
+        while t < end_ms:
+            while idx < len(samples) and samples[idx][0] <= t:
+                current = samples[idx][1]
+                idx += 1
+            series.times_ms.append(t)
+            series.values.append(float(current))
+            t += window_ms
+        return series
+
+    def per_session_stats(self) -> dict[str, dict[str, float]]:
+        """Per-session totals: count, ok, dropped, bad rate."""
+        out: dict[str, dict[str, float]] = {}
+        for rec in self.records:
+            s = out.setdefault(
+                rec.session_id,
+                {"total": 0, "ok": 0, "dropped": 0, "late": 0},
+            )
+            s["total"] += 1
+            if rec.ok:
+                s["ok"] += 1
+            elif rec.dropped:
+                s["dropped"] += 1
+            else:
+                s["late"] += 1
+        for s in out.values():
+            s["bad_rate"] = 1.0 - (s["ok"] / s["total"] if s["total"] else 1.0)
+        return out

@@ -1,0 +1,22 @@
+"""DNN model substrate: layer algebra, model zoo, devices, analytic profiler."""
+
+from .gpus import DEVICES, DeviceSpec, get_device
+from .graph import GraphBuilder, ModelGraph
+from .profiler import profile, profile_model, prefix_suffix_profiles
+from .specialize import make_variants, specialize
+from .zoo import MODEL_BUILDERS, get_model
+
+__all__ = [
+    "DEVICES",
+    "DeviceSpec",
+    "get_device",
+    "GraphBuilder",
+    "ModelGraph",
+    "profile",
+    "profile_model",
+    "prefix_suffix_profiles",
+    "make_variants",
+    "specialize",
+    "MODEL_BUILDERS",
+    "get_model",
+]

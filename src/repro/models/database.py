@@ -1,0 +1,205 @@
+"""Model database: the management plane's model store (paper section 5).
+
+"Models are stored in a model database and may be accompanied by either a
+sample data set or a batching profile.  Nexus uses the sample dataset, if
+available, to derive a batching profile.  A profiler measures the
+execution latency and memory use for different batch sizes when the
+models are uploaded ... Nexus computes the hash of every sub-tree of the
+model schema and compares it with the existing models in the database to
+identify common sub-trees when a model is uploaded" (sections 5, 6.3).
+
+:class:`ModelDatabase` implements that ingest path:
+
+- uploading a model graph profiles it for every registered device (the
+  analytic profiler standing in for measurement);
+- explicit batching profiles can be supplied instead, e.g. measured
+  tables;
+- on upload, prefix hashes are matched against every resident model and a
+  *prefix index* is maintained, so the scheduler can ask "which models can
+  be batched with this one?" in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.profile import BatchingProfile
+from .gpus import DeviceSpec, get_device
+from .graph import ModelGraph
+from .profiler import prefix_suffix_profiles, profile_model
+from .zoo import get_model
+
+__all__ = ["ModelEntry", "ModelDatabase"]
+
+
+@dataclass
+class ModelEntry:
+    """One ingested model: its graph, per-device profiles, prefix links."""
+
+    model_id: str
+    graph: ModelGraph
+    profiles: dict[str, BatchingProfile] = field(default_factory=dict)
+    #: other model_ids sharing a substantial prefix, with shared length.
+    prefix_peers: dict[str, int] = field(default_factory=dict)
+
+    def profile(self, device_name: str) -> BatchingProfile:
+        try:
+            return self.profiles[device_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.model_id} has no profile for {device_name!r}; "
+                f"profiled devices: {sorted(self.profiles)}"
+            ) from None
+
+
+class ModelDatabase:
+    """The cluster's model store + prefix index.
+
+    Args:
+        devices: device names to profile uploads against.
+        min_shared_frac: fraction of FLOPs two models must share for the
+            prefix index to link them (trivially-shared stems are not
+            worth prefix-batching).
+    """
+
+    def __init__(self, devices: list[str] | None = None,
+                 min_shared_frac: float = 0.5):
+        if not 0.0 < min_shared_frac <= 1.0:
+            raise ValueError(
+                f"min_shared_frac must be in (0, 1], got {min_shared_frac}"
+            )
+        self.devices = [get_device(d) for d in (devices or ["gtx1080ti"])]
+        self.min_shared_frac = min_shared_frac
+        self._entries: dict[str, ModelEntry] = {}
+
+    # --------------------------------------------------------------- ingest
+
+    def ingest(
+        self,
+        model: ModelGraph | str,
+        model_id: str | None = None,
+        profiles: dict[str, BatchingProfile] | None = None,
+    ) -> ModelEntry:
+        """Upload a model: profile it and index its prefixes.
+
+        Args:
+            model: a built graph, or a zoo name (``"resnet50@task:40"``).
+            model_id: store key; defaults to the graph's name.
+            profiles: pre-measured batching profiles per device name; any
+                device not covered gets an analytically derived profile.
+        """
+        if isinstance(model, str):
+            graph = get_model(model)
+            model_id = model_id or model
+        else:
+            graph = model
+            model_id = model_id or graph.name
+        if model_id in self._entries:
+            raise ValueError(f"model {model_id!r} already ingested")
+
+        entry = ModelEntry(model_id=model_id, graph=graph)
+        for device in self.devices:
+            if profiles and device.name in profiles:
+                entry.profiles[device.name] = profiles[device.name]
+            else:
+                entry.profiles[device.name] = profile_model(graph, device)
+
+        # Prefix matching against every resident model (section 6.3).
+        for other_id, other in self._entries.items():
+            shared = graph.common_prefix_len(other.graph)
+            shared_flops = graph.prefix_flops(shared)
+            if (
+                shared_flops >= self.min_shared_frac * graph.total_flops()
+                and shared_flops
+                >= self.min_shared_frac * other.graph.total_flops()
+            ):
+                entry.prefix_peers[other_id] = shared
+                other.prefix_peers[model_id] = shared
+
+        self._entries[model_id] = entry
+        return entry
+
+    def remove(self, model_id: str) -> None:
+        entry = self._entries.pop(model_id, None)
+        if entry is None:
+            raise KeyError(f"unknown model {model_id!r}")
+        for peer_id in entry.prefix_peers:
+            self._entries[peer_id].prefix_peers.pop(model_id, None)
+
+    # --------------------------------------------------------------- lookup
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, model_id: str) -> ModelEntry:
+        try:
+            return self._entries[model_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {model_id!r}; "
+                f"ingested: {sorted(self._entries)}"
+            ) from None
+
+    def model_ids(self) -> list[str]:
+        return sorted(self._entries)
+
+    def profile(self, model_id: str, device_name: str) -> BatchingProfile:
+        return self.get(model_id).profile(device_name)
+
+    # --------------------------------------------------------------- prefix
+
+    def prefix_family(self, model_id: str) -> list[str]:
+        """The maximal mutually-prefix-sharing group containing the model.
+
+        Members must share a prefix with *every* other member (prefix
+        sharing is not transitive across different specializations of
+        different trunks).
+        """
+        entry = self.get(model_id)
+        family = [model_id]
+        for peer_id in sorted(entry.prefix_peers):
+            peer = self._entries[peer_id]
+            if all(m == model_id or m in peer.prefix_peers for m in family):
+                family.append(peer_id)
+        return family
+
+    def prefix_groups(self) -> list[list[str]]:
+        """Partition all resident models into prefix families."""
+        remaining = set(self._entries)
+        groups: list[list[str]] = []
+        for model_id in sorted(self._entries):
+            if model_id not in remaining:
+                continue
+            family = [m for m in self.prefix_family(model_id)
+                      if m in remaining]
+            remaining.difference_update(family)
+            groups.append(family)
+        return groups
+
+    def fused_profiles(
+        self, model_ids: list[str], device_name: str
+    ) -> tuple[BatchingProfile, list[BatchingProfile], int]:
+        """Prefix/suffix profiles for a family, ready for fusion."""
+        graphs = [self.get(m).graph for m in model_ids]
+        device = get_device(device_name)
+        return prefix_suffix_profiles(graphs, device)
+
+    # -------------------------------------------------------------- reports
+
+    def summary(self) -> list[dict]:
+        """One row per model: sizes, profiles, prefix links (for tooling)."""
+        out = []
+        for model_id in self.model_ids():
+            entry = self._entries[model_id]
+            out.append({
+                "model_id": model_id,
+                "layers": entry.graph.num_layers(),
+                "gflops": round(entry.graph.total_flops() / 1e9, 2),
+                "param_mb": round(entry.graph.total_param_bytes() / 1e6, 1),
+                "devices": sorted(entry.profiles),
+                "prefix_peers": len(entry.prefix_peers),
+            })
+        return out

@@ -1,0 +1,194 @@
+"""Device specifications and the dollar-cost model behind Table 1.
+
+The paper's scheduling layer never touches real silicon: it consumes
+*batching profiles* measured per (model, GPU) pair.  We replace the
+measurement step with an analytic device model (see
+:mod:`repro.models.profiler`); this module holds the per-device constants
+that model needs, calibrated so that batch-1 latencies and batching gains
+land near the paper's published numbers (Table 1; section 2.2 "batching
+improves throughput by 4.7-13.3x for batch sizes of 32" on a GTX 1080).
+
+Two latency regimes drive everything:
+
+- ``effective_flops``: sustained FLOP/s for large, well-batched kernels
+  (peak x a utilization factor); sets the marginal per-input cost ``alpha``.
+- ``per_layer_overhead_ms``: fixed per-kernel cost charged once per batch
+  per weighted layer.  Physically this is launch latency plus the
+  low-occupancy tail of small kernels; it is what batching amortizes and is
+  the source of the ``beta`` term in the paper's Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "GTX1080",
+    "GTX1080TI",
+    "K80",
+    "V100",
+    "TPU_V2",
+    "T4",
+    "A100",
+    "CPU_C5",
+    "DEVICES",
+    "get_device",
+    "cost_per_1000_invocations",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device as seen by the analytic profiler.
+
+    Attributes:
+        name: short id used throughout the experiments.
+        peak_flops: advertised peak FLOP/s (marketing number, used only for
+            the Table-1 lower-bound cost computation).
+        effective_flops: sustained FLOP/s achieved by large batched kernels;
+            sets the slope ``alpha`` of the batch-latency line.
+        mem_bandwidth: bytes/s of device memory bandwidth; weight reads are
+            charged once per batch at this rate.
+        mem_capacity: bytes of device memory, the packing constraint for
+            model placement.
+        per_layer_overhead_ms: fixed per-weighted-layer cost per batch (ms).
+        price_per_hour: on-demand cloud price in dollars (Table 1 footnote).
+        is_accelerator: False for CPUs (no batching gain modeled).
+    """
+
+    name: str
+    peak_flops: float
+    effective_flops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    per_layer_overhead_ms: float
+    price_per_hour: float
+    is_accelerator: bool = True
+    #: host-to-device copy bandwidth (PCIe), bytes/s; governs model-load
+    #: latency when the scheduler moves models between GPUs (section 2.2:
+    #: "loading models into memory can cost hundreds of milliseconds to
+    #: seconds").
+    pcie_bandwidth: float = 12e9
+
+    def model_load_ms(self, param_bytes: int) -> float:
+        """Latency to place a model of the given weight size on this GPU,
+        including a fixed framework initialization cost."""
+        return 50.0 + param_bytes / self.pcie_bandwidth * 1000.0
+
+
+#: NVIDIA GTX 1080 -- the device of the paper's section 2.2 batching study.
+GTX1080 = DeviceSpec(
+    name="gtx1080",
+    peak_flops=8.9e12,
+    effective_flops=5.0e12,
+    mem_bandwidth=320e9,
+    mem_capacity=8 * 1024**3,
+    per_layer_overhead_ms=0.07,
+    price_per_hour=0.70,
+)
+
+#: NVIDIA GTX 1080Ti -- the paper's 16-GPU cluster (section 7.4).
+GTX1080TI = DeviceSpec(
+    name="gtx1080ti",
+    peak_flops=11.3e12,
+    effective_flops=6.5e12,
+    mem_bandwidth=484e9,
+    mem_capacity=11 * 1024**3,
+    per_layer_overhead_ms=0.055,
+    price_per_hour=0.90,
+)
+
+#: NVIDIA K80 (one GK210 die) -- the paper's 100-GPU deployment, p2.xlarge.
+K80 = DeviceSpec(
+    name="k80",
+    peak_flops=4.1e12,
+    effective_flops=2.4e12,
+    mem_bandwidth=240e9,
+    mem_capacity=12 * 1024**3,
+    per_layer_overhead_ms=0.10,
+    price_per_hour=0.90,
+)
+
+#: NVIDIA V100 -- Table 1's GPU column (p3.2xlarge), 125 TFLOPS tensor peak.
+V100 = DeviceSpec(
+    name="v100",
+    peak_flops=125e12,
+    effective_flops=15.0e12,
+    mem_bandwidth=900e9,
+    mem_capacity=16 * 1024**3,
+    per_layer_overhead_ms=0.02,
+    price_per_hour=3.06,
+)
+
+#: Google Cloud TPU v2 -- Table 1's TPU column (180 TFLOPS peak).
+TPU_V2 = DeviceSpec(
+    name="tpu_v2",
+    peak_flops=180e12,
+    effective_flops=22.0e12,
+    mem_bandwidth=600e9,
+    mem_capacity=8 * 1024**3,
+    per_layer_overhead_ms=0.02,
+    price_per_hour=4.50,
+)
+
+#: NVIDIA T4 -- the common post-paper inference GPU (g4dn.xlarge).
+T4 = DeviceSpec(
+    name="t4",
+    peak_flops=65e12,
+    effective_flops=7.5e12,
+    mem_bandwidth=320e9,
+    mem_capacity=16 * 1024**3,
+    per_layer_overhead_ms=0.05,
+    price_per_hour=0.526,
+)
+
+#: NVIDIA A100 40GB -- a modern datacenter reference point (p4d share).
+A100 = DeviceSpec(
+    name="a100",
+    peak_flops=312e12,
+    effective_flops=40.0e12,
+    mem_bandwidth=1555e9,
+    mem_capacity=40 * 1024**3,
+    per_layer_overhead_ms=0.015,
+    price_per_hour=4.10,
+)
+
+#: AWS c5.large CPU (AVX-512) -- Table 1's CPU column, 0.1 TFLOPS peak.
+CPU_C5 = DeviceSpec(
+    name="cpu_c5",
+    peak_flops=0.1e12,
+    effective_flops=0.008e12,
+    mem_bandwidth=20e9,
+    mem_capacity=4 * 1024**3,
+    per_layer_overhead_ms=0.05,
+    price_per_hour=0.085,
+    is_accelerator=False,
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    d.name: d
+    for d in (GTX1080, GTX1080TI, K80, V100, TPU_V2, T4, A100, CPU_C5)
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device spec by name, with a helpful error."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        ) from None
+
+
+def cost_per_1000_invocations(model_flops: float, device: DeviceSpec) -> float:
+    """Table 1's lower-bound dollar cost for 1000 invocations.
+
+    The paper "lower-bounds the cost of executing a model by assuming that
+    models can be executed at peak speed on each platform": cost is simply
+    1000 x (seconds per invocation at peak) x (price per second).
+    """
+    seconds_per_invocation = model_flops / device.peak_flops
+    price_per_second = device.price_per_hour / 3600.0
+    return 1000.0 * seconds_per_invocation * price_per_second

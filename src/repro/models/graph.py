@@ -1,0 +1,219 @@
+"""Model graphs: DAGs of layers with shape inference and prefix hashing.
+
+A :class:`ModelGraph` is what Nexus's model database stores for each
+uploaded model (paper section 5, "management plane").  Two facilities
+matter downstream:
+
+- cost accounting (:meth:`ModelGraph.total_flops`,
+  :meth:`ModelGraph.total_param_bytes`), consumed by the analytic profiler;
+- *prefix hashes* (:meth:`ModelGraph.prefix_hashes`), consumed by the
+  prefix-batching machinery of section 6.3: "Nexus computes the hash of
+  every sub-tree of the model schema and compares it with the existing
+  models in the database to identify common sub-trees".
+
+The graph is built linearly with optional branches (sufficient for every
+model in the zoo); nodes are topologically ordered by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .layers import Concat, Add, Input, Layer, Shape
+
+__all__ = ["Node", "ModelGraph", "GraphBuilder"]
+
+
+@dataclass
+class Node:
+    """One layer instance wired into a graph."""
+
+    index: int
+    layer: Layer
+    preds: tuple[int, ...]
+    out_shape: Shape
+    flops: int
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+
+class ModelGraph:
+    """An immutable DAG of layers with resolved shapes and costs.
+
+    Build via :class:`GraphBuilder` (or the zoo helpers); direct
+    construction takes a fully-resolved node list.
+    """
+
+    def __init__(self, name: str, nodes: list[Node]):
+        if not nodes:
+            raise ValueError("empty model graph")
+        if not isinstance(nodes[0].layer, Input):
+            raise ValueError("first node must be an Input layer")
+        self.name = name
+        self.nodes = nodes
+        self._prefix_hashes: list[str] | None = None
+
+    # ------------------------------------------------------------------ cost
+
+    def total_flops(self) -> int:
+        """FLOPs to run one input through the whole model."""
+        return sum(n.flops for n in self.nodes)
+
+    def total_param_count(self) -> int:
+        return sum(n.layer.param_count() for n in self.nodes)
+
+    def total_param_bytes(self) -> int:
+        return sum(n.layer.param_bytes() for n in self.nodes)
+
+    def peak_activation_bytes(self) -> int:
+        """Upper bound on live activation bytes for one input.
+
+        We use the sum of the two largest consecutive activations, a
+        standard approximation for feed-forward inference memory.
+        """
+        sizes = sorted(
+            (n.layer.activation_bytes(self._in_shape(n)) for n in self.nodes),
+            reverse=True,
+        )
+        return sizes[0] + (sizes[1] if len(sizes) > 1 else 0)
+
+    def num_layers(self) -> int:
+        return len(self.nodes)
+
+    def num_weighted_layers(self) -> int:
+        """Layers carrying parameters -- proxy for kernel-launch count."""
+        return sum(1 for n in self.nodes if n.layer.param_count() > 0)
+
+    @property
+    def input_shape(self) -> Shape:
+        return self.nodes[0].out_shape
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.nodes[-1].out_shape
+
+    def _in_shape(self, node: Node) -> Shape:
+        if not node.preds:
+            return node.out_shape
+        return self.nodes[node.preds[0]].out_shape
+
+    # ---------------------------------------------------------------- prefix
+
+    def prefix_hashes(self) -> list[str]:
+        """Rolling structural hash after each node, in topological order.
+
+        ``prefix_hashes()[i]`` identifies the sub-graph consisting of nodes
+        ``0..i`` inclusive, including wiring.  Two models whose hashes agree
+        at position ``i`` are guaranteed (up to hash collision) to share
+        that prefix and can be prefix-batched through it.
+        """
+        if self._prefix_hashes is None:
+            hashes: list[str] = []
+            h = hashlib.sha256()
+            for node in self.nodes:
+                h.update(repr(node.layer.structural_key()).encode())
+                h.update(repr(node.preds).encode())
+                hashes.append(h.hexdigest())
+            self._prefix_hashes = hashes
+        return self._prefix_hashes
+
+    def common_prefix_len(self, other: "ModelGraph") -> int:
+        """Number of leading nodes shared (structurally) with ``other``."""
+        mine, theirs = self.prefix_hashes(), other.prefix_hashes()
+        n = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            n += 1
+        return n
+
+    def prefix_flops(self, length: int) -> int:
+        """FLOPs of the first ``length`` nodes."""
+        return sum(n.flops for n in self.nodes[:length])
+
+    def suffix_flops(self, length: int) -> int:
+        """FLOPs of everything after the first ``length`` nodes."""
+        return sum(n.flops for n in self.nodes[length:])
+
+    def prefix_param_bytes(self, length: int) -> int:
+        return sum(n.layer.param_bytes() for n in self.nodes[:length])
+
+    def suffix_param_bytes(self, length: int) -> int:
+        return sum(n.layer.param_bytes() for n in self.nodes[length:])
+
+    def suffix_weighted_layers(self, length: int) -> int:
+        return sum(1 for n in self.nodes[length:] if n.layer.param_count() > 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelGraph({self.name!r}, layers={self.num_layers()}, "
+            f"flops={self.total_flops() / 1e9:.2f}G, "
+            f"params={self.total_param_bytes() / 1e6:.1f}MB)"
+        )
+
+
+class GraphBuilder:
+    """Incremental builder used by the model zoo.
+
+    Supports a linear spine with fork/join for Inception-style branches and
+    ResNet residual blocks::
+
+        b = GraphBuilder("toy", input_shape=(3, 32, 32))
+        b.add(Conv2d("c1", out_channels=8, kernel=3, padding=1))
+        fork = b.fork()
+        a = b.add(Conv2d("b1", out_channels=8, kernel=1), from_node=fork)
+        c = b.add(Conv2d("b2", out_channels=8, kernel=1), from_node=fork)
+        b.join(Concat("cat"), [a, c])
+        model = b.build()
+    """
+
+    def __init__(self, name: str, input_shape: Shape = (3, 224, 224)):
+        self.name = name
+        self._nodes: list[Node] = []
+        inp = Input("input", shape=input_shape)
+        self._nodes.append(Node(0, inp, (), input_shape, 0))
+        self._head = 0
+
+    @property
+    def head(self) -> int:
+        """Index of the node new layers attach to by default."""
+        return self._head
+
+    def fork(self) -> int:
+        """Mark the current head as a branch point and return its index."""
+        return self._head
+
+    def add(self, layer: Layer, from_node: int | None = None) -> int:
+        """Append ``layer`` after ``from_node`` (default: current head)."""
+        pred = self._head if from_node is None else from_node
+        in_shape = self._nodes[pred].out_shape
+        bound = layer.bound(in_shape) if hasattr(layer, "bound") else layer
+        out_shape = bound.out_shape(in_shape)
+        flops = bound.flops(in_shape)
+        node = Node(len(self._nodes), bound, (pred,), out_shape, flops)
+        self._nodes.append(node)
+        self._head = node.index
+        return node.index
+
+    def add_chain(self, layers: list[Layer], from_node: int | None = None) -> int:
+        """Append a list of layers sequentially; returns last index."""
+        idx = self._head if from_node is None else from_node
+        for layer in layers:
+            idx = self.add(layer, from_node=idx)
+        return idx
+
+    def join(self, layer: Concat | Add, branch_heads: list[int]) -> int:
+        """Merge parallel branches with a Concat or Add node."""
+        shapes = [self._nodes[i].out_shape for i in branch_heads]
+        out_shape = layer.out_shapes(shapes)
+        flops = layer.flops(out_shape)
+        node = Node(len(self._nodes), layer, tuple(branch_heads), out_shape, flops)
+        self._nodes.append(node)
+        self._head = node.index
+        return node.index
+
+    def build(self) -> ModelGraph:
+        return ModelGraph(self.name, self._nodes)

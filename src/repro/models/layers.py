@@ -1,0 +1,385 @@
+"""Layer algebra for the DNN model substrate.
+
+Nexus never executes real kernels: every scheduling decision it makes
+consumes only (a) a model's *cost* -- FLOPs, parameter bytes, activation
+bytes -- and (b) its *structure*, used to detect shared prefixes between
+specialized models (paper section 6.3).  This module provides the layer
+types from which :mod:`repro.models.zoo` assembles those structures, with
+analytically-correct FLOP and parameter counts.
+
+Conventions
+-----------
+- Spatial tensors are ``(channels, height, width)``; vectors are ``(n,)``.
+- A multiply-accumulate counts as 2 FLOPs, the usual convention used by
+  papers reporting e.g. "ResNet-50 = 4.1 GFLOPs per image".
+- Parameter and activation sizes are in **bytes**, assuming fp32 (4 bytes)
+  unless a layer overrides :attr:`Layer.dtype_bytes`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Shape",
+    "Layer",
+    "Input",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Dense",
+    "Pool2d",
+    "GlobalPool",
+    "BatchNorm",
+    "Activation",
+    "Flatten",
+    "Concat",
+    "Add",
+    "Softmax",
+    "DetectionHead",
+]
+
+
+Shape = tuple[int, ...]
+
+
+def _volume(shape: Shape) -> int:
+    """Number of scalar elements in a tensor of the given shape."""
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def _conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> tuple[int, int]:
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv reduces {h}x{w} to non-positive output "
+            f"(kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out_h, out_w
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`out_shape`, :meth:`flops` and
+    :meth:`param_count` against a concrete input shape.  Layers are frozen
+    dataclasses so they hash structurally, which the prefix detector relies
+    on: two specialized models share a prefix iff the layer objects (and
+    wiring) along that prefix compare equal.
+    """
+
+    name: str
+
+    #: bytes per scalar; fp32 by default.
+    dtype_bytes: int = field(default=4, kw_only=True)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def flops(self, in_shape: Shape) -> int:
+        """FLOPs to process ONE input through this layer."""
+        raise NotImplementedError
+
+    def param_count(self) -> int:
+        """Number of learned scalars held by this layer."""
+        return 0
+
+    def param_bytes(self) -> int:
+        return self.param_count() * self.dtype_bytes
+
+    def activation_bytes(self, in_shape: Shape) -> int:
+        """Bytes of output activation produced for one input."""
+        return _volume(self.out_shape(in_shape)) * self.dtype_bytes
+
+    def structural_key(self) -> tuple:
+        """Hashable identity used for prefix matching.
+
+        Excludes :attr:`name` so that e.g. ``conv1`` in two separately
+        constructed ResNet-50 instances still matches.
+        """
+        fields = []
+        for f in dataclasses.fields(self):
+            if f.name == "name":
+                continue
+            fields.append((f.name, getattr(self, f.name)))
+        return (type(self).__name__, tuple(fields))
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """Source pseudo-layer fixing the model's input shape."""
+
+    shape: Shape = (3, 224, 224)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return self.shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """Standard 2-D convolution over (C, H, W) tensors."""
+
+    out_channels: int = 64
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    bias: bool = True
+    # filled in when bound to a graph; stored so param_count needs no shape
+    in_channels: int = 0
+
+    def bound(self, in_shape: Shape) -> "Conv2d":
+        """Return a copy with :attr:`in_channels` resolved from the input."""
+        return dataclasses.replace(self, in_channels=in_shape[0])
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        macs = self.kernel * self.kernel * c * self.out_channels * out_h * out_w
+        return 2 * macs
+
+    def param_count(self) -> int:
+        weights = self.kernel * self.kernel * self.in_channels * self.out_channels
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Layer):
+    """Depthwise (per-channel) convolution, as used by MobileNet."""
+
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+    in_channels: int = 0
+
+    def bound(self, in_shape: Shape) -> "DepthwiseConv2d":
+        return dataclasses.replace(self, in_channels=in_shape[0])
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        return (c, out_h, out_w)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        macs = self.kernel * self.kernel * c * out_h * out_w
+        return 2 * macs
+
+    def param_count(self) -> int:
+        return self.kernel * self.kernel * self.in_channels
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer on flattened input."""
+
+    out_features: int = 1000
+    bias: bool = True
+    in_features: int = 0
+
+    def bound(self, in_shape: Shape) -> "Dense":
+        return dataclasses.replace(self, in_features=_volume(in_shape))
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (self.out_features,)
+
+    def flops(self, in_shape: Shape) -> int:
+        return 2 * _volume(in_shape) * self.out_features
+
+    def param_count(self) -> int:
+        return self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+
+@dataclass(frozen=True)
+class Pool2d(Layer):
+    """Max/avg pooling; parameter-free, cheap."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    mode: str = "max"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        return (c, out_h, out_w)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        out_h, out_w = _conv_out_hw(h, w, self.kernel, self.stride, self.padding)
+        return self.kernel * self.kernel * c * out_h * out_w
+
+
+@dataclass(frozen=True)
+class GlobalPool(Layer):
+    """Global average pooling to a (C,) vector."""
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (in_shape[0],)
+
+    def flops(self, in_shape: Shape) -> int:
+        return _volume(in_shape)
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    """Batch normalization; 2 FLOPs/element at inference, 2C params."""
+
+    channels: int = 0
+
+    def bound(self, in_shape: Shape) -> "BatchNorm":
+        return dataclasses.replace(self, channels=in_shape[0])
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 2 * _volume(in_shape)
+
+    def param_count(self) -> int:
+        return 2 * self.channels
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Pointwise nonlinearity (relu/sigmoid/leaky...)."""
+
+    kind: str = "relu"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return _volume(in_shape)
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (_volume(in_shape),)
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation of parallel branches (Inception)."""
+
+    def out_shapes(self, in_shapes: list[Shape]) -> Shape:
+        if not in_shapes:
+            raise ValueError("Concat needs at least one input")
+        if len({s[1:] for s in in_shapes}) != 1:
+            raise ValueError(f"Concat spatial dims mismatch: {in_shapes}")
+        return (sum(s[0] for s in in_shapes),) + in_shapes[0][1:]
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Elementwise residual addition (ResNet shortcut joins)."""
+
+    def out_shapes(self, in_shapes: list[Shape]) -> Shape:
+        if len(set(in_shapes)) != 1:
+            raise ValueError(f"Add shape mismatch: {in_shapes}")
+        return in_shapes[0]
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        return _volume(in_shape)
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def flops(self, in_shape: Shape) -> int:
+        # exp + sum + divide
+        return 3 * _volume(in_shape)
+
+
+@dataclass(frozen=True)
+class DetectionHead(Layer):
+    """Multi-box detection head (SSD): per-anchor class+box regression.
+
+    Modeled as a bank of 3x3 convs over the feature map producing
+    ``anchors * (classes + 4)`` outputs per location.
+    """
+
+    anchors: int = 6
+    classes: int = 21
+    in_channels: int = 0
+
+    def bound(self, in_shape: Shape) -> "DetectionHead":
+        return dataclasses.replace(self, in_channels=in_shape[0])
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        return (self.anchors * (self.classes + 4), h, w)
+
+    def flops(self, in_shape: Shape) -> int:
+        c, h, w = in_shape
+        out_c = self.anchors * (self.classes + 4)
+        return 2 * 9 * c * out_c * h * w
+
+    def param_count(self) -> int:
+        out_c = self.anchors * (self.classes + 4)
+        return 9 * self.in_channels * out_c + out_c
+
+
+def gigaflops(flops: int) -> float:
+    """Convenience: FLOPs -> GFLOPs."""
+    return flops / 1e9
+
+
+def mib(nbytes: int) -> float:
+    """Convenience: bytes -> MiB."""
+    return nbytes / (1024 * 1024)
+
+
+def human_size(nbytes: int) -> str:
+    """Render a byte count as a short human string (for reports)."""
+    if nbytes < 1024:
+        return f"{nbytes} B"
+    units = ["KiB", "MiB", "GiB", "TiB"]
+    value = float(nbytes)
+    for unit in units:
+        value /= 1024.0
+        if value < 1024.0:
+            return f"{value:.1f} {unit}"
+    return f"{value:.1f} PiB"
+
+
+def human_flops(flops: float) -> str:
+    """Render a FLOP count as a short human string (for reports)."""
+    if flops < 1e6:
+        return f"{flops / 1e3:.1f} KFLOPs"
+    if flops < 1e9:
+        return f"{flops / 1e6:.1f} MFLOPs"
+    if flops < 1e12:
+        return f"{flops / 1e9:.2f} GFLOPs"
+    return f"{flops / 1e12:.2f} TFLOPs"

@@ -1,0 +1,202 @@
+"""Analytic profiler: (model graph, device) -> batching profile.
+
+The real Nexus management plane runs each uploaded model on the target GPU
+at every batch size and records the latency curve (paper section 5,
+"a profiler measures the execution latency and memory use for different
+batch sizes").  We have no GPUs, so we *derive* the curve from first
+principles -- the substitution documented in DESIGN.md section 2:
+
+- the slope ``alpha`` is compute-bound: model FLOPs divided by the
+  device's sustained FLOP/s for batched kernels;
+- the intercept ``beta`` is the once-per-batch cost: a per-weighted-layer
+  kernel overhead (launch latency + low-occupancy warm-up, the quantity
+  that batching amortizes) plus one pass of the weights through device
+  memory.
+
+The resulting curves land near the paper's published anchors (Table 1
+batch-1 latencies; the 4.7-13.3x batch-32 gains of section 2.2), which
+:mod:`tests.test_profiler_calibration` checks.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..core.profile import LinearProfile
+from .gpus import DeviceSpec, get_device
+from .graph import ModelGraph
+from .zoo import get_model
+
+__all__ = ["profile_model", "profile", "prefix_suffix_profiles", "cpu_latency_ms"]
+
+
+#: CPU worker pool assumed per GPU; section 6.3: "it usually takes 4 to 5
+#: CPU cores to saturate GPU throughput".  Raw per-input CPU costs are
+#: divided by this before entering the profile.
+CPU_WORKERS_PER_GPU = 5
+
+#: Raw single-core pre-processing ms per input, by input area.  Decoding a
+#: frame region and resizing it scales with pixels; the constant is pinned
+#: to the paper's game case study ("relatively high preprocessing times,
+#: roughly 10ms" for 224x224 crops from stream frames).
+_PRE_MS_PER_MEGAPIXEL = 60.0
+_PRE_MS_BASE = 1.5
+
+#: Raw single-core post-processing ms per input (argmax / NMS / packaging).
+_POST_MS_BASE = 0.4
+
+#: Fraction of one input's compute charged per batch as pipeline fill
+#: (see ``profile_model``).  Calibrated so SSD-class detectors show the
+#: batching gains the paper measures while small models stay
+#: launch-dominated.
+_PIPELINE_FILL_FRAC = 0.5
+
+
+def _pre_ms(model: ModelGraph) -> float:
+    """RAW single-core per-input CPU pre-processing cost."""
+    c, *rest = model.input_shape
+    pixels = 1
+    for d in rest:
+        pixels *= d
+    return _PRE_MS_BASE + _PRE_MS_PER_MEGAPIXEL * pixels / 1e6
+
+
+def _post_ms(model: ModelGraph) -> float:
+    raw = _POST_MS_BASE
+    if "ssd" in model.name or "darknet" in model.name:
+        raw += 2.0  # NMS over anchor boxes
+    return raw
+
+
+def profile_model(model: ModelGraph, device: DeviceSpec) -> LinearProfile:
+    """Derive the Equation-1 batching profile of ``model`` on ``device``.
+
+    Also computes the memory terms used by the packing constraint: weights
+    are resident per model; activations scale with batch size.
+    """
+    flops = model.total_flops()
+    alpha = flops / device.effective_flops * 1000.0  # ms per input
+
+    launch = model.num_weighted_layers() * device.per_layer_overhead_ms
+    weight_read = model.total_param_bytes() / device.mem_bandwidth * 1000.0
+    # Pipeline fill: the first input of a batch pays layer-to-layer
+    # dependencies at partial device occupancy; later inputs stream
+    # through.  Charged once per batch as a fraction of one input's
+    # compute -- negligible for launch-dominated models, but it is what
+    # gives compute-heavy detectors (SSD) their measured batching gains.
+    pipeline_fill = _PIPELINE_FILL_FRAC * alpha
+    beta = launch + weight_read + pipeline_fill
+
+    if not device.is_accelerator:
+        # CPUs gain nothing from batching: fold the amortizable cost into
+        # the per-input slope so latency is ~linear from batch 1.
+        alpha += beta
+        beta = launch * 0.1
+
+    act_bytes = model.peak_activation_bytes()
+    max_batch = _max_batch_for_memory(model, device, act_bytes)
+
+    return LinearProfile(
+        name=f"{model.name}:{device.name}",
+        alpha=alpha,
+        beta=beta,
+        max_batch=max_batch,
+        pre_ms=_pre_ms(model),
+        post_ms=_post_ms(model),
+        cpu_workers=CPU_WORKERS_PER_GPU,
+        memory_model_bytes=model.total_param_bytes(),
+        memory_per_input_bytes=act_bytes,
+    )
+
+
+def _max_batch_for_memory(model: ModelGraph, device: DeviceSpec,
+                          act_bytes: int) -> int:
+    """Largest batch whose activations fit beside the weights in memory.
+
+    Leaves half the device for other co-located models and framework
+    overhead, then caps at the framework default of 256.
+    """
+    budget = device.mem_capacity / 2 - model.total_param_bytes()
+    if budget <= act_bytes:
+        return 1
+    return max(1, min(256, int(budget // act_bytes)))
+
+
+@functools.lru_cache(maxsize=None)
+def profile(model_name: str, device_name: str = "gtx1080ti") -> LinearProfile:
+    """Cached convenience: profile a zoo model by name on a device by name."""
+    return profile_model(get_model(model_name), get_device(device_name))
+
+
+def prefix_suffix_profiles(
+    models: list[ModelGraph], device: DeviceSpec
+) -> tuple[LinearProfile, list[LinearProfile], int]:
+    """Split a family of specialized models into prefix + suffix profiles.
+
+    Used by prefix batching (section 6.3): the shared prefix executes as
+    one batched model; each suffix executes sequentially on its own
+    sub-batch.  Returns ``(prefix_profile, suffix_profiles, prefix_len)``
+    where ``prefix_len`` is the number of shared leading graph nodes.
+
+    Raises ValueError if the models share no prefix beyond the input node.
+    """
+    if len(models) < 2:
+        raise ValueError("need at least two models to prefix-batch")
+    prefix_len = models[0].common_prefix_len(models[1])
+    for m in models[2:]:
+        prefix_len = min(prefix_len, models[0].common_prefix_len(m))
+    if prefix_len <= 1:
+        raise ValueError(
+            "models share no common prefix beyond the input node: "
+            + ", ".join(m.name for m in models)
+        )
+
+    base = models[0]
+    prefix_flops = base.prefix_flops(prefix_len)
+    prefix_params = base.prefix_param_bytes(prefix_len)
+    prefix_layers = sum(
+        1 for n in base.nodes[:prefix_len] if n.layer.param_count() > 0
+    )
+    prefix_alpha = prefix_flops / device.effective_flops * 1000.0
+    prefix_profile = LinearProfile(
+        name=f"{base.name}[:{prefix_len}]:{device.name}",
+        alpha=prefix_alpha,
+        beta=(prefix_layers * device.per_layer_overhead_ms
+              + prefix_params / device.mem_bandwidth * 1000.0
+              + _PIPELINE_FILL_FRAC * prefix_alpha),
+        max_batch=256,
+        pre_ms=_pre_ms(base),
+        post_ms=0.0,
+        cpu_workers=CPU_WORKERS_PER_GPU,
+        memory_model_bytes=prefix_params,
+        memory_per_input_bytes=base.peak_activation_bytes(),
+    )
+
+    suffix_profiles = []
+    for m in models:
+        suffix_flops = m.suffix_flops(prefix_len)
+        suffix_params = m.suffix_param_bytes(prefix_len)
+        suffix_layers = m.suffix_weighted_layers(prefix_len)
+        suffix_profiles.append(
+            LinearProfile(
+                name=f"{m.name}[{prefix_len}:]:{device.name}",
+                alpha=max(1e-6, suffix_flops / device.effective_flops * 1000.0),
+                beta=(suffix_layers * device.per_layer_overhead_ms
+                      + suffix_params / device.mem_bandwidth * 1000.0),
+                max_batch=256,
+                pre_ms=0.0,
+                post_ms=_post_ms(m),
+                cpu_workers=CPU_WORKERS_PER_GPU,
+                memory_model_bytes=suffix_params,
+                memory_per_input_bytes=4096,
+            )
+        )
+    return prefix_profile, suffix_profiles, prefix_len
+
+
+def cpu_latency_ms(model: ModelGraph, device: DeviceSpec | None = None) -> float:
+    """Batch-1 latency on a CPU device (Table 1's CPU column)."""
+    from .gpus import CPU_C5
+
+    dev = device or CPU_C5
+    return profile_model(model, dev).latency(1)

@@ -1,0 +1,159 @@
+"""Transfer-learning specialization: re-train only the suffix of a model.
+
+Paper section 2.2: "It has become common practice to use smaller models
+specialized (using transfer learning) to the few objects, faces, etc.
+relevant to an application by altering ('re-training') just the output
+layers of the models."  Section 6.3 then batches the shared prefix across
+such variants.
+
+:func:`specialize` clones a zoo model and replaces its trailing dense
+layers (and softmax) with fresh ones tagged by the variant name.  Because
+:meth:`Layer.structural_key` ignores layer *names* but a re-trained dense
+layer gets a distinct ``variant`` field, the prefix hash diverges exactly
+at the first replaced layer -- which is what lets
+:mod:`repro.core.prefix` find the shared trunk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .graph import ModelGraph, Node
+from .layers import Dense, Layer, Shape, Softmax
+
+__all__ = ["SpecializedDense", "specialize", "make_variants"]
+
+
+@dataclass(frozen=True)
+class SpecializedDense(Dense):
+    """A dense layer whose weights were re-trained for a specific task.
+
+    The ``variant`` tag participates in :meth:`structural_key`, so two
+    specializations of the same base model stop matching at this layer.
+    """
+
+    variant: str = ""
+
+
+def specialize(
+    base: ModelGraph,
+    variant: str,
+    num_classes: int | None = None,
+    suffix_layers: int = 1,
+) -> ModelGraph:
+    """Create a transfer-learning variant of ``base``.
+
+    Args:
+        base: the pretrained model to specialize.
+        variant: tag naming the new task (e.g. ``"game3_font"``); embedded
+            in the replaced layers' structural identity.
+        num_classes: output width of the new classifier; defaults to the
+            base model's.
+        suffix_layers: how many trailing *dense* layers to re-train.  The
+            paper's Figure 15 sweeps 1-3 FC suffix layers ("1 FC", "2 FC",
+            "3 FC"); when the base model has fewer dense layers than
+            requested, fresh hidden dense layers are inserted before the
+            classifier (the common fine-tuning head pattern).
+
+    Returns:
+        A new :class:`ModelGraph` named ``"<base>@<variant>"`` sharing all
+        but the replaced suffix with ``base``.
+    """
+    if suffix_layers < 1:
+        raise ValueError("suffix_layers must be >= 1")
+
+    dense_positions = [
+        i for i, node in enumerate(base.nodes) if isinstance(node.layer, Dense)
+    ]
+    if not dense_positions:
+        raise ValueError(
+            f"model {base.name!r} has no dense layers to specialize"
+        )
+    replace_from = dense_positions[-min(suffix_layers, len(dense_positions))]
+    extra_fc = max(0, suffix_layers - len(dense_positions))
+
+    new_nodes: list[Node] = []
+    index_map: dict[int, int] = {}  # old index -> new index
+
+    def append(layer: Layer, preds: tuple[int, ...]) -> Node:
+        node = Node(len(new_nodes), layer, preds, (), 0)
+        new_nodes.append(node)
+        return node
+
+    for i, node in enumerate(base.nodes):
+        layer: Layer = node.layer
+        preds = tuple(index_map[p] for p in node.preds)
+        if i >= replace_from:
+            if isinstance(layer, Dense):
+                is_last_dense = i == dense_positions[-1]
+                if is_last_dense and extra_fc:
+                    # Insert fresh hidden FC layers (width = the classifier
+                    # input) ahead of the re-trained classifier.
+                    pred = preds[0]
+                    for j in range(extra_fc):
+                        hidden = append(
+                            SpecializedDense(
+                                f"{layer.name}.extra{j}",
+                                out_features=layer.out_features,
+                                variant=variant,
+                            ),
+                            (pred,),
+                        )
+                        pred = hidden.index
+                    preds = (pred,)
+                out = (
+                    num_classes
+                    if (num_classes is not None and is_last_dense)
+                    else layer.out_features
+                )
+                layer = SpecializedDense(
+                    layer.name,
+                    out_features=out,
+                    bias=layer.bias,
+                    in_features=layer.in_features,
+                    variant=variant,
+                )
+        new = append(layer, preds)
+        index_map[i] = new.index
+
+    # Resolve shapes/flops over the rebuilt graph: the shared prefix keeps
+    # the base's numbers (so hashes over it stay identical); the suffix is
+    # re-derived because class counts and inserted layers change shapes.
+    for i, node in enumerate(new_nodes):
+        if not node.preds:
+            # Input node: copy through from the base.
+            src = base.nodes[0]
+            new_nodes[i] = Node(i, node.layer, (), src.out_shape, src.flops)
+            continue
+        in_shapes = [new_nodes[p].out_shape for p in node.preds]
+        layer = node.layer
+        if hasattr(layer, "bound"):
+            layer = layer.bound(in_shapes[0])
+        if hasattr(layer, "out_shapes"):
+            out_shape: Shape = layer.out_shapes(in_shapes)
+        else:
+            out_shape = layer.out_shape(in_shapes[0])
+        new_nodes[i] = Node(i, layer, node.preds, out_shape,
+                            layer.flops(in_shapes[0]))
+
+    return ModelGraph(f"{base.name}@{variant}", new_nodes)
+
+
+def make_variants(
+    base: ModelGraph,
+    count: int,
+    prefix: str = "task",
+    num_classes: int | None = None,
+    suffix_layers: int = 1,
+) -> list[ModelGraph]:
+    """Produce ``count`` distinct specializations of ``base``.
+
+    Used by the prefix-batching experiments (Figure 15: 2-10 ResNet-50
+    variants differing only in the last layer[s]).
+    """
+    return [
+        specialize(base, f"{prefix}{i}", num_classes=num_classes,
+                   suffix_layers=suffix_layers)
+        for i in range(count)
+    ]

@@ -1,0 +1,613 @@
+"""Model zoo: the DNN architectures used across the paper's evaluation.
+
+Each builder returns a :class:`~repro.models.graph.ModelGraph` with layer
+structure, FLOPs, and parameter counts close to the published
+architectures.  These feed two consumers:
+
+- the analytic profiler (latency/cost model -- Table 1, batching profiles);
+- the prefix detector (specialized variants share every layer except a
+  re-trained suffix -- section 6.3).
+
+Models referenced by the paper:
+
+====================  =======================================================
+``lenet5``            game digit/text recognition (specialized per font)
+``vgg7``              Table 1 small conv net
+``vgg16``             backbone for SSD and VGG-Face
+``vgg_face``          traffic app face recognition [29]
+``resnet50``          game icon recognition, generic object recognition
+``googlenet``         GoogleNet-car make/model recognition [39]
+``inception_v3/v4``   multiplexing/table-1 benchmarks
+``darknet53``         Table 1 large model
+``ssd_vgg``           traffic/amber object detection [4]
+``mobilenet_v1``      light-weight heads (gaze/age/sex in the bb app)
+====================  =======================================================
+
+Use :func:`get_model` for cached lookup by name, including specialized
+variants (``"lenet5@game3"``) built through
+:mod:`repro.models.specialize`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from .graph import GraphBuilder, ModelGraph
+from .layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    DepthwiseConv2d,
+    DetectionHead,
+    Flatten,
+    GlobalPool,
+    Pool2d,
+    Softmax,
+)
+
+__all__ = [
+    "lenet5",
+    "alexnet",
+    "vgg7",
+    "vgg16",
+    "vgg_face",
+    "resnet18",
+    "resnet50",
+    "resnet101",
+    "googlenet",
+    "inception_v3",
+    "inception_v4",
+    "darknet53",
+    "yolo_v3",
+    "ssd_vgg",
+    "ssd_mobilenet",
+    "squeezenet",
+    "mobilenet_v1",
+    "get_model",
+    "MODEL_BUILDERS",
+]
+
+
+def _conv_bn_relu(
+    b: GraphBuilder,
+    name: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int | None = None,
+    from_node: int | None = None,
+) -> int:
+    """Conv -> BN -> ReLU triple, the workhorse of modern backbones."""
+    if padding is None:
+        padding = kernel // 2
+    idx = b.add(
+        Conv2d(name, out_channels=out_channels, kernel=kernel, stride=stride,
+               padding=padding, bias=False),
+        from_node=from_node,
+    )
+    idx = b.add(BatchNorm(f"{name}.bn"), from_node=idx)
+    return b.add(Activation(f"{name}.relu"), from_node=idx)
+
+
+# --------------------------------------------------------------------- LeNet
+
+
+def lenet5(num_classes: int = 10) -> ModelGraph:
+    """LeNet-5 on 28x28 grayscale input (~0.8 MFLOPs, 20 MOPs in the paper's
+    rounding). The game app uses per-font specializations of this model."""
+    b = GraphBuilder(f"lenet5-{num_classes}", input_shape=(1, 28, 28))
+    b.add(Conv2d("conv1", out_channels=6, kernel=5, padding=2))
+    b.add(Activation("relu1"))
+    b.add(Pool2d("pool1", kernel=2, stride=2))
+    b.add(Conv2d("conv2", out_channels=16, kernel=5))
+    b.add(Activation("relu2"))
+    b.add(Pool2d("pool2", kernel=2, stride=2))
+    b.add(Flatten("flatten"))
+    b.add(Dense("fc1", out_features=120))
+    b.add(Activation("relu3"))
+    b.add(Dense("fc2", out_features=84))
+    b.add(Activation("relu4"))
+    b.add(Dense("fc3", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def alexnet(num_classes: int = 1000) -> ModelGraph:
+    """AlexNet on 224x224 input (~1.4 GFLOPs); the classic five-conv net."""
+    b = GraphBuilder(f"alexnet-{num_classes}", input_shape=(3, 224, 224))
+    b.add(Conv2d("conv1", out_channels=96, kernel=11, stride=4, padding=2))
+    b.add(Activation("relu1"))
+    b.add(Pool2d("pool1", kernel=3, stride=2))
+    b.add(Conv2d("conv2", out_channels=256, kernel=5, padding=2))
+    b.add(Activation("relu2"))
+    b.add(Pool2d("pool2", kernel=3, stride=2))
+    b.add(Conv2d("conv3", out_channels=384, kernel=3, padding=1))
+    b.add(Activation("relu3"))
+    b.add(Conv2d("conv4", out_channels=384, kernel=3, padding=1))
+    b.add(Activation("relu4"))
+    b.add(Conv2d("conv5", out_channels=256, kernel=3, padding=1))
+    b.add(Activation("relu5"))
+    b.add(Pool2d("pool5", kernel=3, stride=2))
+    b.add(Flatten("flatten"))
+    b.add(Dense("fc6", out_features=4096))
+    b.add(Activation("relu6"))
+    b.add(Dense("fc7", out_features=4096))
+    b.add(Activation("relu7"))
+    b.add(Dense("fc8", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+# ----------------------------------------------------------------------- VGG
+
+
+def vgg7(num_classes: int = 10) -> ModelGraph:
+    """The 7-weight-layer VGG variant of Table 1 (CIFAR-style input)."""
+    b = GraphBuilder(f"vgg7-{num_classes}", input_shape=(3, 32, 32))
+    for i, ch in enumerate((64, 128), start=1):
+        b.add(Conv2d(f"conv{i}_1", out_channels=ch, kernel=3, padding=1))
+        b.add(Activation(f"relu{i}_1"))
+        b.add(Conv2d(f"conv{i}_2", out_channels=ch, kernel=3, padding=1))
+        b.add(Activation(f"relu{i}_2"))
+        b.add(Pool2d(f"pool{i}", kernel=2, stride=2))
+    b.add(Flatten("flatten"))
+    b.add(Dense("fc1", out_features=1024))
+    b.add(Activation("relu_fc1"))
+    b.add(Dense("fc2", out_features=512))
+    b.add(Activation("relu_fc2"))
+    b.add(Dense("fc3", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+_VGG16_CFG = (
+    (64, 2), (128, 2), (256, 3), (512, 3), (512, 3),
+)
+
+
+def _vgg16_trunk(b: GraphBuilder) -> int:
+    idx = b.head
+    for block, (ch, reps) in enumerate(_VGG16_CFG, start=1):
+        for rep in range(1, reps + 1):
+            idx = b.add(Conv2d(f"conv{block}_{rep}", out_channels=ch,
+                               kernel=3, padding=1), from_node=idx)
+            idx = b.add(Activation(f"relu{block}_{rep}"), from_node=idx)
+        idx = b.add(Pool2d(f"pool{block}", kernel=2, stride=2), from_node=idx)
+    return idx
+
+
+def vgg16(num_classes: int = 1000) -> ModelGraph:
+    """VGG-16 on 224x224 input (~31 GFLOPs with the 2x-MAC convention)."""
+    b = GraphBuilder(f"vgg16-{num_classes}", input_shape=(3, 224, 224))
+    _vgg16_trunk(b)
+    b.add(Flatten("flatten"))
+    b.add(Dense("fc6", out_features=4096))
+    b.add(Activation("relu6"))
+    b.add(Dense("fc7", out_features=4096))
+    b.add(Activation("relu7"))
+    b.add(Dense("fc8", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def vgg_face(num_identities: int = 2622) -> ModelGraph:
+    """VGG-Face [29]: VGG-16 trained for face identification."""
+    g = vgg16(num_classes=num_identities)
+    g.name = f"vgg_face-{num_identities}"
+    return g
+
+
+# -------------------------------------------------------------------- ResNet
+
+
+def _bottleneck(b: GraphBuilder, name: str, mid: int, out: int,
+                stride: int = 1, project: bool = False) -> int:
+    """ResNet bottleneck: 1x1 down, 3x3, 1x1 up, with identity shortcut."""
+    entry = b.head
+    idx = _conv_bn_relu(b, f"{name}.a", mid, kernel=1, stride=stride,
+                        padding=0, from_node=entry)
+    idx = _conv_bn_relu(b, f"{name}.b", mid, kernel=3, from_node=idx)
+    idx = b.add(Conv2d(f"{name}.c", out_channels=out, kernel=1, padding=0,
+                       bias=False), from_node=idx)
+    idx = b.add(BatchNorm(f"{name}.c.bn"), from_node=idx)
+    if project:
+        short = b.add(
+            Conv2d(f"{name}.proj", out_channels=out, kernel=1,
+                   stride=stride, padding=0, bias=False),
+            from_node=entry,
+        )
+        short = b.add(BatchNorm(f"{name}.proj.bn"), from_node=short)
+    else:
+        short = entry
+    idx = b.join(Add(f"{name}.add"), [idx, short])
+    return b.add(Activation(f"{name}.relu"), from_node=idx)
+
+
+def resnet50(num_classes: int = 1000) -> ModelGraph:
+    """ResNet-50 [15] (~8 GFLOPs with the 2x-MAC convention)."""
+    b = GraphBuilder(f"resnet50-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv1", 64, kernel=7, stride=2, padding=3)
+    b.add(Pool2d("pool1", kernel=3, stride=2, padding=1))
+    stage_cfg = ((64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3))
+    for stage, (mid, out, blocks) in enumerate(stage_cfg, start=2):
+        for i in range(blocks):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            _bottleneck(b, f"res{stage}{chr(ord('a') + i)}", mid, out,
+                        stride=stride, project=(i == 0))
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def _basic_block(b: GraphBuilder, name: str, channels: int,
+                 stride: int = 1, project: bool = False) -> int:
+    """ResNet-18/34 basic block: two 3x3 convs with identity shortcut."""
+    entry = b.head
+    idx = _conv_bn_relu(b, f"{name}.a", channels, kernel=3, stride=stride,
+                        from_node=entry)
+    idx = b.add(Conv2d(f"{name}.b", out_channels=channels, kernel=3,
+                       padding=1, bias=False), from_node=idx)
+    idx = b.add(BatchNorm(f"{name}.b.bn"), from_node=idx)
+    if project:
+        short = b.add(
+            Conv2d(f"{name}.proj", out_channels=channels, kernel=1,
+                   stride=stride, padding=0, bias=False),
+            from_node=entry,
+        )
+        short = b.add(BatchNorm(f"{name}.proj.bn"), from_node=short)
+    else:
+        short = entry
+    idx = b.join(Add(f"{name}.add"), [idx, short])
+    return b.add(Activation(f"{name}.relu"), from_node=idx)
+
+
+def resnet18(num_classes: int = 1000) -> ModelGraph:
+    """ResNet-18 [15] (~3.6 GFLOPs with the 2x-MAC convention)."""
+    b = GraphBuilder(f"resnet18-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv1", 64, kernel=7, stride=2, padding=3)
+    b.add(Pool2d("pool1", kernel=3, stride=2, padding=1))
+    for stage, channels in enumerate((64, 128, 256, 512), start=2):
+        for i in range(2):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            _basic_block(b, f"res{stage}{chr(ord('a') + i)}", channels,
+                         stride=stride, project=(i == 0 and stage > 2))
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def resnet101(num_classes: int = 1000) -> ModelGraph:
+    """ResNet-101 [15] (~15 GFLOPs with the 2x-MAC convention)."""
+    b = GraphBuilder(f"resnet101-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv1", 64, kernel=7, stride=2, padding=3)
+    b.add(Pool2d("pool1", kernel=3, stride=2, padding=1))
+    stage_cfg = ((64, 256, 3), (128, 512, 4), (256, 1024, 23), (512, 2048, 3))
+    for stage, (mid, out, blocks) in enumerate(stage_cfg, start=2):
+        for i in range(blocks):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            _bottleneck(b, f"res{stage}_{i}", mid, out,
+                        stride=stride, project=(i == 0))
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def squeezenet(num_classes: int = 1000) -> ModelGraph:
+    """SqueezeNet 1.1 (~0.7 GFLOPs, ~1.2M params): fire modules."""
+    b = GraphBuilder(f"squeezenet-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv1", 64, kernel=3, stride=2, padding=0)
+    b.add(Pool2d("pool1", kernel=3, stride=2))
+
+    def fire(name: str, squeeze: int, expand: int) -> None:
+        _conv_bn_relu(b, f"{name}.squeeze", squeeze, kernel=1, padding=0)
+        entry = b.fork()
+        e1 = _conv_bn_relu(b, f"{name}.e1", expand, kernel=1, padding=0,
+                           from_node=entry)
+        e3 = _conv_bn_relu(b, f"{name}.e3", expand, kernel=3,
+                           from_node=entry)
+        b.join(Concat(f"{name}.cat"), [e1, e3])
+
+    fire("fire2", 16, 64)
+    fire("fire3", 16, 64)
+    b.add(Pool2d("pool3", kernel=3, stride=2))
+    fire("fire4", 32, 128)
+    fire("fire5", 32, 128)
+    b.add(Pool2d("pool5", kernel=3, stride=2))
+    fire("fire6", 48, 192)
+    fire("fire7", 48, 192)
+    fire("fire8", 64, 256)
+    fire("fire9", 64, 256)
+    b.add(Conv2d("conv10", out_channels=num_classes, kernel=1, padding=0))
+    b.add(GlobalPool("avgpool"))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+# ----------------------------------------------------------------- Inception
+
+
+def _inception_module(b: GraphBuilder, name: str,
+                      ch1: int, ch3r: int, ch3: int,
+                      ch5r: int, ch5: int, pool_proj: int) -> int:
+    """GoogLeNet-style inception module with four parallel branches."""
+    entry = b.fork()
+    b1 = _conv_bn_relu(b, f"{name}.1x1", ch1, kernel=1, padding=0,
+                       from_node=entry)
+    b3 = _conv_bn_relu(b, f"{name}.3x3r", ch3r, kernel=1, padding=0,
+                       from_node=entry)
+    b3 = _conv_bn_relu(b, f"{name}.3x3", ch3, kernel=3, from_node=b3)
+    b5 = _conv_bn_relu(b, f"{name}.5x5r", ch5r, kernel=1, padding=0,
+                       from_node=entry)
+    b5 = _conv_bn_relu(b, f"{name}.5x5", ch5, kernel=5, from_node=b5)
+    bp = b.add(Pool2d(f"{name}.pool", kernel=3, stride=1, padding=1),
+               from_node=entry)
+    bp = _conv_bn_relu(b, f"{name}.poolproj", pool_proj, kernel=1,
+                       padding=0, from_node=bp)
+    return b.join(Concat(f"{name}.concat"), [b1, b3, b5, bp])
+
+
+_GOOGLENET_MODULES = (
+    ("3a", 64, 96, 128, 16, 32, 32),
+    ("3b", 128, 128, 192, 32, 96, 64),
+    ("4a", 192, 96, 208, 16, 48, 64),
+    ("4b", 160, 112, 224, 24, 64, 64),
+    ("4c", 128, 128, 256, 24, 64, 64),
+    ("4d", 112, 144, 288, 32, 64, 64),
+    ("4e", 256, 160, 320, 32, 128, 128),
+    ("5a", 256, 160, 320, 32, 128, 128),
+    ("5b", 384, 192, 384, 48, 128, 128),
+)
+
+
+def googlenet(num_classes: int = 1000) -> ModelGraph:
+    """GoogLeNet / Inception-v1; the car make+model recognizer of [39] is a
+    specialization of this backbone ("GoogleNet-car")."""
+    b = GraphBuilder(f"googlenet-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv1", 64, kernel=7, stride=2, padding=3)
+    b.add(Pool2d("pool1", kernel=3, stride=2, padding=1))
+    _conv_bn_relu(b, "conv2r", 64, kernel=1, padding=0)
+    _conv_bn_relu(b, "conv2", 192, kernel=3)
+    b.add(Pool2d("pool2", kernel=3, stride=2, padding=1))
+    for mod in _GOOGLENET_MODULES:
+        name, args = mod[0], mod[1:]
+        _inception_module(b, f"inception{name}", *args)
+        if name in ("3b", "4e"):
+            b.add(Pool2d(f"pool_{name}", kernel=3, stride=2, padding=1))
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def _inception_v3_module(b: GraphBuilder, name: str, width: int) -> int:
+    """Simplified Inception-v3/v4 module parameterized by a width knob."""
+    entry = b.fork()
+    b1 = _conv_bn_relu(b, f"{name}.1x1", width, kernel=1, padding=0,
+                       from_node=entry)
+    b3 = _conv_bn_relu(b, f"{name}.3r", width // 2, kernel=1, padding=0,
+                       from_node=entry)
+    b3 = _conv_bn_relu(b, f"{name}.3", width, kernel=3, from_node=b3)
+    b7 = _conv_bn_relu(b, f"{name}.7r", width // 2, kernel=1, padding=0,
+                       from_node=entry)
+    b7 = _conv_bn_relu(b, f"{name}.7a", width // 2, kernel=3, from_node=b7)
+    b7 = _conv_bn_relu(b, f"{name}.7b", width, kernel=3, from_node=b7)
+    bp = b.add(Pool2d(f"{name}.pool", kernel=3, stride=1, padding=1),
+               from_node=entry)
+    bp = _conv_bn_relu(b, f"{name}.poolp", width // 2, kernel=1, padding=0,
+                       from_node=bp)
+    return b.join(Concat(f"{name}.concat"), [b1, b3, b7, bp])
+
+
+def _inception_stem(b: GraphBuilder) -> None:
+    _conv_bn_relu(b, "stem1", 32, kernel=3, stride=2, padding=0)
+    _conv_bn_relu(b, "stem2", 32, kernel=3, padding=0)
+    _conv_bn_relu(b, "stem3", 64, kernel=3)
+    b.add(Pool2d("stem_pool1", kernel=3, stride=2))
+    _conv_bn_relu(b, "stem4", 80, kernel=1, padding=0)
+    _conv_bn_relu(b, "stem5", 192, kernel=3, padding=0)
+    b.add(Pool2d("stem_pool2", kernel=3, stride=2))
+
+
+def inception_v3(num_classes: int = 1000) -> ModelGraph:
+    """Inception-v3 (simplified modules; ~11 GFLOPs)."""
+    b = GraphBuilder(f"inception_v3-{num_classes}", input_shape=(3, 299, 299))
+    _inception_stem(b)
+    for i in range(3):
+        _inception_v3_module(b, f"mixed5{chr(ord('b') + i)}", 96)
+    b.add(Pool2d("reduce1", kernel=3, stride=2))
+    for i in range(4):
+        _inception_v3_module(b, f"mixed6{chr(ord('a') + i)}", 160)
+    b.add(Pool2d("reduce2", kernel=3, stride=2))
+    for i in range(2):
+        _inception_v3_module(b, f"mixed7{chr(ord('a') + i)}", 256)
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def inception_v4(num_classes: int = 1000) -> ModelGraph:
+    """Inception-v4 (simplified; deeper/wider than v3, ~24 GFLOPs)."""
+    b = GraphBuilder(f"inception_v4-{num_classes}", input_shape=(3, 299, 299))
+    _inception_stem(b)
+    for i in range(4):
+        _inception_v3_module(b, f"A{i}", 128)
+    b.add(Pool2d("reduceA", kernel=3, stride=2))
+    for i in range(7):
+        _inception_v3_module(b, f"B{i}", 192)
+    b.add(Pool2d("reduceB", kernel=3, stride=2))
+    for i in range(3):
+        _inception_v3_module(b, f"C{i}", 288)
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+# ------------------------------------------------------------------- Darknet
+
+
+def _darknet_residual(b: GraphBuilder, name: str, channels: int) -> int:
+    entry = b.head
+    idx = _conv_bn_relu(b, f"{name}.1", channels // 2, kernel=1, padding=0,
+                        from_node=entry)
+    idx = _conv_bn_relu(b, f"{name}.2", channels, kernel=3, from_node=idx)
+    return b.join(Add(f"{name}.add"), [idx, entry])
+
+
+def darknet53(num_classes: int = 1000) -> ModelGraph:
+    """Darknet-53 [32] on 416x416 input, the YOLOv3 backbone
+    (~65 GFLOPs with the 2x-MAC convention)."""
+    b = GraphBuilder(f"darknet53-{num_classes}", input_shape=(3, 416, 416))
+    _conv_bn_relu(b, "conv0", 32, kernel=3)
+    stage_cfg = ((64, 1), (128, 2), (256, 8), (512, 8), (1024, 4))
+    for stage, (ch, blocks) in enumerate(stage_cfg, start=1):
+        _conv_bn_relu(b, f"down{stage}", ch, kernel=3, stride=2)
+        for i in range(blocks):
+            _darknet_residual(b, f"res{stage}_{i}", ch)
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+def yolo_v3(num_classes: int = 80) -> ModelGraph:
+    """YOLOv3: Darknet-53 backbone plus a detection head at 416x416."""
+    b = GraphBuilder(f"yolo_v3-{num_classes}", input_shape=(3, 416, 416))
+    _conv_bn_relu(b, "conv0", 32, kernel=3)
+    stage_cfg = ((64, 1), (128, 2), (256, 8), (512, 8), (1024, 4))
+    for stage, (ch, blocks) in enumerate(stage_cfg, start=1):
+        _conv_bn_relu(b, f"down{stage}", ch, kernel=3, stride=2)
+        for i in range(blocks):
+            _darknet_residual(b, f"res{stage}_{i}", ch)
+    for i in range(3):
+        _conv_bn_relu(b, f"head{i}.1", 512, kernel=1, padding=0)
+        _conv_bn_relu(b, f"head{i}.2", 1024, kernel=3)
+    b.add(DetectionHead("detect", anchors=3, classes=num_classes))
+    return b.build()
+
+
+# ----------------------------------------------------------------------- SSD
+
+
+def ssd_vgg(num_classes: int = 21) -> ModelGraph:
+    """SSD-512 with VGG-16 backbone [4]: the traffic/amber object detector.
+
+    Single-path approximation: backbone + extra feature convs + one pooled
+    detection head per scale, appended sequentially (prefix detection needs
+    only structural equality, not exact multi-head wiring).  The 512-pixel
+    configuration puts batch-1 latency near the paper's measured 47 ms on
+    a GTX 1080Ti, which is what makes query analysis matter: the detector
+    dominates the query cost, so even latency splits starve it.
+    """
+    b = GraphBuilder(f"ssd_vgg-{num_classes}", input_shape=(3, 512, 512))
+    _vgg16_trunk(b)
+    _conv_bn_relu(b, "fc6_conv", 1024, kernel=3)
+    _conv_bn_relu(b, "fc7_conv", 1024, kernel=1, padding=0)
+    b.add(DetectionHead("head_fc7", anchors=6, classes=num_classes))
+    extra_cfg = ((256, 512), (128, 256), (128, 256))
+    for i, (mid, out) in enumerate(extra_cfg, start=8):
+        _conv_bn_relu(b, f"conv{i}_1", mid, kernel=1, padding=0)
+        _conv_bn_relu(b, f"conv{i}_2", out, kernel=3, stride=2)
+        b.add(DetectionHead(f"head_conv{i}", anchors=6, classes=num_classes))
+    return b.build()
+
+
+def ssd_mobilenet(num_classes: int = 21) -> ModelGraph:
+    """SSD-Lite: MobileNet backbone + detection heads at 300x300 -- the
+    light detector option for edge-style deployments."""
+    b = GraphBuilder(f"ssd_mobilenet-{num_classes}", input_shape=(3, 300, 300))
+    _conv_bn_relu(b, "conv0", 32, kernel=3, stride=2)
+    cfg = ((64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+           (512, 1), (512, 1), (1024, 2))
+    for i, (out, stride) in enumerate(cfg, start=1):
+        idx = b.add(DepthwiseConv2d(f"dw{i}", kernel=3, stride=stride))
+        idx = b.add(BatchNorm(f"dw{i}.bn"), from_node=idx)
+        idx = b.add(Activation(f"dw{i}.relu"), from_node=idx)
+        _conv_bn_relu(b, f"pw{i}", out, kernel=1, padding=0)
+    b.add(DetectionHead("head0", anchors=6, classes=num_classes))
+    for i, (mid, out) in enumerate(((256, 512), (128, 256)), start=1):
+        _conv_bn_relu(b, f"extra{i}.1", mid, kernel=1, padding=0)
+        _conv_bn_relu(b, f"extra{i}.2", out, kernel=3, stride=2)
+        b.add(DetectionHead(f"head{i}", anchors=6, classes=num_classes))
+    return b.build()
+
+
+# ------------------------------------------------------------------ MobileNet
+
+
+def mobilenet_v1(num_classes: int = 1000, width: float = 1.0) -> ModelGraph:
+    """MobileNet-v1: depthwise-separable backbone for lightweight heads
+    (the bb app's gaze/age/sex recognizers are specializations of this)."""
+
+    def ch(c: int) -> int:
+        return max(8, int(c * width))
+
+    b = GraphBuilder(f"mobilenet_v1-{num_classes}", input_shape=(3, 224, 224))
+    _conv_bn_relu(b, "conv0", ch(32), kernel=3, stride=2)
+    cfg = ((64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+           (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2),
+           (1024, 1))
+    for i, (out, stride) in enumerate(cfg, start=1):
+        idx = b.add(DepthwiseConv2d(f"dw{i}", kernel=3, stride=stride))
+        idx = b.add(BatchNorm(f"dw{i}.bn"), from_node=idx)
+        idx = b.add(Activation(f"dw{i}.relu"), from_node=idx)
+        _conv_bn_relu(b, f"pw{i}", ch(out), kernel=1, padding=0)
+    b.add(GlobalPool("avgpool"))
+    b.add(Dense("fc", out_features=num_classes))
+    b.add(Softmax("prob"))
+    return b.build()
+
+
+# -------------------------------------------------------------------- lookup
+
+MODEL_BUILDERS = {
+    "lenet5": lenet5,
+    "alexnet": alexnet,
+    "vgg7": vgg7,
+    "vgg16": vgg16,
+    "vgg_face": vgg_face,
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "googlenet": googlenet,
+    "inception_v3": inception_v3,
+    "inception_v4": inception_v4,
+    "darknet53": darknet53,
+    "yolo_v3": yolo_v3,
+    "ssd_vgg": ssd_vgg,
+    "ssd_mobilenet": ssd_mobilenet,
+    "squeezenet": squeezenet,
+    "mobilenet_v1": mobilenet_v1,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def get_model(name: str) -> ModelGraph:
+    """Build (and cache) a zoo model by name.
+
+    Names of the form ``"<base>@<variant>"`` produce a transfer-learning
+    specialization of ``<base>`` via
+    :func:`repro.models.specialize.specialize`: same graph except the final
+    classifier layer, re-trained for the variant's task.  The variant tag
+    may carry a class count suffix, e.g. ``"resnet50@icons:40"``.
+    """
+    if "@" in name:
+        from .specialize import specialize
+
+        base_name, variant = name.split("@", 1)
+        num_classes = None
+        if ":" in variant:
+            variant, classes_str = variant.rsplit(":", 1)
+            num_classes = int(classes_str)
+        base = get_model(base_name)
+        return specialize(base, variant, num_classes=num_classes)
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}")
+    return MODEL_BUILDERS[name]()

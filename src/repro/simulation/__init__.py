@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate (virtual clock + event loop)."""
+
+from .simulator import EventHandle, Simulator
+
+__all__ = ["EventHandle", "Simulator"]

@@ -1,0 +1,119 @@
+"""Discrete-event simulator: the virtual cluster's clock and event loop.
+
+The substitution for the paper's physical testbed (DESIGN.md section 2):
+frontends, backends and the global scheduler are all driven by this loop.
+Time is float milliseconds.  Events fire in (time, priority, insertion
+order), so same-timestamp events are deterministic -- every experiment in
+the repo is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+@dataclass(order=True)
+class _Event:
+    time_ms: float
+    priority: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time_ms(self) -> float:
+        return self._event.time_ms
+
+
+class Simulator:
+    """A minimal, deterministic event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("at t=10ms"))
+        sim.run_until(1000.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self, delay_ms: float, fn: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Run ``fn`` after ``delay_ms``; lower priority fires first at ties."""
+        if delay_ms < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_ms}")
+        return self.schedule_at(self._now + delay_ms, fn, priority)
+
+    def schedule_at(
+        self, time_ms: float, fn: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Run ``fn`` at absolute virtual time ``time_ms``."""
+        if time_ms < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time_ms} < now {self._now}"
+            )
+        event = _Event(time_ms, priority, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run_until(self, end_ms: float) -> None:
+        """Process events up to and including ``end_ms``."""
+        while self._heap and self._heap[0].time_ms <= end_ms:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_ms
+            self._events_processed += 1
+            event.fn()
+        self._now = max(self._now, end_ms)
+
+    def run(self) -> None:
+        """Process every pending event (callers must ensure termination)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_ms
+            self._events_processed += 1
+            event.fn()
+
+    def peek_next_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ms if self._heap else None

@@ -1,0 +1,51 @@
+"""Workloads: arrival processes, the Table 4 applications, stream traces."""
+
+from .arrivals import (
+    merge_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+    zipf_rates,
+)
+from .apps import (
+    all_apps,
+    amber_query,
+    bb_query,
+    bike_query,
+    dance_query,
+    game_queries,
+    game_query,
+    logo_query,
+    traffic_query,
+)
+from .traces import (
+    RateSchedule,
+    StreamTrace,
+    ar1_series,
+    diurnal_rate,
+    rush_hour_gammas,
+    step_rate,
+)
+
+__all__ = [
+    "merge_arrivals",
+    "mmpp_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "zipf_rates",
+    "all_apps",
+    "amber_query",
+    "bb_query",
+    "bike_query",
+    "dance_query",
+    "game_queries",
+    "game_query",
+    "logo_query",
+    "traffic_query",
+    "RateSchedule",
+    "StreamTrace",
+    "ar1_series",
+    "diurnal_rate",
+    "rush_hour_gammas",
+    "step_rate",
+]

@@ -1,0 +1,180 @@
+"""The seven evaluated applications of Table 4, as query builders.
+
+Each function returns one or more :class:`~repro.core.query.Query` objects
+whose stages carry real zoo-model profiles for the chosen device.  Fan-out
+(gamma) values follow the paper's descriptions; apps marked PB in Table 4
+use transfer-learning specializations of shared backbones, so the cluster
+can prefix-batch them.
+
+=======  =====  ==========================================================
+app      query  structure
+=======  =====  ==========================================================
+game     QA-1   source -> 6x digit rec (LeNet variants) + icon rec
+                (ResNet-50 variant); parallel per frame, SLO 50 ms
+traffic  QA-2   SSD object det -> car make/model rec (GoogleNet variant)
+                + face rec (VGG-Face); SLO 400 ms
+dance    QA-2   person det (SSD) -> pose rec (ResNet-50 variant)
+bb       QA-3   person det -> face det -> gaze/age/sex rec (MobileNet
+                variants, prefix-batchable)
+bike     QA-4   object det -> rack rec -> text det -> text rec
+amber    QA-4   object det -> car make rec -> plate det -> plate text rec
+logo     QA-5   person det -> pose -> logo det -> number det -> number rec
+=======  =====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..core.query import Query, QueryStage
+from ..models.profiler import profile
+
+__all__ = [
+    "game_query",
+    "game_queries",
+    "traffic_query",
+    "dance_query",
+    "bb_query",
+    "bike_query",
+    "amber_query",
+    "logo_query",
+    "all_apps",
+    "APP_BUILDERS",
+]
+
+
+def _stage(name: str, model_id: str, device: str, gamma: float = 1.0) -> QueryStage:
+    return QueryStage(
+        name=name, profile=profile(model_id, device), gamma=gamma,
+        model_id=model_id,
+    )
+
+
+def game_query(device: str = "gtx1080ti", game_id: int = 0,
+               slo_ms: float = 50.0) -> Query:
+    """One game stream's per-frame query (section 7.3.1).
+
+    Six numbers recognized with a LeNet specialized to the game's font,
+    one icon with a last-layer-specialized ResNet-50; all parallel.
+    """
+    root = QueryStage(name="frame", profile=None)
+    root.add_child(
+        _stage("digits", f"lenet5@game{game_id}:11", device, gamma=6.0)
+    )
+    root.add_child(
+        _stage("icon", f"resnet50@game{game_id}_icon:40", device, gamma=1.0)
+    )
+    return Query(name=f"game{game_id}", root=root, slo_ms=slo_ms)
+
+
+def game_queries(device: str = "gtx1080ti", num_games: int = 20,
+                 slo_ms: float = 50.0) -> list[Query]:
+    """The 20-game case study: one query per game, distinct specializations."""
+    return [game_query(device, i, slo_ms) for i in range(num_games)]
+
+
+def traffic_query(device: str = "gtx1080ti", slo_ms: float = 400.0,
+                  gamma_car: float = 1.5, gamma_face: float = 0.5,
+                  stream_id: int = 0) -> Query:
+    """Traffic surveillance (Figure 8): SSD -> car rec + face rec.
+
+    ``gamma_car`` / ``gamma_face`` are the per-frame object counts; rush
+    hour multiplies them (Figure 12).
+    """
+    root = _stage("ssd", "ssd_vgg", device)
+    root.add_child(
+        _stage("car", "googlenet@carmake:427", device, gamma=gamma_car)
+    )
+    root.add_child(
+        _stage("face", "vgg_face", device, gamma=gamma_face)
+    )
+    return Query(name=f"traffic{stream_id}", root=root, slo_ms=slo_ms)
+
+
+def dance_query(device: str = "gtx1080ti", slo_ms: float = 300.0) -> Query:
+    """Dance rating: person detection then pose recognition per person."""
+    root = _stage("person_det", "ssd_vgg", device)
+    root.add_child(_stage("pose", "resnet50@pose:17", device, gamma=1.2))
+    return Query(name="dance", root=root, slo_ms=slo_ms)
+
+
+def bb_query(device: str = "gtx1080ti", slo_ms: float = 400.0) -> Query:
+    """Billboard audience response: 3 stages, prefix-batchable heads."""
+    root = _stage("person_det", "ssd_vgg", device)
+    face = root.add_child(
+        _stage("face_det", "mobilenet_v1@facedet:2", device, gamma=1.2)
+    )
+    face.add_child(_stage("gaze", "mobilenet_v1@gaze:9", device, gamma=1.0))
+    face.add_child(_stage("age", "mobilenet_v1@age:8", device, gamma=1.0))
+    face.add_child(_stage("sex", "mobilenet_v1@sex:2", device, gamma=1.0))
+    return Query(name="bb", root=root, slo_ms=slo_ms)
+
+
+def bike_query(device: str = "gtx1080ti", slo_ms: float = 500.0) -> Query:
+    """Bike-rack occupancy on buses: 4 stages ending in text recognition."""
+    root = _stage("object_det", "ssd_vgg", device)
+    rack = root.add_child(
+        _stage("rack", "googlenet@rack:4", device, gamma=0.6)
+    )
+    text_det = rack.add_child(
+        _stage("text_det", "mobilenet_v1@textdet:2", device, gamma=1.0)
+    )
+    text_det.add_child(
+        _stage("text_rec", "lenet5@bustext:37", device, gamma=2.0)
+    )
+    return Query(name="bike", root=root, slo_ms=slo_ms)
+
+
+def amber_query(device: str = "gtx1080ti", slo_ms: float = 500.0) -> Query:
+    """Amber-alert vehicle matching: 4 stages from dashcam footage."""
+    root = _stage("object_det", "ssd_vgg", device)
+    car = root.add_child(
+        _stage("car_make", "googlenet@carmake:427", device, gamma=1.8)
+    )
+    plate = car.add_child(
+        _stage("plate_det", "mobilenet_v1@platedet:2", device, gamma=0.7)
+    )
+    plate.add_child(
+        _stage("plate_text", "lenet5@platetext:37", device, gamma=4.0)
+    )
+    return Query(name="amber", root=root, slo_ms=slo_ms)
+
+
+def logo_query(device: str = "gtx1080ti", slo_ms: float = 600.0) -> Query:
+    """Logo placement audit: the 5-stage query of Table 4."""
+    root = _stage("person_det", "ssd_vgg", device)
+    torso = root.add_child(
+        _stage("torso", "resnet50@pose:17", device, gamma=2.0)
+    )
+    logo = torso.add_child(
+        _stage("logo_det", "mobilenet_v1@logodet:2", device, gamma=1.0)
+    )
+    number_det = logo.add_child(
+        _stage("number_det", "mobilenet_v1@numdet:2", device, gamma=0.5)
+    )
+    number_det.add_child(
+        _stage("number_rec", "lenet5@jersey:11", device, gamma=1.5)
+    )
+    return Query(name="logo", root=root, slo_ms=slo_ms)
+
+
+APP_BUILDERS = {
+    "traffic": traffic_query,
+    "dance": dance_query,
+    "bb": bb_query,
+    "bike": bike_query,
+    "amber": amber_query,
+    "logo": logo_query,
+}
+
+
+def all_apps(device: str = "gtx1080ti", num_games: int = 4) -> list[Query]:
+    """The full multi-application deployment of section 7.4.
+
+    Returns ``num_games`` game queries plus one of each other app -- 7
+    application types, ~12 distinct base models, matching the paper's
+    "7 applications and 12 different models" at reduced game count
+    (pass ``num_games=50`` for the paper's full spread).
+    """
+    queries = game_queries(device, num_games=num_games)
+    for builder in APP_BUILDERS.values():
+        queries.append(builder(device))
+    return queries

@@ -1,0 +1,120 @@
+"""Arrival processes for request workloads.
+
+The paper evaluates under uniform ("we sample inter-arrival time between
+frames uniformly", section 7.1) and Poisson arrivals (Figures 5, 13), plus
+bursty phases in the large-scale deployment.  All generators are
+deterministic given a seed and return sorted absolute arrival times in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "mmpp_arrivals",
+    "merge_arrivals",
+    "zipf_rates",
+]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform_arrivals(
+    rate_rps: float, duration_ms: float, seed: int | None = 0, jitter: float = 0.2
+) -> list[float]:
+    """Evenly spaced arrivals with a little jitter.
+
+    ``jitter`` is the fraction of the inter-arrival gap each arrival may
+    shift by (uniformly); 0 gives a perfectly periodic stream.
+    """
+    if rate_rps <= 0 or duration_ms <= 0:
+        return []
+    gap = 1000.0 / rate_rps
+    n = int(duration_ms / gap)
+    # Center arrivals in their slots: starting at t=0 would park every
+    # low-rate stream's (possibly only) arrival inside the warmup window.
+    base = (np.arange(n) + 0.5) * gap
+    if jitter > 0:
+        rng = _rng(seed)
+        base = base + rng.uniform(-jitter * gap / 2, jitter * gap / 2, size=n)
+        base = np.clip(base, 0.0, None)
+        base.sort()
+    return base.tolist()
+
+
+def poisson_arrivals(
+    rate_rps: float, duration_ms: float, seed: int | None = 0
+) -> list[float]:
+    """Poisson process: exponential inter-arrival gaps at the given rate."""
+    if rate_rps <= 0 or duration_ms <= 0:
+        return []
+    rng = _rng(seed)
+    mean_gap = 1000.0 / rate_rps
+    # Draw ~20% more than expected, extend if short.
+    out: list[float] = []
+    t = 0.0
+    expected = int(duration_ms / mean_gap * 1.2) + 16
+    while True:
+        gaps = rng.exponential(mean_gap, size=expected)
+        for g in gaps:
+            t += g
+            if t >= duration_ms:
+                return out
+            out.append(t)
+        expected = max(16, expected // 4)
+
+
+def mmpp_arrivals(
+    rates_rps: list[float],
+    phase_ms: float,
+    duration_ms: float,
+    seed: int | None = 0,
+) -> list[float]:
+    """Markov-modulated Poisson process: cycle through rate phases.
+
+    Used for the bursty workload window of the large-scale deployment
+    (Figure 13): the offered rate steps between levels every ``phase_ms``.
+    """
+    if not rates_rps:
+        raise ValueError("need at least one phase rate")
+    out: list[float] = []
+    t0 = 0.0
+    i = 0
+    seed_base = 0 if seed is None else seed
+    while t0 < duration_ms:
+        span = min(phase_ms, duration_ms - t0)
+        rate = rates_rps[i % len(rates_rps)]
+        chunk = poisson_arrivals(rate, span, seed=seed_base + i)
+        out.extend(t0 + t for t in chunk)
+        t0 += span
+        i += 1
+    return out
+
+
+def merge_arrivals(*streams: list[float]) -> list[float]:
+    """Merge several sorted arrival streams into one sorted stream."""
+    merged: list[float] = []
+    for s in streams:
+        merged.extend(s)
+    merged.sort()
+    return merged
+
+
+def zipf_rates(total_rps: float, n: int, exponent: float = 0.9) -> list[float]:
+    """Split a total rate across ``n`` streams by a Zipf law.
+
+    Section 7.3.1: "The request rates of frames from the 20 games follow
+    the Zipf-0.9 distribution."
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    weights = [1.0 / (k ** exponent) for k in range(1, n + 1)]
+    total_w = sum(weights)
+    return [total_rps * w / total_w for w in weights]

@@ -1,0 +1,167 @@
+"""Synthetic stream traces: diurnal modulation and workload steps.
+
+Substitutes for the paper's recorded Twitch / traffic-camera footage
+(DESIGN.md section 2): the evaluation consumes streams only through (a)
+their arrival rates over time and (b) their per-frame object fan-out, both
+of which these generators control directly.
+
+- :func:`diurnal_rate` -- a smooth day curve with a rush-hour bump
+  (Figure 12 contrasts rush vs non-rush traffic).
+- :func:`step_rate` -- the Figure 13 workload: steady, then a surge with
+  high variance, then subsiding.
+- :func:`rush_hour_gammas` -- object-count multipliers: "rush-hour traffic
+  is more complex: more vehicles are detected, and require follow-on
+  analysis, on every frame" (section 7.3.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["diurnal_rate", "step_rate", "rush_hour_gammas",
+           "RateSchedule", "ar1_series", "StreamTrace"]
+
+
+def diurnal_rate(base_rps: float, t_ms: float, day_ms: float = 86_400_000.0,
+                 rush_boost: float = 1.8) -> float:
+    """Rate over a synthetic day: low overnight, bumps at rush hours."""
+    phase = (t_ms % day_ms) / day_ms  # 0..1 over the day
+    # Daylight sinusoid plus two rush bumps at ~8:30 and ~17:30.
+    daylight = 0.6 + 0.4 * math.sin(math.pi * (phase * 24 - 6) / 12)
+    rush = 0.0
+    for center in (8.5 / 24.0, 17.5 / 24.0):
+        rush += math.exp(-(((phase - center) * 24) ** 2) / (2 * 0.75**2))
+    return base_rps * max(0.05, daylight + (rush_boost - 1.0) * rush)
+
+
+def step_rate(
+    base_rps: float,
+    t_ms: float,
+    surge_start_ms: float = 326_000.0,
+    surge_end_ms: float = 644_000.0,
+    surge_scale: float = 2.2,
+    wobble_period_ms: float = 37_000.0,
+    wobble_frac: float = 0.2,
+) -> float:
+    """Figure 13's shape: steady, surge with variance, then subside.
+
+    "Around 326s into the window, the number of requests increases and
+    starts varying significantly ... It deallocates GPUs at the 644s mark
+    when demand subsides."
+    """
+    if surge_start_ms <= t_ms < surge_end_ms:
+        wobble = 1.0 + wobble_frac * math.sin(
+            2 * math.pi * (t_ms - surge_start_ms) / wobble_period_ms
+        )
+        return base_rps * surge_scale * wobble
+    return base_rps
+
+
+def rush_hour_gammas(rush: bool) -> dict[str, float]:
+    """Traffic-app fan-outs for rush vs non-rush footage."""
+    if rush:
+        return {"gamma_car": 3.5, "gamma_face": 1.2}
+    return {"gamma_car": 1.5, "gamma_face": 0.5}
+
+
+class RateSchedule:
+    """Piecewise-constant rate function built from (start_ms, rps) points."""
+
+    def __init__(self, points: list[tuple[float, float]]):
+        if not points:
+            raise ValueError("need at least one (start_ms, rps) point")
+        self.points = sorted(points)
+
+    def __call__(self, t_ms: float) -> float:
+        rate = self.points[0][1]
+        for start, rps in self.points:
+            if t_ms >= start:
+                rate = rps
+            else:
+                break
+        return rate
+
+
+def ar1_series(
+    mean: float,
+    n: int,
+    phi: float = 0.9,
+    sigma: float = 0.3,
+    seed: int | None = 0,
+    floor: float = 0.0,
+) -> list[float]:
+    """Mean-reverting AR(1) series: autocorrelated per-frame statistics.
+
+    Object counts in adjacent video frames are strongly correlated (the
+    same cars stay in view); iid sampling understates burst persistence.
+    ``phi`` is the autocorrelation, ``sigma`` the innovation scale as a
+    fraction of the mean.
+    """
+    import numpy as np
+
+    if not 0.0 <= phi < 1.0:
+        raise ValueError(f"phi must be in [0, 1), got {phi}")
+    rng = np.random.default_rng(seed)
+    out = []
+    x = 0.0
+    innovation = sigma * mean * math.sqrt(max(1e-12, 1 - phi * phi))
+    for _ in range(n):
+        x = phi * x + rng.normal(0.0, innovation)
+        out.append(max(floor, mean + x))
+    return out
+
+
+class StreamTrace:
+    """A synthetic video stream: per-frame timestamps and object counts.
+
+    Substitutes for the paper's recorded footage: the evaluation consumes
+    a stream only through when frames arrive (``frame_times_ms``) and how
+    many objects each contains (``object_counts``, which drive downstream
+    fan-out).  Counts follow an AR(1) process, optionally modulated by
+    the diurnal curve (rush hour raises the mean).
+    """
+
+    def __init__(
+        self,
+        fps: float,
+        duration_ms: float,
+        mean_objects: float,
+        phi: float = 0.9,
+        sigma: float = 0.4,
+        diurnal: bool = False,
+        seed: int = 0,
+    ):
+        if fps <= 0 or duration_ms <= 0:
+            raise ValueError("fps and duration must be positive")
+        gap = 1000.0 / fps
+        n = int(duration_ms / gap)
+        self.frame_times_ms = [i * gap for i in range(n)]
+        base = ar1_series(mean_objects, n, phi=phi, sigma=sigma, seed=seed)
+        if diurnal:
+            self.object_counts = [
+                c * diurnal_rate(1.0, t)
+                for c, t in zip(base, self.frame_times_ms)
+            ]
+        else:
+            self.object_counts = base
+
+    def __len__(self) -> int:
+        return len(self.frame_times_ms)
+
+    def mean_fanout(self) -> float:
+        if not self.object_counts:
+            return 0.0
+        return sum(self.object_counts) / len(self.object_counts)
+
+    def autocorrelation(self, lag: int = 1) -> float:
+        """Empirical lag-k autocorrelation of the object counts."""
+        import numpy as np
+
+        x = np.asarray(self.object_counts)
+        if len(x) <= lag:
+            return 0.0
+        x = x - x.mean()
+        denom = float((x * x).sum())
+        if denom == 0.0:
+            return 0.0
+        return float((x[:-lag] * x[lag:]).sum() / denom)

@@ -1,0 +1,351 @@
+"""Tests for the backend node (cluster/backend.py): GPU scheduler behavior."""
+
+import pytest
+
+from repro.cluster.backend import Backend, BackendSession
+from repro.cluster.messages import Request
+from repro.core.drop import EarlyDropPolicy, LazyDropPolicy
+from repro.core.profile import LinearProfile
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.simulator import Simulator
+
+
+def spec(session_id="s", alpha=1.0, beta=5.0, slo=100.0, batch=8,
+         duty=50.0, policy=None, pre_ms=0.0):
+    profile = LinearProfile(name=session_id, alpha=alpha, beta=beta,
+                            max_batch=64, pre_ms=pre_ms, cpu_workers=5)
+    return BackendSession(
+        session_id=session_id, profile=profile, slo_ms=slo,
+        target_batch=batch, duty_cycle_ms=duty, policy=policy,
+    )
+
+
+def make_backend(sim=None, **kw):
+    sim = sim or Simulator()
+    collector = MetricsCollector()
+    return sim, collector, Backend(sim, collector=collector, **kw)
+
+
+def submit(sim, backend, session_id, at_ms, slo=100.0, results=None):
+    def on_complete(req, t, ok):
+        if results is not None:
+            results.append(("done", req.request_id, t, ok))
+
+    def on_drop(req, t):
+        if results is not None:
+            results.append(("drop", req.request_id, t))
+
+    sim.schedule_at(at_ms, lambda: backend.enqueue(
+        Request(session_id=session_id, arrival_ms=at_ms,
+                deadline_ms=at_ms + slo,
+                on_complete=on_complete, on_drop=on_drop)
+    ))
+
+
+class TestBasicExecution:
+    def test_single_request_served(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec()])
+        results = []
+        submit(sim, backend, "s", 10.0, results=results)
+        sim.run()
+        assert len(results) == 1
+        kind, rid, t, ok = results[0]
+        assert kind == "done" and ok
+        assert t == pytest.approx(10.0 + 6.0)  # l(1) = 6
+
+    def test_batch_forms_while_busy(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec(beta=20.0)])
+        results = []
+        for t in (0.0, 1.0, 2.0, 3.0):
+            submit(sim, backend, "s", t, results=results)
+        sim.run()
+        # First request executes alone (l(1)=21); the rest batch together.
+        assert backend.batches_executed == 2
+        assert all(r[0] == "done" for r in results)
+
+    def test_misrouted_request_dropped(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec("a")])
+        results = []
+        submit(sim, backend, "unknown", 5.0, results=results)
+        sim.run()
+        assert results == [("drop", results[0][1], 5.0)]
+
+    def test_metrics_recorded(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec()])
+        submit(sim, backend, "s", 0.0)
+        sim.run()
+        assert coll.total == 1
+        assert coll.ok_count == 1
+        assert coll.gpu_busy_ms[0] > 0
+
+    def test_utilization_accounting(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec()])
+        submit(sim, backend, "s", 0.0)
+        sim.run()
+        assert backend.busy_ms == pytest.approx(6.0)
+        assert backend.utilization(60.0) == pytest.approx(0.1)
+
+
+class TestCyclePacing:
+    def test_round_robin_between_sessions(self):
+        sim, coll, backend = make_backend(pacing="cycle")
+        backend.set_schedule([
+            spec("a", duty=20.0, batch=4),
+            spec("b", duty=20.0, batch=4),
+        ])
+        results = []
+        for t in range(0, 40, 5):
+            submit(sim, backend, "a" if (t // 5) % 2 == 0 else "b",
+                   float(t), results=results)
+        sim.run()
+        assert all(r[0] == "done" and r[3] for r in results)
+
+    def test_duty_cycle_paces_execution(self):
+        """A session with a long duty cycle does not re-run immediately."""
+        sim, coll, backend = make_backend(pacing="cycle")
+        backend.set_schedule([spec("a", duty=40.0, batch=4)])
+        starts = []
+        orig = backend._try_dispatch
+
+        submit(sim, backend, "a", 0.0)
+        submit(sim, backend, "a", 8.0)   # arrives after first batch started
+        sim.run()
+        # Two executions: at t=0 and not before duty 40 (queue not full).
+        assert backend.batches_executed == 2
+        recs = sorted(coll.records, key=lambda r: r.arrival_ms)
+        assert recs[1].completion_ms >= 40.0
+
+    def test_full_queue_overrides_pacing(self):
+        sim, coll, backend = make_backend(pacing="cycle")
+        backend.set_schedule([spec("a", duty=1000.0, batch=2, slo=3000.0)])
+        for t in (0.0, 1.0, 2.0, 3.0):
+            submit(sim, backend, "a", t, slo=3000.0)
+        sim.run()
+        # First arrival runs immediately (batch 1); the next two fill the
+        # target and run without waiting out the 1000 ms duty cycle; the
+        # last request alone must wait for the next cycle.
+        assert backend.batches_executed == 3
+        done = sorted(r.completion_ms for r in coll.records)
+        assert done[2] < 500.0
+        assert done[3] >= 1000.0
+
+
+class TestGreedyPacing:
+    def test_oldest_head_served_first(self):
+        sim, coll, backend = make_backend(pacing="greedy")
+        backend.set_schedule([
+            spec("a", duty=0.0),
+            spec("b", duty=0.0),
+        ])
+        order = []
+        submit(sim, backend, "b", 0.0, results=order)
+        submit(sim, backend, "a", 1.0, results=order)
+        sim.run()
+        assert order[0][0] == "done"
+        # b arrived first -> served first.
+        b_done = [r for r in order if r[0] == "done"]
+        assert len(b_done) == 2
+
+
+class TestInterference:
+    def test_colocated_sessions_inflated(self):
+        def run(interference):
+            sim, coll, backend = make_backend(
+                pacing="greedy", interference_factor=interference
+            )
+            backend.set_schedule([spec("a", duty=0.0), spec("b", duty=0.0)])
+            submit(sim, backend, "a", 0.0)
+            sim.run()
+            return backend.busy_ms
+
+        assert run(0.5) == pytest.approx(run(0.0) * 1.5)
+
+    def test_single_session_unaffected(self):
+        sim, coll, backend = make_backend(interference_factor=0.5)
+        backend.set_schedule([spec("a")])
+        submit(sim, backend, "a", 0.0)
+        sim.run()
+        assert backend.busy_ms == pytest.approx(6.0)
+
+
+class TestOverlap:
+    def test_overlap_off_occupies_longer(self):
+        def run(overlap):
+            sim, coll, backend = make_backend(overlap=overlap)
+            backend.set_schedule([spec("a", pre_ms=10.0)])
+            submit(sim, backend, "a", 0.0)
+            sim.run()
+            return backend.busy_ms
+
+        assert run(False) > run(True)
+
+
+class TestScheduleUpdates:
+    def test_surviving_session_keeps_queue(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec("a", duty=50.0)])
+        results = []
+        submit(sim, backend, "a", 0.0, results=results)
+        # Replace schedule at t=1 while potentially in flight.
+        sim.schedule_at(1.0, lambda: backend.set_schedule(
+            [spec("a", duty=30.0), spec("b")]
+        ))
+        sim.run()
+        assert any(r[0] == "done" for r in results)
+
+    def test_removed_session_queue_dropped(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec("a", beta=50.0), spec("b")])
+        results = []
+        # Two requests: one executes immediately, one queued.
+        submit(sim, backend, "a", 0.0, results=results)
+        submit(sim, backend, "a", 1.0, results=results)
+        sim.schedule_at(2.0, lambda: backend.set_schedule([spec("b")]))
+        sim.run()
+        assert any(r[0] == "drop" for r in results)
+
+    def test_empty_schedule_idles(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([])
+        submit(sim, backend, "a", 0.0)
+        sim.run()
+        assert backend.batches_executed == 0
+
+    def test_pacing_validation(self):
+        with pytest.raises(ValueError):
+            Backend(Simulator(), pacing="chaotic")
+
+    def test_target_batch_validation(self):
+        with pytest.raises(ValueError):
+            spec(batch=0)
+
+
+class TestDeferredExecution:
+    """Section 5's delay-at-lower-priority option (batch applications)."""
+
+    def _run(self, defer):
+        sim = Simulator()
+        collector = MetricsCollector()
+        backend = Backend(sim, collector=collector, defer_missed=defer)
+        # beta large so a burst cannot all meet the tight SLO.
+        backend.set_schedule([spec("a", alpha=1.0, beta=30.0, slo=40.0,
+                                   batch=2, duty=0.0)])
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0, 5.0):
+            submit(sim, backend, "a", t, slo=40.0)
+        sim.run()
+        return collector
+
+    def test_drop_mode_sheds(self):
+        coll = self._run(defer=False)
+        assert coll.dropped_count > 0
+
+    def test_defer_mode_serves_everything_late(self):
+        coll = self._run(defer=True)
+        assert coll.dropped_count == 0
+        assert coll.total == 6
+        assert coll.late_count > 0  # served, but past deadline
+
+    def test_defer_does_not_starve_live_traffic(self):
+        sim = Simulator()
+        collector = MetricsCollector()
+        backend = Backend(sim, collector=collector, defer_missed=True)
+        backend.set_schedule([spec("a", alpha=1.0, beta=30.0, slo=40.0,
+                                   batch=2, duty=0.0)])
+        # A hopeless early burst, then well-spaced live traffic.
+        for t in (0.0, 1.0, 2.0, 3.0):
+            submit(sim, backend, "a", t, slo=40.0)
+        for t in (200.0, 400.0, 600.0):
+            submit(sim, backend, "a", t, slo=100.0)
+        sim.run()
+        live = [r for r in collector.records if r.arrival_ms >= 200.0]
+        assert all(r.ok for r in live)
+
+
+class TestExecutionTrace:
+    def test_trace_disabled_by_default(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec("a")])
+        submit(sim, backend, "a", 0.0)
+        sim.run()
+        assert backend.trace == []
+
+    def test_trace_records_spans(self):
+        sim, coll, backend = make_backend()
+        backend.trace_enabled = True
+        backend.set_schedule([spec("a")])
+        submit(sim, backend, "a", 0.0)
+        submit(sim, backend, "a", 100.0)
+        sim.run()
+        assert len(backend.trace) == 2
+        span = backend.trace[0]
+        assert span.session_id == "a"
+        assert span.batch == 1
+        assert span.duration_ms == pytest.approx(6.0)
+        assert not span.deferred
+
+    def test_spans_never_overlap(self):
+        sim, coll, backend = make_backend()
+        backend.trace_enabled = True
+        backend.set_schedule([spec("a", beta=20.0), spec("b", beta=20.0)])
+        for t in range(0, 100, 7):
+            submit(sim, backend, "a" if t % 2 else "b", float(t), slo=500.0)
+        sim.run()
+        spans = sorted(backend.trace, key=lambda s: s.start_ms)
+        for s1, s2 in zip(spans, spans[1:]):
+            assert s2.start_ms >= s1.end_ms - 1e-9
+
+    def test_deferred_spans_flagged(self):
+        sim = Simulator()
+        coll = MetricsCollector()
+        backend = Backend(sim, collector=coll, defer_missed=True)
+        backend.trace_enabled = True
+        backend.set_schedule([spec("a", alpha=1.0, beta=30.0, slo=40.0,
+                                   batch=2, duty=0.0)])
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0, 5.0):
+            submit(sim, backend, "a", t, slo=40.0)
+        sim.run()
+        assert any(s.deferred for s in backend.trace)
+
+
+class TestModelLoading:
+    """Section 2.2: newly placed models pay a PCIe load latency."""
+
+    def test_first_batch_waits_for_load(self):
+        sim, coll, backend = make_backend()
+        s = spec("a", duty=0.0)
+        s.load_ms = 200.0
+        backend.set_schedule([s])
+        submit(sim, backend, "a", 0.0, slo=500.0)
+        sim.run()
+        rec = coll.records[0]
+        assert rec.completion_ms >= 200.0
+
+    def test_resident_session_keeps_serving(self):
+        sim, coll, backend = make_backend()
+        backend.set_schedule([spec("a", duty=0.0)])
+        submit(sim, backend, "a", 0.0)
+        # Re-deploy with load_ms set: session already resident -> no delay.
+        def redeploy():
+            s = spec("a", duty=0.0)
+            s.load_ms = 500.0
+            backend.set_schedule([s])
+        sim.schedule_at(50.0, redeploy)
+        submit(sim, backend, "a", 60.0)
+        sim.run()
+        recs = sorted(coll.records, key=lambda r: r.arrival_ms)
+        assert recs[1].completion_ms < 100.0
+
+    def test_full_queue_does_not_bypass_load(self):
+        sim, coll, backend = make_backend()
+        s = spec("a", duty=0.0, batch=2)
+        s.load_ms = 300.0
+        backend.set_schedule([s])
+        for t in (0.0, 1.0, 2.0, 3.0):
+            submit(sim, backend, "a", t, slo=1000.0)
+        sim.run()
+        assert min(r.completion_ms for r in coll.records) >= 300.0

@@ -1,0 +1,141 @@
+"""Tests for fork-join (series-parallel) query planning (core/dag.py)."""
+
+import math
+
+import pytest
+
+from repro.core.dag import Parallel, Series, SPStage, plan_sp, sp_from_edges
+from repro.core.profile import LinearProfile
+from repro.core.query import Query, QueryStage, plan_query
+
+
+def stage(name, alpha=1.0, beta=10.0, mult=1.0, max_batch=128):
+    return SPStage(
+        name,
+        LinearProfile(name=name, alpha=alpha, beta=beta, max_batch=max_batch),
+        rate_multiplier=mult,
+    )
+
+
+class TestPlanSP:
+    def test_single_stage_gets_whole_budget(self):
+        plan = plan_sp(stage("x"), slo_ms=100.0, rate_rps=50.0)
+        assert plan.budgets_ms["x"] == pytest.approx(100.0)
+        assert plan.total_gpus > 0
+
+    def test_series_budgets_sum_to_slo(self):
+        expr = Series(parts=[stage("a"), stage("b"), stage("c")])
+        plan = plan_sp(expr, slo_ms=300.0, rate_rps=100.0)
+        total = sum(plan.budgets_ms.values())
+        assert total <= 300.0 + 1e-9
+        assert all(v > 0 for v in plan.budgets_ms.values())
+
+    def test_parallel_branches_share_window(self):
+        expr = Parallel(branches=[stage("left"), stage("right")])
+        plan = plan_sp(expr, slo_ms=120.0, rate_rps=50.0)
+        assert plan.budgets_ms["left"] == plan.budgets_ms["right"]
+        assert plan.budgets_ms["left"] == pytest.approx(120.0)
+
+    def test_fork_join_diamond(self):
+        """a -> (b | c) -> d: both paths a+b+d and a+c+d fit the SLO."""
+        expr = Series(parts=[
+            stage("a"),
+            Parallel(branches=[stage("b"), stage("c", alpha=2.0)]),
+            stage("d"),
+        ])
+        plan = plan_sp(expr, slo_ms=400.0, rate_rps=100.0, epsilon_ms=10.0)
+        for mid in ("b", "c"):
+            path = (plan.budgets_ms["a"] + plan.budgets_ms[mid]
+                    + plan.budgets_ms["d"])
+            assert path <= 400.0 + 1e-9
+        assert plan.budgets_ms["b"] == plan.budgets_ms["c"]
+
+    def test_heavy_stage_gets_more_budget(self):
+        expr = Series(parts=[stage("big", alpha=5.0, beta=30.0),
+                             stage("small", alpha=0.1, beta=1.0)])
+        plan = plan_sp(expr, slo_ms=300.0, rate_rps=100.0, epsilon_ms=10.0)
+        assert plan.budgets_ms["big"] > plan.budgets_ms["small"]
+
+    def test_infeasible_raises(self):
+        expr = Series(parts=[stage("slow", alpha=50.0, beta=100.0)])
+        with pytest.raises(ValueError):
+            plan_sp(expr, slo_ms=50.0, rate_rps=10.0)
+
+    def test_rate_multiplier_scales_cost(self):
+        light = plan_sp(stage("x", mult=1.0), 100.0, 100.0)
+        heavy = plan_sp(stage("x", mult=10.0), 100.0, 100.0)
+        assert heavy.total_gpus == pytest.approx(10 * light.total_gpus)
+
+    def test_matches_tree_dp_on_chain(self):
+        """On a pure chain the SP planner and the tree DP agree on cost."""
+        a = LinearProfile(name="a", alpha=1.0, beta=10.0, max_batch=128)
+        b = LinearProfile(name="b", alpha=0.5, beta=5.0, max_batch=128)
+        root = QueryStage("a", a)
+        root.add_child(QueryStage("b", b, gamma=2.0))
+        q = Query("q", root, 300.0)
+        tree = plan_query(q, 100.0, epsilon_ms=5.0, min_stage_frac=0.0)
+
+        expr = Series(parts=[
+            SPStage("a", a, 1.0), SPStage("b", b, 2.0),
+        ])
+        sp = plan_sp(expr, 300.0, 100.0, epsilon_ms=5.0)
+        assert sp.total_gpus == pytest.approx(tree.total_gpus, rel=0.02)
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Series(parts=[])
+        with pytest.raises(ValueError):
+            Parallel(branches=[stage("x")])
+        with pytest.raises(TypeError):
+            plan_sp("not-a-node", 100.0, 10.0)
+        with pytest.raises(ValueError):
+            plan_sp(stage("x"), -5.0, 10.0)
+
+
+class TestSpFromEdges:
+    def _stages(self, names):
+        return {n: stage(n) for n in names}
+
+    def test_chain(self):
+        stages = self._stages("abc")
+        expr = sp_from_edges(stages, [("a", "b"), ("b", "c")])
+        assert isinstance(expr, Series)
+        plan = plan_sp(expr, 300.0, 50.0)
+        assert set(plan.budgets_ms) == {"a", "b", "c"}
+
+    def test_diamond(self):
+        stages = self._stages("abcd")
+        expr = sp_from_edges(
+            stages,
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        )
+        plan = plan_sp(expr, 400.0, 50.0, epsilon_ms=10.0)
+        assert set(plan.budgets_ms) == {"a", "b", "c", "d"}
+        assert plan.budgets_ms["b"] == plan.budgets_ms["c"]
+
+    def test_nested_fork_join(self):
+        stages = self._stages("abcdefg")
+        # a -> (b -> (c|d) -> e | f) -> g
+        edges = [("a", "b"), ("b", "c"), ("b", "d"), ("c", "e"),
+                 ("d", "e"), ("a", "f"), ("e", "g"), ("f", "g")]
+        expr = sp_from_edges(stages, edges)
+        plan = plan_sp(expr, 500.0, 50.0, epsilon_ms=20.0)
+        assert set(plan.budgets_ms) == set("abcdefg")
+        # Inner parallel pair shares a window.
+        assert plan.budgets_ms["c"] == plan.budgets_ms["d"]
+
+    def test_multiple_sources_rejected(self):
+        stages = self._stages("abc")
+        with pytest.raises(ValueError):
+            sp_from_edges(stages, [("a", "c"), ("b", "c")])
+
+    def test_unknown_stage_rejected(self):
+        stages = self._stages("ab")
+        with pytest.raises(ValueError):
+            sp_from_edges(stages, [("a", "zz")])
+
+    def test_non_reconverging_fork_rejected(self):
+        # a forks to b and c; b and c never join (two sinks).
+        stages = self._stages("abc")
+        with pytest.raises(ValueError):
+            sp_from_edges(stages, [("a", "b"), ("a", "c")])

@@ -1,0 +1,128 @@
+"""Tests for the model database (management plane, section 5)."""
+
+import pytest
+
+from repro.core.profile import TabulatedProfile
+from repro.models.database import ModelDatabase
+from repro.models.specialize import make_variants
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def db():
+    return ModelDatabase(devices=["gtx1080ti", "k80"])
+
+
+class TestIngest:
+    def test_by_zoo_name(self, db):
+        entry = db.ingest("resnet50")
+        assert "resnet50" in db
+        assert entry.graph.total_flops() > 0
+
+    def test_profiles_all_devices(self, db):
+        entry = db.ingest("googlenet")
+        assert set(entry.profiles) == {"gtx1080ti", "k80"}
+        assert entry.profile("k80").latency(1) > \
+            entry.profile("gtx1080ti").latency(1)
+
+    def test_supplied_profile_used(self, db):
+        measured = TabulatedProfile(name="measured",
+                                    points=((4, 40.0), (16, 100.0)))
+        entry = db.ingest("lenet5", profiles={"gtx1080ti": measured})
+        assert entry.profile("gtx1080ti") is measured
+        # Uncovered devices still get analytic profiles.
+        assert entry.profile("k80").latency(1) > 0
+
+    def test_duplicate_rejected(self, db):
+        db.ingest("lenet5")
+        with pytest.raises(ValueError):
+            db.ingest("lenet5")
+
+    def test_custom_id(self, db):
+        db.ingest("lenet5", model_id="digit-reader")
+        assert "digit-reader" in db
+        assert db.get("digit-reader").graph.name.startswith("lenet5")
+
+    def test_unknown_lookup(self, db):
+        with pytest.raises(KeyError):
+            db.get("missing")
+        with pytest.raises(KeyError):
+            db.profile("missing", "k80")
+
+    def test_unknown_device_profile(self, db):
+        db.ingest("lenet5")
+        with pytest.raises(KeyError):
+            db.profile("lenet5", "v100")
+
+    def test_remove(self, db):
+        db.ingest("lenet5")
+        db.remove("lenet5")
+        assert "lenet5" not in db
+        with pytest.raises(KeyError):
+            db.remove("lenet5")
+
+
+class TestPrefixIndex:
+    def test_variants_linked_on_upload(self, db):
+        base = get_model("resnet50")
+        for v in make_variants(base, 3):
+            db.ingest(v)
+        entry = db.get(f"{base.name}@task0")
+        assert len(entry.prefix_peers) == 2
+
+    def test_unrelated_models_not_linked(self, db):
+        db.ingest("lenet5")
+        db.ingest("googlenet")
+        assert db.get("lenet5").prefix_peers == {}
+
+    def test_prefix_family(self, db):
+        base = get_model("resnet50")
+        for v in make_variants(base, 3):
+            db.ingest(v)
+        db.ingest("lenet5")
+        family = db.prefix_family(f"{base.name}@task1")
+        assert len(family) == 3
+        assert "lenet5" not in family
+
+    def test_prefix_groups_partition(self, db):
+        base = get_model("resnet50")
+        for v in make_variants(base, 3):
+            db.ingest(v)
+        db.ingest("lenet5")
+        db.ingest("googlenet")
+        groups = db.prefix_groups()
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 1, 3]
+        flat = [m for g in groups for m in g]
+        assert sorted(flat) == db.model_ids()
+
+    def test_remove_unlinks_peers(self, db):
+        base = get_model("resnet50")
+        for v in make_variants(base, 2):
+            db.ingest(v)
+        db.remove(f"{base.name}@task0")
+        assert db.get(f"{base.name}@task1").prefix_peers == {}
+
+    def test_fused_profiles(self, db):
+        base = get_model("resnet50")
+        variants = make_variants(base, 3)
+        for v in variants:
+            db.ingest(v)
+        prefix, suffixes, plen = db.fused_profiles(
+            [v.name for v in variants], "gtx1080ti"
+        )
+        assert len(suffixes) == 3
+        assert plen > 100
+
+    def test_min_shared_frac_validation(self):
+        with pytest.raises(ValueError):
+            ModelDatabase(min_shared_frac=1.5)
+
+
+class TestSummary:
+    def test_summary_rows(self, db):
+        db.ingest("lenet5")
+        db.ingest("resnet50")
+        rows = {r["model_id"]: r for r in db.summary()}
+        assert rows["resnet50"]["gflops"] > rows["lenet5"]["gflops"]
+        assert rows["resnet50"]["devices"] == ["gtx1080ti", "k80"]

@@ -1,0 +1,190 @@
+"""Tests for drop policies and the dispatch simulation (core/drop.py)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drop import (
+    EarlyDropPolicy,
+    LazyDropPolicy,
+    QueuedRequest,
+    max_goodput,
+    simulate_dispatch,
+)
+from repro.core.profile import LinearProfile
+from repro.workloads.arrivals import poisson_arrivals, uniform_arrivals
+
+
+def fig5_profile(alpha: float) -> LinearProfile:
+    """Figure 5's parameterization: SLO 100 ms, optimal 500 r/s.
+
+    Optimal batch B satisfies 2*l(B) = 100 and B/l(B) = 500/s, so B = 25
+    and beta = 50 - 25*alpha.
+    """
+    return LinearProfile(name="fig5", alpha=alpha, beta=50.0 - 25.0 * alpha,
+                         max_batch=64)
+
+
+class TestLazyDropPolicy:
+    def test_serves_oldest_first(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        queue = [QueuedRequest(i, float(i), 100.0 + i) for i in range(5)]
+        batch, dropped = LazyDropPolicy().select(queue, 10.0, p)
+        assert [q.request_id for q in batch][0] == 0
+        assert not dropped
+
+    def test_drops_expired(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        queue = [
+            QueuedRequest(0, 0.0, 5.0),     # hopeless at t=10
+            QueuedRequest(1, 8.0, 108.0),
+        ]
+        batch, dropped = LazyDropPolicy().select(queue, 10.0, p)
+        assert [q.request_id for q in dropped] == [0]
+        assert [q.request_id for q in batch] == [1]
+
+    def test_head_budget_limits_batch(self):
+        # head deadline allows l(b) <= 12 -> b <= 2 for alpha=1, beta=10.
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0)
+        queue = [QueuedRequest(i, 0.0, 12.0 if i == 0 else 1000.0)
+                 for i in range(10)]
+        batch, _ = LazyDropPolicy().select(queue, 0.0, p)
+        assert len(batch) == 2
+
+    def test_batch_cap(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        queue = [QueuedRequest(i, 0.0, 1000.0) for i in range(10)]
+        batch, _ = LazyDropPolicy(batch_cap=3).select(queue, 0.0, p)
+        assert len(batch) == 3
+
+
+class TestEarlyDropPolicy:
+    def test_drops_stale_heads_for_full_window(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0)
+        # Head has 12 ms left (batch of 2 max); the rest are fresh.
+        queue = [QueuedRequest(0, 0.0, 12.0)] + [
+            QueuedRequest(i, 5.0, 5.0 + 100.0) for i in range(1, 9)
+        ]
+        batch, dropped = EarlyDropPolicy(target_batch=8).select(queue, 0.0, p)
+        assert [q.request_id for q in dropped] == [0]
+        assert len(batch) == 8
+
+    def test_serves_window_when_head_fresh(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0)
+        queue = [QueuedRequest(i, 0.0, 500.0) for i in range(20)]
+        batch, dropped = EarlyDropPolicy(target_batch=8).select(queue, 0.0, p)
+        assert len(batch) == 8
+        assert not dropped
+
+    def test_partial_window_at_queue_tail(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0)
+        queue = [QueuedRequest(i, 0.0, 500.0) for i in range(3)]
+        batch, dropped = EarlyDropPolicy(target_batch=8).select(queue, 0.0, p)
+        assert len(batch) == 3
+
+    def test_requires_positive_target(self):
+        with pytest.raises(ValueError):
+            EarlyDropPolicy(target_batch=0)
+
+
+class TestSimulateDispatch:
+    def test_underload_all_served(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=5.0, max_batch=32)
+        arrivals = uniform_arrivals(50.0, 10_000.0, seed=1)
+        stats = simulate_dispatch(arrivals, p, 100.0, LazyDropPolicy())
+        assert stats.bad_rate == 0.0
+        assert stats.total == len(arrivals)
+
+    def test_overload_sheds_load(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=5.0, max_batch=32)
+        # Optimal throughput ~ 32/37ms = 865/s; offer 3x that.
+        arrivals = uniform_arrivals(2600.0, 5_000.0, seed=1)
+        stats = simulate_dispatch(
+            arrivals, p, 100.0, EarlyDropPolicy(target_batch=32)
+        )
+        assert stats.dropped > 0
+        assert stats.served_ok > 0
+        # Goodput cannot exceed the profile's optimal throughput.
+        assert stats.goodput_rps <= p.throughput(32) * 1.05
+
+    def test_unsorted_arrivals_rejected(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=5.0)
+        with pytest.raises(ValueError):
+            simulate_dispatch([5.0, 1.0], p, 100.0, LazyDropPolicy())
+
+    def test_empty_arrivals(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=5.0)
+        stats = simulate_dispatch([], p, 100.0, LazyDropPolicy())
+        assert stats.total == 0
+        assert stats.bad_rate == 0.0
+
+    def test_accounting_is_complete(self):
+        """Every request ends up served ok, late, or dropped."""
+        p = LinearProfile(name="m", alpha=1.5, beta=20.0, max_batch=32)
+        arrivals = poisson_arrivals(700.0, 5_000.0, seed=3)
+        for policy in (LazyDropPolicy(), EarlyDropPolicy(16)):
+            stats = simulate_dispatch(arrivals, p, 100.0, policy)
+            assert stats.total == len(arrivals)
+
+    def test_overlap_flag_changes_throughput(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=5.0, pre_ms=2.0,
+                          cpu_workers=5, max_batch=32)
+        arrivals = uniform_arrivals(600.0, 5_000.0, seed=2)
+        on = simulate_dispatch(arrivals, p, 100.0, EarlyDropPolicy(16),
+                               overlap=True)
+        off = simulate_dispatch(arrivals, p, 100.0, EarlyDropPolicy(16),
+                                overlap=False)
+        assert on.served_ok >= off.served_ok
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_no_request_lost_property(self, seed):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=32)
+        arrivals = poisson_arrivals(450.0, 3_000.0, seed=seed)
+        stats = simulate_dispatch(arrivals, p, 100.0, EarlyDropPolicy(16))
+        assert stats.total == len(arrivals)
+
+
+class TestFigure5And9Shapes:
+    """The paper's drop-policy findings, asserted as shapes."""
+
+    def test_lazy_drop_bad_under_poisson_small_alpha(self):
+        p = fig5_profile(1.0)
+        arrivals = poisson_arrivals(450.0, 30_000.0, seed=42)
+        stats = simulate_dispatch(arrivals, p, 100.0, LazyDropPolicy())
+        assert stats.bad_rate > 0.10  # paper: tens of percent
+
+    def test_lazy_drop_fine_under_uniform(self):
+        p = fig5_profile(1.0)
+        arrivals = uniform_arrivals(450.0, 30_000.0, seed=42)
+        stats = simulate_dispatch(arrivals, p, 100.0, LazyDropPolicy())
+        assert stats.bad_rate < 0.02
+
+    def test_lazy_drop_improves_with_alpha(self):
+        rates = []
+        for alpha in (1.0, 1.8):
+            p = fig5_profile(alpha)
+            arrivals = poisson_arrivals(450.0, 30_000.0, seed=42)
+            stats = simulate_dispatch(arrivals, p, 100.0, LazyDropPolicy())
+            rates.append(stats.bad_rate)
+        assert rates[1] < rates[0]
+
+    def test_early_drop_rescues_poisson(self):
+        p = fig5_profile(1.0)
+        arrivals = poisson_arrivals(450.0, 30_000.0, seed=42)
+        lazy = simulate_dispatch(arrivals, p, 100.0, LazyDropPolicy())
+        early = simulate_dispatch(arrivals, p, 100.0, EarlyDropPolicy(25))
+        assert early.bad_rate < lazy.bad_rate / 3
+
+    def test_early_drop_higher_goodput(self):
+        """Figure 9: early drop achieves higher max goodput than lazy."""
+        p = fig5_profile(1.0)
+
+        def arrivals(rate):
+            return poisson_arrivals(rate, 20_000.0, seed=7)
+
+        lazy = max_goodput(arrivals, p, 100.0, LazyDropPolicy,
+                           iterations=8)
+        early = max_goodput(arrivals, p, 100.0,
+                            lambda: EarlyDropPolicy(25), iterations=8)
+        assert early > lazy

@@ -1,0 +1,118 @@
+"""Additional drop-policy and dispatch-loop coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drop import (
+    DispatchStats,
+    DropPolicy,
+    EarlyDropPolicy,
+    LazyDropPolicy,
+    QueuedRequest,
+    simulate_dispatch,
+)
+from repro.core.profile import LinearProfile
+from repro.workloads.arrivals import mmpp_arrivals, poisson_arrivals
+
+
+class TestDispatchStats:
+    def test_empty_stats(self):
+        s = DispatchStats()
+        assert s.total == 0
+        assert s.bad_rate == 0.0
+        assert s.goodput_rps == 0.0
+        assert s.mean_batch == 0.0
+        assert s.utilization == 0.0
+
+    def test_rates_consistent(self):
+        s = DispatchStats(served_ok=90, served_late=5, dropped=5,
+                          batches=10, batch_size_sum=100,
+                          busy_ms=500.0, span_ms=1000.0)
+        assert s.total == 100
+        assert s.bad_rate == pytest.approx(0.1)
+        assert s.good_rate == pytest.approx(0.9)
+        assert s.goodput_rps == pytest.approx(90.0)
+        assert s.mean_batch == 10.0
+        assert s.utilization == 0.5
+
+
+class TestPolicyEdgeCases:
+    def test_lazy_empty_queue(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        batch, dropped = LazyDropPolicy().select([], 0.0, p)
+        assert batch == [] and dropped == []
+
+    def test_early_empty_queue(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        batch, dropped = EarlyDropPolicy(4).select([], 0.0, p)
+        assert batch == [] and dropped == []
+
+    def test_early_all_expired(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        queue = [QueuedRequest(i, 0.0, 1.0) for i in range(4)]
+        batch, dropped = EarlyDropPolicy(4).select(queue, 100.0, p)
+        assert batch == []
+        assert len(dropped) == 4
+
+    def test_early_window_shrinks_toward_tail(self):
+        """When the full window cannot fit any anchor's budget, the scan
+        shrinks toward the queue tail rather than starving."""
+        p = LinearProfile(name="m", alpha=5.0, beta=20.0, max_batch=8)
+        # l(3)=35 > 30 budget, l(2)=30 fits: head is sacrificed.
+        queue = [QueuedRequest(i, 0.0, 30.0) for i in range(3)]
+        batch, dropped = EarlyDropPolicy(3).select(queue, 0.0, p)
+        assert [q.request_id for q in batch] == [1, 2]
+        assert [q.request_id for q in dropped] == [0]
+
+    def test_early_single_item_tail(self):
+        """Even when only a lone tail item fits, it is served."""
+        p = LinearProfile(name="m", alpha=5.0, beta=20.0, max_batch=8)
+        queue = [QueuedRequest(i, 0.0, 28.0) for i in range(3)]
+        batch, dropped = EarlyDropPolicy(3).select(queue, 0.0, p)
+        assert len(batch) == 1
+        assert len(dropped) == 2
+
+    def test_lazy_cap_validation(self):
+        with pytest.raises(ValueError):
+            LazyDropPolicy(batch_cap=0)
+
+    def test_base_policy_abstract(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=1.0)
+        with pytest.raises(NotImplementedError):
+            DropPolicy().select([], 0.0, p)
+
+
+class TestDispatchUnderBurstyArrivals:
+    def test_mmpp_early_beats_lazy(self):
+        """Under phase-switching (bursty) arrivals, early drop's goodput
+        advantage persists (the Figure 5/9 mechanism generalizes)."""
+        prof = LinearProfile(name="m", alpha=1.0, beta=25.0, max_batch=64)
+        arrivals = mmpp_arrivals([700.0, 150.0], phase_ms=2_000.0,
+                                 duration_ms=30_000.0, seed=2)
+        lazy = simulate_dispatch(arrivals, prof, 100.0, LazyDropPolicy())
+        early = simulate_dispatch(arrivals, prof, 100.0, EarlyDropPolicy(25))
+        assert early.served_ok >= lazy.served_ok
+
+    @given(st.integers(1, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_any_window_conserves_requests(self, window, seed):
+        prof = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=64)
+        arrivals = poisson_arrivals(400.0, 3_000.0, seed=seed)
+        stats = simulate_dispatch(arrivals, prof, 100.0,
+                                  EarlyDropPolicy(window))
+        assert stats.total == len(arrivals)
+
+    def test_goodput_monotone_down_in_overload(self):
+        """More overload cannot increase the count of on-time requests
+        beyond capacity."""
+        prof = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=32)
+        capacity = prof.throughput(32)
+        results = []
+        for rate in (capacity * 1.5, capacity * 3.0):
+            arrivals = poisson_arrivals(rate, 10_000.0, seed=3)
+            stats = simulate_dispatch(arrivals, prof, 100.0,
+                                      EarlyDropPolicy(32))
+            results.append(stats.goodput_rps)
+        for g in results:
+            assert g <= capacity * 1.1

@@ -1,0 +1,135 @@
+"""Tests for the incremental epoch scheduler (core/epoch.py)."""
+
+import pytest
+
+from repro.core.epoch import EpochScheduler
+from repro.core.profile import LinearProfile
+from repro.core.session import Session, SessionLoad
+
+
+def load(name, slo, rate, alpha=1.0, beta=10.0):
+    return SessionLoad(
+        Session(name, slo), rate,
+        LinearProfile(name=name, alpha=alpha, beta=beta, max_batch=64),
+    )
+
+
+class TestTriggers:
+    def test_epoch_boundary_triggers(self):
+        s = EpochScheduler(epoch_ms=30_000.0)
+        s.update(0.0, [load("a", 200.0, 50.0)])
+        assert not s.should_reschedule(5_000.0, [load("a", 200.0, 50.0)])
+        assert s.should_reschedule(31_000.0, [load("a", 200.0, 50.0)])
+
+    def test_min_period_blocks_early_epochs(self):
+        """Paper: 'we limit the minimum period between two epochs to 10
+        seconds' to prevent oscillation."""
+        s = EpochScheduler(epoch_ms=30_000.0, min_period_ms=10_000.0)
+        s.update(0.0, [load("a", 200.0, 50.0)])
+        surge = [load("a", 200.0, 500.0)]
+        assert not s.should_reschedule(5_000.0, surge)
+        assert s.should_reschedule(12_000.0, surge)
+
+    def test_large_change_triggers_early(self):
+        s = EpochScheduler(epoch_ms=30_000.0, change_threshold=0.25)
+        s.update(0.0, [load("a", 200.0, 100.0)])
+        assert s.should_reschedule(12_000.0, [load("a", 200.0, 200.0)])
+        assert not s.should_reschedule(12_000.0, [load("a", 200.0, 110.0)])
+
+    def test_new_session_triggers(self):
+        s = EpochScheduler()
+        s.update(0.0, [load("a", 200.0, 100.0)])
+        both = [load("a", 200.0, 100.0), load("b", 200.0, 10.0)]
+        assert s.should_reschedule(12_000.0, both)
+
+
+class TestIncrementalUpdates:
+    def test_first_update_allocates(self):
+        s = EpochScheduler()
+        up = s.update(0.0, [load("a", 200.0, 300.0)])
+        assert up.gpus_after >= 1
+        assert s.capacity_rps("a@200ms") >= 300.0 - 1e-6
+
+    def test_growth_adds_gpus(self):
+        s = EpochScheduler()
+        s.update(0.0, [load("a", 200.0, 100.0)])
+        before = s.num_gpus
+        up = s.update(30_000.0, [load("a", 200.0, 800.0)])
+        assert up.gpus_after > before
+        assert s.capacity_rps("a@200ms") >= 800.0 - 1e-6
+
+    def test_shrink_releases_gpus(self):
+        s = EpochScheduler()
+        s.update(0.0, [load("a", 200.0, 3000.0)])
+        before = s.num_gpus
+        assert before >= 2
+        up = s.update(30_000.0, [load("a", 200.0, 50.0)])
+        assert up.gpus_after < before
+
+    def test_steady_state_no_churn(self):
+        s = EpochScheduler()
+        loads = [load("a", 200.0, 100.0), load("b", 300.0, 60.0)]
+        s.update(0.0, loads)
+        up = s.update(30_000.0, loads)
+        assert up.sessions_moved == 0
+        assert up.gpus_before == up.gpus_after
+
+    def test_retired_session_dropped(self):
+        s = EpochScheduler()
+        s.update(0.0, [load("a", 200.0, 100.0), load("b", 300.0, 60.0)])
+        s.update(30_000.0, [load("a", 200.0, 100.0)])
+        assert s.capacity_rps("b@300ms") == 0.0
+        assert s.capacity_rps("a@200ms") >= 100.0 - 1e-6
+
+    def test_max_gpus_cap_respected(self):
+        s = EpochScheduler(max_gpus=2)
+        s.update(0.0, [load("a", 200.0, 2000.0)])
+        assert s.num_gpus <= 2
+
+    def test_plans_stay_valid_across_updates(self):
+        s = EpochScheduler()
+        rates = [100.0, 400.0, 150.0, 600.0, 30.0]
+        for i, r in enumerate(rates):
+            s.update(i * 30_000.0, [load("a", 200.0, r),
+                                    load("b", 250.0, r / 2)])
+            assert not s.plan.validate()
+            assert s.capacity_rps("a@200ms") >= r - 1e-6
+
+    def test_updates_recorded(self):
+        s = EpochScheduler()
+        s.update(0.0, [load("a", 200.0, 100.0)])
+        s.update(30_000.0, [load("a", 200.0, 200.0)])
+        assert len(s.updates) == 2
+        assert s.updates[1].epoch == 2
+        assert s.updates[1].time_ms == 30_000.0
+
+    def test_gpus_added_released_accounting(self):
+        s = EpochScheduler()
+        up1 = s.update(0.0, [load("a", 200.0, 800.0)])
+        assert up1.gpus_added == up1.gpus_after
+        up2 = s.update(30_000.0, [load("a", 200.0, 10.0)])
+        assert up2.gpus_released == up1.gpus_after - up2.gpus_after
+
+
+class TestEvictionPath:
+    def test_overloaded_node_evicts_and_repacks(self):
+        """When a shared node becomes overloaded by rate growth, the
+        cheapest sessions are evicted and repacked elsewhere."""
+        s = EpochScheduler()
+        light = [load("a", 300.0, 30.0), load("b", 300.0, 30.0)]
+        s.update(0.0, light)
+        shared = [n for n in s.plan.gpus if len(n.allocations) == 2]
+        assert shared, "setup: expected a merged node"
+        # b's rate grows 20x: the old shared node cannot host both.
+        grown = [load("a", 300.0, 30.0), load("b", 300.0, 600.0)]
+        up = s.update(30_000.0, grown)
+        assert not s.plan.validate()
+        assert s.capacity_rps("a@300ms") >= 30.0 - 1e-6
+        assert s.capacity_rps("b@300ms") >= 600.0 - 1e-6
+
+    def test_capped_plan_keeps_fullest_nodes(self):
+        s = EpochScheduler(max_gpus=1)
+        s.update(0.0, [load("a", 200.0, 50.0), load("b", 200.0, 800.0)])
+        assert s.num_gpus == 1
+        # The surviving node is the busier one.
+        assert s.plan.gpus[0].occupancy > 0.3

@@ -1,0 +1,135 @@
+"""Smoke tests for the cluster-experiment builders (cheap runs only).
+
+The full searches live in benchmarks/; here we pin that each experiment's
+cluster factory builds a sane deployment and serves at a low rate.
+"""
+
+import pytest
+
+from repro.cluster.nexus import ClusterConfig
+from repro.experiments.fig10 import GAME_SLO_MS, icon_only_queries, make_game_cluster
+from repro.experiments.fig11 import make_traffic_cluster
+from repro.experiments.fig13 import make_large_cluster
+from repro.experiments.fig14 import make_multiplex_cluster
+from repro.experiments.fig16 import SCENARIOS, make_mix_cluster
+from repro.experiments.fig17 import make_qa_cluster
+from repro.experiments.common import max_rate_search
+
+
+def nexus_cfg(**kw):
+    defaults = dict(device="gtx1080ti", max_gpus=4)
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+class TestFig10Helpers:
+    def test_icon_only_queries(self):
+        qs = icon_only_queries("gtx1080ti", 3)
+        assert len(qs) == 3
+        assert all(q.slo_ms == GAME_SLO_MS for q in qs)
+        assert all(len(q.stages()) == 1 for q in qs)
+        models = {q.root.model_id for q in qs}
+        assert len(models) == 3  # distinct specializations
+
+    def test_game_cluster_serves(self):
+        cluster = make_game_cluster(nexus_cfg(), 200.0, num_games=4)
+        res = cluster.run(4_000.0, 1_000.0)
+        assert res.good_rate > 0.95
+
+    def test_icon_only_cluster_serves(self):
+        cluster = make_game_cluster(nexus_cfg(), 100.0, icon_only=True,
+                                    num_games=4)
+        res = cluster.run(4_000.0, 1_000.0)
+        assert res.good_rate > 0.95
+
+
+class TestFig11Helpers:
+    def test_traffic_cluster_serves(self):
+        cluster = make_traffic_cluster(nexus_cfg(), 40.0)
+        res = cluster.run(4_000.0, 1_000.0)
+        assert res.good_rate > 0.95
+
+    def test_rush_gammas_increase_invocations(self):
+        calm = make_traffic_cluster(nexus_cfg(), 40.0)
+        rush = make_traffic_cluster(nexus_cfg(), 40.0,
+                                    gamma_car=3.5, gamma_face=1.2)
+        a = calm.run(4_000.0).invocation_metrics.total
+        b = rush.run(4_000.0).invocation_metrics.total
+        assert b > a
+
+
+class TestFig13Helpers:
+    def test_large_cluster_builds_all_apps(self):
+        cluster = make_large_cluster(gpus=20, base_total_rps=100.0,
+                                     num_games=2)
+        assert len(cluster.apps) == 2 + 6
+        assert cluster.config.dynamic
+        res = cluster.run(20_000.0)
+        assert res.query_metrics.total > 500
+
+    def test_rate_fn_installed(self):
+        cluster = make_large_cluster(base_total_rps=100.0, num_games=1)
+        app = cluster.apps[0]
+        assert app.rate_fn is not None
+        assert app.rate_fn(400_000.0) > app.rate_fn(0.0)
+
+
+class TestFig14Helpers:
+    def test_single_gpu_multiplex(self):
+        cluster = make_multiplex_cluster(
+            nexus_cfg(max_gpus=1, prefix_batching=False), 60.0, 3, 100.0
+        )
+        res = cluster.run(4_000.0, 1_000.0)
+        assert res.gpus_used == 1
+        assert res.good_rate > 0.95
+
+
+class TestFig16Helpers:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_all_scenarios_build_16_sessions(self, scenario):
+        cluster = make_mix_cluster(
+            nexus_cfg(max_gpus=8, prefix_batching=False,
+                      query_analysis=False),
+            160.0, scenario,
+        )
+        assert len(cluster.apps) == 16
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix_cluster(nexus_cfg(), 100.0, "mix_everything")
+
+
+class TestFig17Helpers:
+    def test_qa_cluster_two_stages(self):
+        cluster = make_qa_cluster(nexus_cfg(max_gpus=8), 30.0, 400.0, 1.0)
+        q = cluster.apps[0].query
+        assert q.depth() == 2
+        res = cluster.run(4_000.0, 1_000.0)
+        assert res.good_rate > 0.9
+
+
+class TestMaxRateSearch:
+    def test_returns_zero_when_floor_fails(self):
+        def impossible(rate):
+            cluster = make_traffic_cluster(
+                ClusterConfig(device="gtx1080ti", max_gpus=1,
+                              expand_to_cluster=False), rate
+            )
+            # Force failure by overwhelming a single GPU.
+            cluster.apps[0].rate_rps = rate + 5_000.0
+            return cluster
+
+        assert max_rate_search(impossible, lo_rps=1_000.0,
+                               duration_ms=2_000.0, iterations=2) == 0.0
+
+    def test_monotone_bracketing(self):
+        rates = []
+
+        def factory(rate):
+            rates.append(rate)
+            return make_traffic_cluster(nexus_cfg(), rate)
+
+        found = max_rate_search(factory, lo_rps=5.0, hi_rps=200.0,
+                                iterations=3, duration_ms=2_000.0,
+                                warmup_ms=500.0)
+        assert 5.0 <= found <= 200.0

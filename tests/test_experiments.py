@@ -1,0 +1,111 @@
+"""Smoke + shape tests for the fast experiment modules.
+
+The heavy cluster experiments are exercised by ``benchmarks/``; here we
+pin the cheap, exactly-reproducible artifacts.
+"""
+
+import pytest
+
+from repro.experiments import fig2, fig4, fig5, fig15, ilp_gap, table1
+from repro.experiments.common import ExperimentResult, format_table
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("t", ["a", "b"])
+        r.add(1, 2)
+        r.add(3, 4)
+        assert r.column("a") == [1, 3]
+
+    def test_add_arity_checked(self):
+        r = ExperimentResult("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_lookup(self):
+        r = ExperimentResult("t", ["sys", "x"])
+        r.add("nexus", 10)
+        r.add("clipper", 5)
+        assert r.lookup(sys="nexus") == [["nexus", 10]]
+
+    def test_format_renders_all_rows(self):
+        r = ExperimentResult("demo", ["col"], notes="hello")
+        r.add(1.23456)
+        text = str(r)
+        assert "demo" in text and "1.235" in text and "hello" in text
+
+    def test_format_empty(self):
+        assert "empty" in format_table("empty", ["a"], [])
+
+
+class TestTable1:
+    def test_rows_complete(self):
+        result = table1.run()
+        assert [r[0] for r in result.rows] == table1.MODELS
+
+    def test_latency_ordering(self):
+        result = table1.run()
+        cpu = result.column("cpu_lat_ms")
+        assert cpu == sorted(cpu)
+
+
+class TestFig2:
+    def test_saturate_matches_paper(self):
+        result = fig2.run()
+        sat = {r[1]: r[6] for r in result.rows if r[0] == "saturate"}
+        assert sat == {"A": 160.0, "B": 128.0, "C": 128.0}
+
+    def test_residual_two_gpus(self):
+        result = fig2.run()
+        residual = [r for r in result.rows if r[0] == "residual"]
+        assert len(residual) == 2
+
+
+class TestFig4:
+    def test_exact_cells(self):
+        result = fig4.run()
+        for row in result.rows:
+            if row[4] != "DP-chosen":
+                assert row[3] == pytest.approx(row[4], rel=0.005)
+
+    def test_dp_tracks_gamma(self):
+        result = fig4.run()
+        dp = {r[2]: (r[0], r[1]) for r in result.rows if r[4] == "DP-chosen"}
+        assert dp[0.1][0] > dp[10.0][0]  # X budget shrinks as gamma grows
+
+
+class TestFig5:
+    def test_shape(self):
+        result = fig5.run(duration_ms=20_000.0)
+        poisson = {r[0]: r[3] for r in result.rows if r[2] == "poisson"}
+        uniform = {r[0]: r[3] for r in result.rows if r[2] == "uniform"}
+        assert poisson[1.0] > poisson[1.8]
+        assert max(uniform.values()) < 0.02
+
+
+class TestFig15:
+    def test_gain_grows_with_variants(self):
+        result = fig15.run(variant_counts=(2, 6, 10))
+        gains = result.column("pb_gain")
+        assert gains[-1] > gains[0]
+
+    def test_memory_split(self):
+        result = fig15.run(variant_counts=(2, 10))
+        rows = {r[0]: r for r in result.rows}
+        assert rows[10][4] > 2 * rows[10][5]  # full copies >> 1-FC suffixes
+
+
+class TestIlpGap:
+    def test_gap_at_least_one(self):
+        result = ilp_gap.run(sizes=(4,), trials=4)
+        assert all(r[4] >= 1.0 for r in result.rows)
+
+
+class TestReport:
+    def test_generate_report_subset(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report([("table1", {}), ("fig2", {})])
+        assert "# Reproduction report" in text
+        assert "table1" in text and "fig2" in text
+        assert "A+B" in text

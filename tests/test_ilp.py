@@ -1,0 +1,139 @@
+"""Tests for the exact FGSP solver (core/ilp.py) -- the CPLEX substitute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ilp import (
+    exact_min_gpus,
+    fgsp_feasible_partition,
+    subset_feasible,
+)
+from repro.core.profile import LinearProfile
+from repro.core.session import Session, SessionLoad
+from repro.core.squishy import squishy_bin_packing
+
+
+def load(name, slo, rate, alpha=1.0, beta=10.0):
+    return SessionLoad(
+        Session(name, slo), rate,
+        LinearProfile(name=name, alpha=alpha, beta=beta, max_batch=64),
+    )
+
+
+class TestSubsetFeasible:
+    def test_single_light_session(self):
+        plan = subset_feasible([load("a", 200.0, 10.0)])
+        assert plan is not None
+        assert not plan.validate()
+
+    def test_empty_set(self):
+        plan = subset_feasible([])
+        assert plan is not None
+        assert plan.allocations == []
+
+    def test_compatible_pair_shares_gpu(self, table2_loads):
+        a, b, _ = table2_loads
+        plan = subset_feasible([a, b])
+        assert plan is not None
+        assert len(plan.allocations) == 2
+
+    def test_overloaded_set_rejected(self):
+        # Each session alone needs most of a GPU.
+        heavy = [load(f"h{i}", 100.0, 300.0, alpha=1.0, beta=20.0)
+                 for i in range(3)]
+        assert subset_feasible(heavy) is None
+
+    def test_feasible_plan_meets_constraints(self, table2_loads):
+        plan = subset_feasible(table2_loads[:2])
+        assert plan is not None
+        for alloc in plan.allocations:
+            wc = plan.duty_cycle_ms + alloc.exec_ms
+            assert wc <= alloc.load.slo_ms + 1e-6
+
+
+class TestExactMinGpus:
+    def test_matches_paper_example(self, table2_loads):
+        plan = exact_min_gpus(table2_loads)
+        assert plan.num_gpus == 2
+
+    def test_never_worse_than_greedy(self, table2_loads):
+        exact = exact_min_gpus(table2_loads)
+        greedy = squishy_bin_packing(table2_loads)
+        assert exact.num_gpus <= greedy.num_gpus
+
+    def test_too_large_instance_rejected(self):
+        loads = [load(f"s{i}", 300.0, 5.0) for i in range(20)]
+        with pytest.raises(ValueError):
+            exact_min_gpus(loads)
+
+    def test_infeasible_session_rejected(self):
+        bad = load("bad", 10.0, 5.0, alpha=10.0, beta=50.0)
+        with pytest.raises(ValueError):
+            exact_min_gpus([bad])
+
+    def test_empty(self):
+        assert exact_min_gpus([]).num_gpus == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(100.0, 400.0), st.floats(1.0, 60.0)),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_gap_bounded(self, specs):
+        """Greedy squishy packing stays within 2x of the exact optimum on
+        random small residual instances (empirically it is much closer)."""
+        loads = [load(f"s{i}", slo, rate) for i, (slo, rate) in enumerate(specs)]
+        exact = exact_min_gpus(loads)
+        greedy = squishy_bin_packing(loads)
+        assert not greedy.infeasible
+        assert greedy.num_gpus <= 2 * exact.num_gpus
+        assert exact.num_gpus <= greedy.num_gpus
+
+
+class TestFGSP:
+    """Appendix A's reduction: 3-PARTITION instances embed into FGSP."""
+
+    @staticmethod
+    def reduce_3partition(values, bound):
+        """Appendix A: L_i = 2B + a_i, B_i = 9B + a_i, C = n."""
+        lats = [2 * bound + a for a in values]
+        bounds = [9 * bound + a for a in values]
+        return lats, bounds
+
+    def test_solvable_instance(self):
+        # a_i triples summing to B=12 each: (3,4,5), (4,4,4).
+        values = [3.0, 4.0, 5.0, 4.0, 4.0, 4.0]
+        lats, bounds = self.reduce_3partition(values, 12.0)
+        partition = fgsp_feasible_partition(lats, bounds, gpu_count=2)
+        assert partition is not None
+        for group in partition:
+            assert sum(values[i] for i in group) == pytest.approx(12.0)
+
+    def test_unsolvable_instance(self):
+        # Sum is 2B but no triple split exists with B/4 < a_i < B/2:
+        # B=12, values must pair into triples of 12; these cannot.
+        values = [5.0, 5.0, 5.0, 5.0, 2.0, 2.0]
+        lats, bounds = self.reduce_3partition(values, 12.0)
+        # 5+5+2 = 12 works, 5+5+2 = 12 works -> actually solvable; use a
+        # genuinely unsolvable multiset instead.
+        values = [5.0, 5.0, 5.0, 3.0, 3.0, 3.0]
+        lats, bounds = self.reduce_3partition(values, 12.0)
+        assert fgsp_feasible_partition(lats, bounds, gpu_count=2) is None
+
+    def test_every_set_is_at_most_a_triple(self):
+        """Appendix A: any feasible FGSP set has <= 3 models."""
+        values = [4.0] * 6
+        lats, bounds = self.reduce_3partition(values, 12.0)
+        partition = fgsp_feasible_partition(lats, bounds, gpu_count=2)
+        assert partition is not None
+        assert all(len(g) <= 3 for g in partition)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fgsp_feasible_partition([1.0], [1.0, 2.0], 1)
+
+    def test_trivial_empty(self):
+        assert fgsp_feasible_partition([], [], 2) == [[], []]

@@ -1,0 +1,126 @@
+"""Tests for the metrics collector."""
+
+import math
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, RequestRecord
+
+
+def rec(i, arrival, slo, completion, dropped=False, session="s"):
+    return RequestRecord(
+        request_id=i, session_id=session, arrival_ms=arrival,
+        deadline_ms=arrival + slo,
+        completion_ms=None if dropped else completion, dropped=dropped,
+    )
+
+
+class TestRequestRecord:
+    def test_ok_within_deadline(self):
+        assert rec(1, 0.0, 100.0, 80.0).ok
+
+    def test_late_not_ok(self):
+        assert not rec(1, 0.0, 100.0, 130.0).ok
+
+    def test_dropped_not_ok(self):
+        r = rec(1, 0.0, 100.0, None, dropped=True)
+        assert not r.ok
+        assert r.latency_ms is None
+
+    def test_latency(self):
+        assert rec(1, 10.0, 100.0, 60.0).latency_ms == 50.0
+
+
+class TestCollectorSummary:
+    def _collector(self):
+        c = MetricsCollector()
+        c.record(rec(1, 0.0, 100.0, 50.0))            # ok
+        c.record(rec(2, 10.0, 100.0, 200.0))          # late
+        c.record(rec(3, 20.0, 100.0, None, True))     # dropped
+        c.record(rec(4, 30.0, 100.0, 90.0))           # ok
+        return c
+
+    def test_counts(self):
+        c = self._collector()
+        assert c.total == 4
+        assert c.ok_count == 2
+        assert c.late_count == 1
+        assert c.dropped_count == 1
+
+    def test_rates(self):
+        c = self._collector()
+        assert c.good_rate == 0.5
+        assert c.bad_rate == 0.5
+
+    def test_empty_collector(self):
+        c = MetricsCollector()
+        assert c.good_rate == 1.0
+        assert c.goodput_rps() == 0.0
+        assert math.isnan(c.latency_percentile(50))
+
+    def test_goodput(self):
+        c = self._collector()
+        assert c.goodput_rps(span_ms=1000.0) == pytest.approx(2.0)
+
+    def test_latency_percentiles(self):
+        c = MetricsCollector()
+        for i in range(100):
+            c.record(rec(i, 0.0, 1000.0, float(i + 1)))
+        assert c.latency_percentile(50) == pytest.approx(50.0)
+        assert c.latency_percentile(99) == pytest.approx(99.0)
+        assert c.latency_percentile(100) == pytest.approx(100.0)
+
+    def test_percentile_validation(self):
+        c = self._collector()
+        with pytest.raises(ValueError):
+            c.latency_percentile(150)
+
+    def test_utilization(self):
+        c = MetricsCollector()
+        c.record_gpu_busy(0, 500.0)
+        c.record_gpu_busy(1, 250.0)
+        assert c.utilization(2, 1000.0) == pytest.approx(0.375)
+        assert c.utilization(0, 1000.0) == 0.0
+
+    def test_per_session_stats(self):
+        c = MetricsCollector()
+        c.record(rec(1, 0.0, 100.0, 50.0, session="a"))
+        c.record(rec(2, 0.0, 100.0, None, True, session="a"))
+        c.record(rec(3, 0.0, 100.0, 60.0, session="b"))
+        stats = c.per_session_stats()
+        assert stats["a"]["bad_rate"] == 0.5
+        assert stats["b"]["bad_rate"] == 0.0
+
+
+class TestTimeSeries:
+    def test_workload_series(self):
+        c = MetricsCollector()
+        # 10 arrivals in [0, 1000), 20 in [1000, 2000).
+        for i in range(10):
+            c.record(rec(i, i * 100.0, 100.0, i * 100.0 + 10))
+        for i in range(20):
+            c.record(rec(100 + i, 1000.0 + i * 50.0, 100.0, 1100.0))
+        series = c.workload_series(1000.0, 2000.0)
+        assert series.values == [10.0, 20.0]
+
+    def test_bad_rate_series(self):
+        c = MetricsCollector()
+        for i in range(10):
+            ok = i % 2 == 0
+            c.record(rec(i, i * 10.0, 100.0,
+                         i * 10.0 + (10 if ok else 200)))
+        series = c.bad_rate_series(100.0, 100.0)
+        assert series.values == [0.5]
+
+    def test_bad_rate_empty_window(self):
+        c = MetricsCollector()
+        series = c.bad_rate_series(100.0, 300.0)
+        assert series.values == [0.0, 0.0, 0.0]
+
+    def test_gpu_count_series_steps(self):
+        c = MetricsCollector()
+        c.sample_gpu_count(0.0, 4)
+        c.sample_gpu_count(150.0, 8)
+        series = c.gpu_count_series(100.0, 400.0)
+        # Each window reports the count at its start time.
+        assert series.values == [4.0, 4.0, 8.0, 8.0]

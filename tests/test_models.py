@@ -1,0 +1,291 @@
+"""Tests for the model substrate: layers, graphs, zoo architectures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.graph import GraphBuilder
+from repro.models.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalPool,
+    Input,
+    Pool2d,
+    Softmax,
+    human_flops,
+    human_size,
+)
+from repro.models.zoo import MODEL_BUILDERS, get_model
+
+
+class TestLayers:
+    def test_conv_output_shape(self):
+        conv = Conv2d("c", out_channels=8, kernel=3, stride=1, padding=1)
+        assert conv.out_shape((3, 32, 32)) == (8, 32, 32)
+
+    def test_conv_stride_halves(self):
+        conv = Conv2d("c", out_channels=8, kernel=3, stride=2, padding=1)
+        assert conv.out_shape((3, 32, 32)) == (8, 16, 16)
+
+    def test_conv_flops_formula(self):
+        conv = Conv2d("c", out_channels=16, kernel=3, padding=1)
+        # 2 * k*k*Cin*Cout*H*W = 2*9*3*16*32*32
+        assert conv.flops((3, 32, 32)) == 2 * 9 * 3 * 16 * 32 * 32
+
+    def test_conv_param_count_after_binding(self):
+        conv = Conv2d("c", out_channels=16, kernel=3, bias=True).bound((3, 8, 8))
+        assert conv.param_count() == 9 * 3 * 16 + 16
+
+    def test_conv_invalid_geometry_raises(self):
+        conv = Conv2d("c", out_channels=8, kernel=7, stride=1, padding=0)
+        with pytest.raises(ValueError):
+            conv.out_shape((3, 4, 4))
+
+    def test_dense_flops_and_params(self):
+        d = Dense("fc", out_features=100).bound((50,))
+        assert d.flops((50,)) == 2 * 50 * 100
+        assert d.param_count() == 50 * 100 + 100
+
+    def test_depthwise_cheaper_than_full(self):
+        shape = (32, 28, 28)
+        dw = DepthwiseConv2d("dw", kernel=3)
+        full = Conv2d("c", out_channels=32, kernel=3, padding=1)
+        assert dw.flops(shape) < full.flops(shape) / 10
+
+    def test_pool_shapes(self):
+        p = Pool2d("p", kernel=2, stride=2)
+        assert p.out_shape((8, 32, 32)) == (8, 16, 16)
+        assert p.param_count() == 0
+
+    def test_global_pool(self):
+        g = GlobalPool("g")
+        assert g.out_shape((64, 7, 7)) == (64,)
+
+    def test_flatten(self):
+        f = Flatten("f")
+        assert f.out_shape((4, 5, 5)) == (100,)
+        assert f.flops((4, 5, 5)) == 0
+
+    def test_concat_shapes(self):
+        c = Concat("cat")
+        assert c.out_shapes([(4, 8, 8), (6, 8, 8)]) == (10, 8, 8)
+        with pytest.raises(ValueError):
+            c.out_shapes([(4, 8, 8), (6, 4, 4)])
+
+    def test_add_requires_equal_shapes(self):
+        a = Add("add")
+        assert a.out_shapes([(4, 8, 8), (4, 8, 8)]) == (4, 8, 8)
+        with pytest.raises(ValueError):
+            a.out_shapes([(4, 8, 8), (5, 8, 8)])
+
+    def test_structural_key_ignores_name(self):
+        a = Conv2d("alpha", out_channels=8, kernel=3)
+        b = Conv2d("beta", out_channels=8, kernel=3)
+        assert a.structural_key() == b.structural_key()
+
+    def test_structural_key_sees_geometry(self):
+        a = Conv2d("c", out_channels=8, kernel=3)
+        b = Conv2d("c", out_channels=8, kernel=5)
+        assert a.structural_key() != b.structural_key()
+
+    def test_human_formatters(self):
+        assert human_size(512) == "512 B"
+        assert "MiB" in human_size(5 * 1024 * 1024)
+        assert "GFLOPs" in human_flops(4.1e9)
+
+
+class TestGraphBuilder:
+    def test_linear_chain(self):
+        b = GraphBuilder("toy", input_shape=(1, 28, 28))
+        b.add(Conv2d("c1", out_channels=4, kernel=3, padding=1))
+        b.add(Flatten("f"))
+        b.add(Dense("fc", out_features=10))
+        g = b.build()
+        assert g.num_layers() == 4  # input + 3
+        assert g.output_shape == (10,)
+        assert g.total_flops() > 0
+
+    def test_branch_and_join(self):
+        b = GraphBuilder("branchy", input_shape=(4, 8, 8))
+        fork = b.fork()
+        l = b.add(Conv2d("l", out_channels=4, kernel=1, padding=0), from_node=fork)
+        r = b.add(Conv2d("r", out_channels=4, kernel=1, padding=0), from_node=fork)
+        b.join(Concat("cat"), [l, r])
+        g = b.build()
+        assert g.output_shape == (8, 8, 8)
+
+    def test_residual_add(self):
+        b = GraphBuilder("res", input_shape=(4, 8, 8))
+        entry = b.fork()
+        x = b.add(Conv2d("c", out_channels=4, kernel=3, padding=1),
+                  from_node=entry)
+        b.join(Add("add"), [x, entry])
+        g = b.build()
+        assert g.output_shape == (4, 8, 8)
+
+    def test_prefix_hash_diverges_at_difference(self):
+        def build(classes):
+            b = GraphBuilder("m", input_shape=(1, 8, 8))
+            b.add(Flatten("f"))
+            b.add(Dense("fc", out_features=classes))
+            return b.build()
+
+        a, b_ = build(10), build(20)
+        assert a.common_prefix_len(b_) == 2  # input + flatten
+
+    def test_identical_graphs_fully_match(self):
+        a = get_model("resnet50")
+        b = get_model("resnet50")
+        assert a.common_prefix_len(b) == a.num_layers()
+
+    def test_prefix_flops_partition(self):
+        g = get_model("googlenet")
+        k = g.num_layers() // 2
+        assert g.prefix_flops(k) + g.suffix_flops(k) == g.total_flops()
+
+    def test_empty_graph_rejected(self):
+        from repro.models.graph import ModelGraph
+
+        with pytest.raises(ValueError):
+            ModelGraph("empty", [])
+
+
+class TestZoo:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_all_models_build(self, name):
+        m = get_model(name)
+        assert m.total_flops() > 0
+        assert m.total_param_bytes() > 0
+        assert m.num_layers() > 3
+
+    def test_known_flop_magnitudes(self):
+        """FLOP counts land near the published numbers (2x-MAC)."""
+        expectations = {
+            "resnet50": (6e9, 10e9),       # ~8.2 GFLOPs
+            "vgg16": (25e9, 36e9),         # ~31 GFLOPs
+            "googlenet": (2e9, 4.5e9),     # ~3 GFLOPs
+            "mobilenet_v1": (0.8e9, 1.5e9),
+        }
+        for name, (lo, hi) in expectations.items():
+            flops = get_model(name).total_flops()
+            assert lo <= flops <= hi, f"{name}: {flops/1e9:.1f}G out of range"
+
+    def test_known_param_sizes(self):
+        """Parameter bytes near published sizes (fp32)."""
+        resnet = get_model("resnet50").total_param_bytes() / 1e6
+        assert 90 <= resnet <= 115  # ~102 MB
+        vgg = get_model("vgg16").total_param_bytes() / 1e6
+        assert 500 <= vgg <= 600    # ~553 MB
+
+    def test_model_size_ordering(self):
+        """Table 1's ordering: lenet < vgg7 < resnet50 < inception4 < darknet53."""
+        names = ["lenet5", "vgg7", "resnet50", "inception_v4", "darknet53"]
+        flops = [get_model(n).total_flops() for n in names]
+        assert flops == sorted(flops)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_model("efficientnet_b7")
+
+    def test_get_model_caches(self):
+        assert get_model("lenet5") is get_model("lenet5")
+
+    def test_specialized_class_count_parsing(self):
+        m = get_model("lenet5@gamez:37")
+        assert m.output_shape == (37,)
+
+    def test_vgg_face_is_vgg16_specialization_compatible(self):
+        face = get_model("vgg_face")
+        vgg = get_model("vgg16")
+        # Same trunk: everything up to the final classifier matches.
+        assert face.common_prefix_len(vgg) >= vgg.num_layers() - 3
+
+
+class TestExtendedZoo:
+    def test_resnet_family_ordering(self):
+        f18 = get_model("resnet18").total_flops()
+        f50 = get_model("resnet50").total_flops()
+        f101 = get_model("resnet101").total_flops()
+        assert f18 < f50 < f101
+
+    def test_resnet_depth_variants_not_fusable(self):
+        """ResNet-50 and -101 share their early stages, but far below the
+        both-sides FLOP threshold prefix fusion requires."""
+        r50 = get_model("resnet50")
+        r101 = get_model("resnet101")
+        shared = r50.common_prefix_len(r101)
+        assert shared > 0
+        assert r101.prefix_flops(shared) < 0.5 * r101.total_flops()
+
+    def test_squeezenet_tiny_params(self):
+        assert get_model("squeezenet").total_param_bytes() < 10e6
+
+    def test_alexnet_fc_heavy(self):
+        m = get_model("alexnet")
+        # The classic property: most parameters live in the fc layers.
+        assert m.total_param_bytes() > 200e6
+        assert m.num_weighted_layers() == 8
+
+    def test_yolo_shares_darknet_backbone(self):
+        yolo = get_model("yolo_v3")
+        darknet = get_model("darknet53")
+        shared = yolo.common_prefix_len(darknet)
+        # The whole residual backbone is common.
+        assert shared > darknet.num_layers() // 2
+
+    def test_detectors_have_no_softmax(self):
+        for name in ("yolo_v3", "ssd_mobilenet", "ssd_vgg"):
+            m = get_model(name)
+            assert len(m.output_shape) == 3  # anchor map, not class vector
+
+    def test_ssd_mobilenet_much_lighter_than_ssd_vgg(self):
+        light = get_model("ssd_mobilenet").total_flops()
+        heavy = get_model("ssd_vgg").total_flops()
+        assert heavy > 20 * light
+
+
+class TestGraphBuilderChain:
+    def test_add_chain_sequences_layers(self):
+        b = GraphBuilder("chain", input_shape=(1, 8, 8))
+        last = b.add_chain([
+            Conv2d("c1", out_channels=4, kernel=3, padding=1),
+            Activation("r1"),
+            Flatten("f"),
+            Dense("fc", out_features=5),
+        ])
+        g = b.build()
+        assert last == g.num_layers() - 1
+        assert g.output_shape == (5,)
+
+    def test_add_chain_from_node(self):
+        b = GraphBuilder("branchy", input_shape=(2, 4, 4))
+        fork = b.fork()
+        left = b.add_chain([Conv2d("l", out_channels=2, kernel=1, padding=0)],
+                           from_node=fork)
+        right = b.add_chain([Conv2d("r", out_channels=2, kernel=1, padding=0)],
+                            from_node=fork)
+        b.join(Concat("cat"), [left, right])
+        assert b.build().output_shape == (4, 4, 4)
+
+
+class TestGraphMemoryAccounting:
+    def test_peak_activation_positive(self):
+        g = get_model("resnet50")
+        assert g.peak_activation_bytes() > 1e6
+
+    def test_param_partition(self):
+        g = get_model("vgg16")
+        k = g.num_layers() // 2
+        assert (g.prefix_param_bytes(k) + g.suffix_param_bytes(k)
+                == g.total_param_bytes())
+
+    def test_suffix_weighted_layers(self):
+        g = get_model("lenet5")
+        assert g.suffix_weighted_layers(0) == g.num_weighted_layers()
+        assert g.suffix_weighted_layers(g.num_layers()) == 0

@@ -1,0 +1,174 @@
+"""Tests for prefix batching (core/prefix.py + models/specialize.py)."""
+
+import pytest
+
+from repro.core.prefix import (
+    PrefixBatchedProfile,
+    PrefixGroup,
+    find_prefix_groups,
+    group_memory_bytes,
+    unbatched_memory_bytes,
+)
+from repro.core.profile import LinearProfile
+from repro.models import get_device, get_model, prefix_suffix_profiles
+from repro.models.specialize import make_variants, specialize
+
+
+@pytest.fixture(scope="module")
+def resnet_variants():
+    base = get_model("resnet50")
+    return base, make_variants(base, 4, prefix="task", num_classes=40)
+
+
+class TestSpecialization:
+    def test_variants_share_all_but_last_layer(self, resnet_variants):
+        base, variants = resnet_variants
+        v = variants[0]
+        shared = base.common_prefix_len(v)
+        # Everything except the final dense(+softmax) should match.
+        assert shared >= base.num_layers() - 3
+
+    def test_variants_differ_from_each_other(self, resnet_variants):
+        _, variants = resnet_variants
+        a, b = variants[0], variants[1]
+        assert a.common_prefix_len(b) < a.num_layers()
+
+    def test_variant_output_width_changed(self, resnet_variants):
+        _, variants = resnet_variants
+        assert variants[0].output_shape == (40,)
+
+    def test_deeper_suffix_shrinks_prefix(self):
+        base = get_model("vgg16")
+        shallow = specialize(base, "a", suffix_layers=1)
+        deep = specialize(base, "b", suffix_layers=3)
+        assert base.common_prefix_len(deep) < base.common_prefix_len(shallow)
+
+    def test_specialize_requires_dense(self):
+        base = get_model("ssd_vgg")  # no dense layers
+        with pytest.raises(ValueError):
+            specialize(base, "x")
+
+    def test_zoo_specialized_name_resolution(self):
+        m = get_model("resnet50@icons:40")
+        assert m.output_shape == (40,)
+        assert m.name.endswith("@icons")
+
+    def test_flops_preserved_up_to_suffix(self, resnet_variants):
+        base, variants = resnet_variants
+        v = variants[0]
+        shared = base.common_prefix_len(v)
+        assert base.prefix_flops(shared) == v.prefix_flops(shared)
+
+
+class TestFindPrefixGroups:
+    def test_variants_grouped_together(self, resnet_variants):
+        base, variants = resnet_variants
+        others = [get_model("googlenet"), get_model("lenet5")]
+        models = variants + others
+        groups = find_prefix_groups(models)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 1, 4]
+
+    def test_partition_is_complete(self, resnet_variants):
+        _, variants = resnet_variants
+        models = variants + [get_model("lenet5")]
+        groups = find_prefix_groups(models)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(models)))
+
+    def test_threshold_validation(self, resnet_variants):
+        _, variants = resnet_variants
+        with pytest.raises(ValueError):
+            find_prefix_groups(variants, min_shared_frac=0.0)
+
+
+class TestPrefixBatchedProfile:
+    def _group(self, n=4, suffix_alpha=0.01):
+        prefix = LinearProfile(name="pre", alpha=1.0, beta=10.0)
+        suffixes = [
+            LinearProfile(name=f"suf{i}", alpha=suffix_alpha, beta=0.1)
+            for i in range(n)
+        ]
+        return PrefixGroup(
+            model_ids=[f"m{i}" for i in range(n)],
+            prefix_profile=prefix,
+            suffix_profiles=suffixes,
+        )
+
+    def test_combined_latency_is_prefix_plus_suffixes(self):
+        g = self._group(n=2)
+        prof = g.combined_profile()
+        # batch 8 -> prefix l(8)=18, each suffix runs ceil(4)=4: 2*(0.14)
+        assert prof.latency(8) == pytest.approx(18.0 + 2 * (0.01 * 4 + 0.1))
+
+    def test_weights_shift_suffix_batches(self):
+        g = self._group(n=2)
+        even = g.combined_profile([1.0, 1.0])
+        skew = g.combined_profile([3.0, 1.0])
+        assert skew.latency(8) == pytest.approx(
+            18.0 + (0.01 * 6 + 0.1) + (0.01 * 2 + 0.1)
+        )
+        assert abs(even.latency(8) - skew.latency(8)) < 0.1
+
+    def test_combined_beats_separate_execution(self):
+        """The point of section 6.3: one fused batch beats n sub-batches."""
+        g = self._group(n=4)
+        fused = g.combined_profile()
+        # 4 variants each with batch 4 run separately: 4 * l_full(4)
+        full = LinearProfile(name="full", alpha=1.01, beta=10.1)
+        separate = 4 * full.latency(4)
+        assert fused.latency(16) < separate
+
+    def test_memory_accounting(self):
+        prefix = LinearProfile(name="p", alpha=1, beta=1,
+                               memory_model_bytes=1000)
+        suffixes = [LinearProfile(name=f"s{i}", alpha=0.1, beta=0.1,
+                                  memory_model_bytes=10) for i in range(5)]
+        g = PrefixGroup([f"m{i}" for i in range(5)], prefix, suffixes)
+        assert group_memory_bytes(g) == 1050
+        fulls = [LinearProfile(name=f"f{i}", alpha=1, beta=1,
+                               memory_model_bytes=1010) for i in range(5)]
+        assert unbatched_memory_bytes(fulls) == 5050
+        assert group_memory_bytes(g) < unbatched_memory_bytes(fulls)
+
+    def test_group_size_validation(self):
+        prefix = LinearProfile(name="p", alpha=1, beta=1)
+        with pytest.raises(ValueError):
+            PrefixGroup(["only"], prefix, [prefix])
+
+    def test_mismatched_suffixes_rejected(self):
+        prefix = LinearProfile(name="p", alpha=1, beta=1)
+        with pytest.raises(ValueError):
+            PrefixGroup(["a", "b"], prefix, [prefix])
+
+    def test_bad_weights_rejected(self):
+        g = self._group(n=2)
+        with pytest.raises(ValueError):
+            g.combined_profile([1.0])
+        with pytest.raises(ValueError):
+            g.combined_profile([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            g.combined_profile([0.0, 0.0])
+
+
+class TestPrefixSuffixProfiles:
+    def test_real_resnet_family(self, resnet_variants):
+        _, variants = resnet_variants
+        device = get_device("gtx1080ti")
+        prefix, suffixes, plen = prefix_suffix_profiles(variants, device)
+        assert len(suffixes) == len(variants)
+        assert plen > 100  # nearly all of ResNet-50 is shared
+        # The prefix carries almost all the compute.
+        assert prefix.latency(8) > 20 * suffixes[0].latency(8)
+
+    def test_unrelated_models_rejected(self):
+        device = get_device("gtx1080ti")
+        with pytest.raises(ValueError):
+            prefix_suffix_profiles(
+                [get_model("lenet5"), get_model("resnet50")], device
+            )
+
+    def test_single_model_rejected(self):
+        device = get_device("gtx1080ti")
+        with pytest.raises(ValueError):
+            prefix_suffix_profiles([get_model("resnet50")], device)

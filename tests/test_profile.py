@@ -1,0 +1,196 @@
+"""Tests for batching profiles (core/profile.py)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import (
+    EffectiveProfile,
+    LinearProfile,
+    TabulatedProfile,
+)
+
+
+class TestLinearProfile:
+    def test_latency_is_equation_1(self):
+        p = LinearProfile(name="m", alpha=2.0, beta=5.0)
+        assert p.latency(1) == 7.0
+        assert p.latency(10) == 25.0
+
+    def test_throughput_increases_with_batch(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=20.0, max_batch=128)
+        tputs = [p.throughput(b) for b in (1, 2, 8, 32, 128)]
+        assert tputs == sorted(tputs)
+        assert tputs[0] == pytest.approx(1000.0 / 21.0)
+
+    def test_batching_gain_grows_with_beta(self):
+        low = LinearProfile(name="lo", alpha=1.0, beta=1.0)
+        high = LinearProfile(name="hi", alpha=1.0, beta=30.0)
+        gain_low = low.throughput(32) / low.throughput(1)
+        gain_high = high.throughput(32) / high.throughput(1)
+        assert gain_high > gain_low
+
+    def test_max_batch_with_latency_exact_boundary(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=100)
+        assert p.max_batch_with_latency(20.0) == 10
+        assert p.max_batch_with_latency(10.9) == 0  # below l(1)=11
+        assert p.max_batch_with_latency(11.0) == 1
+
+    def test_max_batch_capped(self):
+        p = LinearProfile(name="m", alpha=0.001, beta=0.0, max_batch=8)
+        assert p.max_batch_with_latency(1e9) == 8
+
+    def test_max_batch_under_slo_uses_double_latency(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=0.0, max_batch=100)
+        # 2 * l(b) <= 50  ->  b <= 25
+        assert p.max_batch_under_slo(50.0) == 25
+
+    def test_peak_throughput_zero_when_infeasible(self):
+        p = LinearProfile(name="m", alpha=10.0, beta=100.0)
+        assert p.peak_throughput_under_slo(50.0) == 0.0
+
+    def test_residual_batch_of_one_needs_no_gathering(self):
+        # rate so low that even one inter-arrival gap exceeds the SLO;
+        # batch 1 must still be feasible since it executes on arrival.
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0)
+        assert p.max_batch_residual(rate_rps=5.0, slo_ms=50.0) == 1
+
+    def test_residual_batch_grows_with_rate(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=256)
+        batches = [p.max_batch_residual(r, 100.0) for r in (10, 100, 1000)]
+        assert batches == sorted(batches)
+        assert batches[-1] > batches[0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProfile(name="m", alpha=0.0, beta=1.0)
+        with pytest.raises(ValueError):
+            LinearProfile(name="m", alpha=1.0, beta=-1.0)
+        with pytest.raises(ValueError):
+            LinearProfile(name="m", alpha=1.0, beta=0.0, max_batch=0)
+
+    def test_batch_bounds_enforced(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=0.0, max_batch=4)
+        with pytest.raises(ValueError):
+            p.latency(0)
+        with pytest.raises(ValueError):
+            p.latency(5)
+
+    def test_memory_model(self):
+        p = LinearProfile(name="m", alpha=1.0, beta=0.0,
+                          memory_model_bytes=1000, memory_per_input_bytes=10)
+        assert p.memory_bytes(1) == 1010
+        assert p.memory_bytes(50) == 1500
+
+    def test_scaled(self):
+        p = LinearProfile(name="m", alpha=2.0, beta=6.0)
+        q = p.scaled(0.5, name="half")
+        assert q.latency(4) == pytest.approx(p.latency(4) / 2)
+        assert q.name == "half"
+
+    @given(st.floats(0.01, 10.0), st.floats(0.0, 100.0),
+           st.integers(1, 256))
+    @settings(max_examples=60)
+    def test_throughput_monotone_property(self, alpha, beta, b):
+        p = LinearProfile(name="m", alpha=alpha, beta=beta, max_batch=256)
+        if b < 256:
+            assert p.throughput(b + 1) >= p.throughput(b) - 1e-9
+
+    @given(st.floats(0.01, 10.0), st.floats(0.0, 100.0),
+           st.floats(1.0, 1000.0))
+    @settings(max_examples=60)
+    def test_max_batch_with_latency_is_maximal(self, alpha, beta, budget):
+        p = LinearProfile(name="m", alpha=alpha, beta=beta, max_batch=256)
+        b = p.max_batch_with_latency(budget)
+        if b > 0:
+            assert p.latency(b) <= budget
+            if b < p.max_batch:
+                assert p.latency(b + 1) > budget
+
+
+class TestTabulatedProfile:
+    def test_exact_points(self, table2_profiles):
+        a = table2_profiles["A"]
+        assert a.latency(4) == 50.0
+        assert a.latency(8) == 75.0
+        assert a.latency(16) == 100.0
+
+    def test_interpolation_between_points(self, table2_profiles):
+        a = table2_profiles["A"]
+        assert a.latency(12) == pytest.approx(87.5)
+
+    def test_below_first_point_scales_down(self, table2_profiles):
+        a = table2_profiles["A"]
+        assert 0 < a.latency(1) < a.latency(4)
+
+    def test_max_batch_defaults_to_last_point(self, table2_profiles):
+        assert table2_profiles["A"].max_batch == 16
+
+    def test_extrapolation_with_explicit_max_batch(self):
+        p = TabulatedProfile(name="t", points=((4, 40.0), (8, 60.0)),
+                             max_batch=16)
+        # slope 5 ms/input past batch 8
+        assert p.latency(12) == pytest.approx(80.0)
+
+    def test_single_point_extrapolates_average(self):
+        p = TabulatedProfile(name="t", points=((4, 40.0),), max_batch=8)
+        assert p.latency(8) == pytest.approx(40.0 + 10.0 * 4)
+
+    def test_paper_throughputs_from_table2(self, table2_profiles):
+        # Table 2's Req/s column at batch 16: A=160, B=C=128.
+        assert table2_profiles["A"].throughput(16) == pytest.approx(160.0)
+        assert table2_profiles["B"].throughput(16) == pytest.approx(128.0)
+        assert table2_profiles["C"].throughput(16) == pytest.approx(128.0)
+
+    def test_rejects_unsorted_batches(self):
+        with pytest.raises(ValueError):
+            TabulatedProfile(name="t", points=((8, 10.0), (4, 20.0)))
+
+    def test_rejects_decreasing_latency(self):
+        with pytest.raises(ValueError):
+            TabulatedProfile(name="t", points=((4, 50.0), (8, 40.0)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TabulatedProfile(name="t", points=())
+
+
+class TestEffectiveProfile:
+    def test_overlap_takes_max_of_gpu_and_cpu(self):
+        base = LinearProfile(name="m", alpha=1.0, beta=5.0,
+                             pre_ms=2.0, post_ms=0.0)
+        e = EffectiveProfile(base=base, overlap=True)
+        # batch 4: gpu 9, cpu 8 -> 9; batch 10: gpu 15, cpu 20 -> 20
+        assert e.latency(4) == pytest.approx(9.0)
+        assert e.latency(10) == pytest.approx(20.0)
+
+    def test_no_overlap_serializes(self):
+        base = LinearProfile(name="m", alpha=1.0, beta=5.0,
+                             pre_ms=2.0, post_ms=1.0)
+        e = EffectiveProfile(base=base, overlap=False)
+        assert e.latency(4) == pytest.approx(9.0 + 12.0)
+
+    def test_overlap_never_slower_than_serialized(self):
+        base = LinearProfile(name="m", alpha=0.5, beta=3.0,
+                             pre_ms=1.5, post_ms=0.5)
+        on = EffectiveProfile(base=base, overlap=True)
+        off = EffectiveProfile(base=base, overlap=False)
+        for b in (1, 2, 7, 32):
+            assert on.latency(b) <= off.latency(b)
+
+    def test_cpu_costs_folded(self):
+        base = LinearProfile(name="m", alpha=1.0, beta=0.0, pre_ms=2.0)
+        e = EffectiveProfile(base=base, overlap=True)
+        assert e.pre_ms == 0.0
+        assert e.cpu_time(10) == 0.0
+
+    def test_name_tagging(self):
+        base = LinearProfile(name="m", alpha=1.0, beta=0.0)
+        assert EffectiveProfile(base=base, overlap=True).name == "m+ol"
+        assert EffectiveProfile(base=base, overlap=False).name == "m-ol"
+
+    def test_requires_base(self):
+        with pytest.raises(ValueError):
+            EffectiveProfile(base=None)

@@ -1,0 +1,124 @@
+"""Calibration tests: the analytic profiler vs the paper's anchors.
+
+DESIGN.md section 2 commits the device model to land near published
+numbers; these tests pin that contract so refactors cannot silently
+decalibrate the substrate.
+"""
+
+import pytest
+
+from repro.models.gpus import (
+    CPU_C5,
+    DEVICES,
+    GTX1080,
+    GTX1080TI,
+    K80,
+    TPU_V2,
+    V100,
+    cost_per_1000_invocations,
+    get_device,
+)
+from repro.models.profiler import cpu_latency_ms, profile, profile_model
+from repro.models.zoo import get_model
+
+
+class TestTable1Anchors:
+    """Table 1: latencies and costs for the five reference models."""
+
+    def test_v100_batch1_latencies(self):
+        """GPU column: LeNet <0.1+eps, VGG7 <1, larger models ms-scale."""
+        assert profile_model(get_model("lenet5"), V100).latency(1) < 0.3
+        assert profile_model(get_model("vgg7"), V100).latency(1) < 1.0
+        resnet = profile_model(get_model("resnet50"), V100).latency(1)
+        assert 1.0 <= resnet <= 12.0  # paper: 6.2 ms
+        darknet = profile_model(get_model("darknet53"), V100).latency(1)
+        assert darknet > resnet  # paper: 26.3 vs 6.2
+
+    def test_cpu_latencies_orders_of_magnitude_slower(self):
+        """CPU column: ResNet-50 ~1130 ms, 100-200x slower than GPU."""
+        resnet_cpu = cpu_latency_ms(get_model("resnet50"))
+        assert 500 <= resnet_cpu <= 2500
+        resnet_gpu = profile_model(get_model("resnet50"), V100).latency(1)
+        assert resnet_cpu / resnet_gpu > 50
+
+    def test_cpu_ordering_matches_table(self):
+        names = ["lenet5", "vgg7", "resnet50", "darknet53"]
+        lats = [cpu_latency_ms(get_model(n)) for n in names]
+        assert lats == sorted(lats)
+
+    def test_gpu_cost_advantage(self):
+        """Table 1's point: accelerators are far cheaper per invocation."""
+        for name in ("resnet50", "inception_v4", "darknet53"):
+            flops = get_model(name).total_flops()
+            cpu = cost_per_1000_invocations(flops, CPU_C5)
+            gpu = cost_per_1000_invocations(flops, V100)
+            tpu = cost_per_1000_invocations(flops, TPU_V2)
+            assert cpu / gpu > 20   # paper: up to 34x
+            assert cpu / tpu > 5    # paper: up to 9x
+
+    def test_cost_scales_with_model_size(self):
+        small = cost_per_1000_invocations(get_model("lenet5").total_flops(), V100)
+        big = cost_per_1000_invocations(get_model("darknet53").total_flops(), V100)
+        assert big > 1000 * small
+
+
+class TestBatchingGains:
+    def test_batch32_gain_in_paper_band(self):
+        """Section 2.2: 4.7-13.3x throughput at batch 32 on a GTX 1080 for
+        the conv families (our VGG-16 sits lower: its fc layers dominate
+        the weight-read beta differently)."""
+        for name in ("resnet50", "inception_v3", "googlenet"):
+            p = profile_model(get_model(name), GTX1080)
+            gain = p.throughput(32) / p.throughput(1)
+            assert 3.0 <= gain <= 15.0, f"{name}: {gain:.1f}x"
+
+    def test_cpu_has_no_batching_gain(self):
+        p = profile_model(get_model("resnet50"), CPU_C5)
+        gain = p.throughput(min(8, p.max_batch)) / p.throughput(1)
+        assert gain < 1.3
+
+    def test_faster_device_lower_latency(self):
+        from repro.models.gpus import A100, T4
+
+        m = get_model("resnet50")
+        lat = {d.name: profile_model(m, d).latency(8)
+               for d in (K80, GTX1080TI, V100, T4, A100)}
+        assert lat["v100"] < lat["gtx1080ti"] < lat["k80"]
+        assert lat["a100"] < lat["v100"]
+        assert lat["t4"] < lat["k80"]
+
+
+class TestProfileShape:
+    def test_memory_fits_device(self):
+        for name in ("resnet50", "vgg16", "darknet53"):
+            p = profile(name, "gtx1080ti")
+            assert p.memory_bytes(p.max_batch) <= GTX1080TI.mem_capacity
+
+    def test_max_batch_at_least_one(self):
+        for name in ("vgg16", "darknet53"):
+            assert profile(name, "k80").max_batch >= 1
+
+    def test_profile_cache(self):
+        assert profile("resnet50", "v100") is profile("resnet50", "v100")
+
+    def test_pre_ms_scales_with_input(self):
+        lenet = profile("lenet5", "gtx1080ti")
+        ssd = profile("ssd_vgg", "gtx1080ti")
+        assert ssd.pre_ms > lenet.pre_ms
+
+    def test_game_preprocessing_near_paper(self):
+        """Section 7.3.1 reports 'roughly 10ms' preprocessing per frame;
+        a frame yields ~7 invocations, so the per-invocation raw cost
+        sits in the low single-digit milliseconds."""
+        p = profile("resnet50", "gtx1080ti")
+        assert 2.0 <= p.pre_ms <= 10.0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_all_devices_registered(self):
+        assert set(DEVICES) == {
+            "gtx1080", "gtx1080ti", "k80", "v100", "tpu_v2", "t4", "a100",
+            "cpu_c5",
+        }

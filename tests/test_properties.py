@@ -1,0 +1,166 @@
+"""Cross-module property tests: the invariants that hold the system up."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.epoch import EpochScheduler
+from repro.core.prefix import PrefixGroup
+from repro.core.profile import EffectiveProfile, LinearProfile
+from repro.core.query import Query, QueryStage, even_split, plan_query
+from repro.core.session import Session, SessionLoad
+from repro.core.squishy import squishy_bin_packing
+
+
+profiles = st.builds(
+    lambda a, b, mb: LinearProfile(name="m", alpha=a, beta=b, max_batch=mb),
+    st.floats(0.05, 5.0), st.floats(0.0, 50.0), st.integers(4, 128),
+)
+
+
+class TestEffectiveProfileProperties:
+    @given(st.floats(0.1, 5.0), st.floats(0.0, 20.0),
+           st.floats(0.0, 10.0), st.integers(1, 8), st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_overlap_bounded_by_parts(self, alpha, beta, pre, workers, b):
+        base = LinearProfile(name="m", alpha=alpha, beta=beta, pre_ms=pre,
+                             cpu_workers=workers, max_batch=64)
+        on = EffectiveProfile(base=base, overlap=True)
+        off = EffectiveProfile(base=base, overlap=False)
+        gpu = base.latency(b)
+        # Overlapped occupancy is at least the GPU time, at most the sum.
+        assert on.latency(b) >= gpu - 1e-9
+        assert on.latency(b) <= off.latency(b) + 1e-9
+
+    @given(st.floats(0.1, 5.0), st.floats(0.0, 20.0), st.floats(0.0, 5.0))
+    @settings(max_examples=40)
+    def test_effective_monotone_in_batch(self, alpha, beta, pre):
+        base = LinearProfile(name="m", alpha=alpha, beta=beta, pre_ms=pre,
+                             cpu_workers=5, max_batch=64)
+        e = EffectiveProfile(base=base, overlap=True)
+        lats = [e.latency(b) for b in range(1, 65)]
+        assert all(x <= y + 1e-9 for x, y in zip(lats, lats[1:]))
+
+
+class TestPrefixGroupProperties:
+    @given(st.integers(2, 8), st.floats(0.5, 5.0), st.floats(1.0, 30.0),
+           st.floats(0.001, 0.1), st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_fused_cheaper_than_separate(self, k, alpha, beta, suf_alpha, b):
+        """Fused latency of a combined batch never exceeds running each
+        variant's full model on its own sub-batch."""
+        prefix = LinearProfile(name="p", alpha=alpha, beta=beta, max_batch=512)
+        suffixes = [LinearProfile(name=f"s{i}", alpha=suf_alpha, beta=0.1,
+                                  max_batch=512) for i in range(k)]
+        group = PrefixGroup([f"m{i}" for i in range(k)], prefix, suffixes)
+        fused = group.combined_profile()
+        total = k * b
+        assume(total <= fused.max_batch)
+        separate = sum(
+            LinearProfile(name="full", alpha=alpha + suf_alpha,
+                          beta=beta + 0.1, max_batch=512).latency(b)
+            for _ in range(k)
+        )
+        assert fused.latency(total) <= separate + 1e-6
+
+    @given(st.integers(2, 6), st.integers(2, 100))
+    @settings(max_examples=30)
+    def test_fused_latency_at_least_prefix(self, k, b):
+        prefix = LinearProfile(name="p", alpha=1.0, beta=5.0, max_batch=256)
+        suffixes = [LinearProfile(name=f"s{i}", alpha=0.01, beta=0.05,
+                                  max_batch=256) for i in range(k)]
+        group = PrefixGroup([f"m{i}" for i in range(k)], prefix, suffixes)
+        fused = group.combined_profile()
+        assert fused.latency(b) >= prefix.latency(b)
+
+
+class TestSplitProperties:
+    @given(
+        st.floats(0.5, 5.0), st.floats(1.0, 30.0),
+        st.floats(0.1, 2.0), st.floats(0.5, 20.0),
+        st.floats(0.1, 8.0), st.floats(150.0, 600.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_never_worse_than_even(self, a1, b1, a2, b2, gamma, slo):
+        x = LinearProfile(name="x", alpha=a1, beta=b1, max_batch=128)
+        y = LinearProfile(name="y", alpha=a2, beta=b2, max_batch=128)
+        root = QueryStage("x", x)
+        root.add_child(QueryStage("y", y, gamma=gamma))
+        q = Query("q", root, slo)
+        ev = even_split(q, 100.0, worst_case_factor=2.0)
+        assume(math.isfinite(ev.total_gpus))
+        try:
+            dp = plan_query(q, 100.0, epsilon_ms=slo / 40,
+                            worst_case_factor=2.0)
+        except ValueError:
+            return  # floor can make tight instances infeasible; fine
+        assert dp.total_gpus <= ev.total_gpus + 1e-9
+
+    @given(st.floats(0.1, 8.0), st.floats(200.0, 600.0))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_floor_respected(self, gamma, slo):
+        x = LinearProfile(name="x", alpha=1.0, beta=10.0, max_batch=128)
+        y = LinearProfile(name="y", alpha=0.2, beta=1.0, max_batch=128)
+        root = QueryStage("x", x)
+        root.add_child(QueryStage("y", y, gamma=gamma))
+        q = Query("q", root, slo)
+        split = plan_query(q, 100.0, epsilon_ms=slo / 50, min_stage_frac=0.2)
+        for name in ("x", "y"):
+            assert split.budgets_ms[name] >= 0.2 * slo - slo / 50 - 1e-6
+
+
+class TestEpochSchedulerProperties:
+    @given(st.lists(st.floats(5.0, 1500.0), min_size=2, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_tracks_rate_walk(self, rates):
+        """Across any sequence of rate changes, the plan stays valid and
+        covers the current demand."""
+        scheduler = EpochScheduler()
+        profile = LinearProfile(name="m", alpha=1.0, beta=10.0, max_batch=64)
+        for i, rate in enumerate(rates):
+            load = SessionLoad(Session("m", 200.0), rate, profile)
+            scheduler.update(i * 30_000.0, [load])
+            assert not scheduler.plan.validate()
+            assert scheduler.capacity_rps("m@200ms") >= rate * (1 - 1e-9)
+
+    @given(st.lists(st.floats(5.0, 400.0), min_size=2, max_size=5),
+           st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_multi_session_walk(self, rates, n_sessions):
+        scheduler = EpochScheduler()
+        profile = LinearProfile(name="m", alpha=0.8, beta=8.0, max_batch=64)
+        for i, rate in enumerate(rates):
+            loads = [
+                SessionLoad(Session(f"s{j}", 150.0 + 50.0 * j),
+                            rate / (j + 1), profile)
+                for j in range(n_sessions)
+            ]
+            scheduler.update(i * 30_000.0, loads)
+            for load in loads:
+                assert scheduler.capacity_rps(load.session_id) >= \
+                    load.rate_rps * (1 - 1e-9)
+
+
+class TestPackingScaleProperties:
+    @given(profiles, st.floats(100.0, 400.0), st.floats(1.0, 500.0),
+           st.floats(1.5, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_gpu_count_monotone_in_rate(self, profile, slo, rate, scale):
+        load = SessionLoad(Session("m", slo), rate, profile)
+        scaled = load.with_rate(rate * scale)
+        small = squishy_bin_packing([load])
+        big = squishy_bin_packing([scaled])
+        if small.infeasible or big.infeasible:
+            return
+        assert big.num_gpus >= small.num_gpus
+
+    @given(st.integers(2, 8), st.floats(150.0, 400.0), st.floats(2.0, 60.0))
+    @settings(max_examples=30, deadline=None)
+    def test_merging_never_exceeds_one_gpu_each(self, n, slo, rate):
+        profile = LinearProfile(name="m", alpha=0.5, beta=5.0, max_batch=64)
+        loads = [SessionLoad(Session(f"s{i}", slo), rate, profile)
+                 for i in range(n)]
+        plan = squishy_bin_packing(loads)
+        assert plan.num_gpus <= n  # never worse than one GPU per session

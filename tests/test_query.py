@@ -1,0 +1,218 @@
+"""Tests for complex query scheduling (core/query.py) -- section 6.2."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import LinearProfile, TabulatedProfile
+from repro.core.query import (
+    Query,
+    QueryStage,
+    evaluate_split,
+    even_split,
+    plan_query,
+)
+
+
+def fig3_profiles():
+    """Figure 3's models X and Y as tabulated profiles.
+
+    X: 40ms->200 r/s (b=8), 60ms->300 r/s (b=18).
+    Y: 40ms->300 r/s (b=12), 60ms->500 r/s (b=30).
+    """
+    x = TabulatedProfile(name="X", points=((8, 40.0), (18, 60.0)))
+    y = TabulatedProfile(name="Y", points=((12, 40.0), (30, 60.0)))
+    return x, y
+
+
+def two_stage_query(gamma: float, slo: float = 100.0) -> Query:
+    x, y = fig3_profiles()
+    root = QueryStage("X", x)
+    root.add_child(QueryStage("Y", y, gamma=gamma))
+    return Query("xy", root, slo)
+
+
+class TestFigure4:
+    """The section 4.2 worked example: average throughput per split."""
+
+    @pytest.mark.parametrize(
+        "gamma,expected",
+        [
+            (0.1, {(40, 60): 192.3, (60, 40): 272.7}),
+            (1.0, {(40, 60): 142.9, (60, 40): 150.0}),
+            (10.0, {(40, 60): 40.0, (60, 40): 27.3}),
+        ],
+    )
+    def test_corner_plans_match_paper(self, gamma, expected):
+        x, y = fig3_profiles()
+        for (bx, by), want in expected.items():
+            avg = evaluate_split(
+                {"X": x, "Y": y},
+                {"X": float(bx), "Y": float(by)},
+                {"X": 1.0, "Y": gamma},
+            )
+            assert avg == pytest.approx(want, rel=0.01)
+
+    def test_no_universal_best_split(self):
+        """Each gamma favors a different plan (the paper's key point)."""
+        x, y = fig3_profiles()
+
+        def best_plan(gamma):
+            plans = {(40, 60): None, (50, 50): None, (60, 40): None}
+            for bx, by in plans:
+                plans[(bx, by)] = evaluate_split(
+                    {"X": x, "Y": y}, {"X": bx, "Y": by},
+                    {"X": 1.0, "Y": gamma},
+                )
+            return max(plans, key=plans.get)
+
+        assert best_plan(0.1) == (60, 40)
+        assert best_plan(10.0) == (40, 60)
+        assert best_plan(0.1) != best_plan(10.0)
+
+
+class TestPlanQuery:
+    def test_split_sums_within_slo(self):
+        q = two_stage_query(gamma=1.0)
+        split = plan_query(q, rate_rps=100.0, epsilon_ms=5.0)
+        assert split.budgets_ms["X"] + split.budgets_ms["Y"] <= 100.0 + 1e-9
+
+    def test_high_gamma_shifts_budget_to_child(self):
+        lo = plan_query(two_stage_query(0.1), 100.0, epsilon_ms=5.0)
+        hi = plan_query(two_stage_query(10.0), 100.0, epsilon_ms=5.0)
+        # More fan-out -> the child needs efficiency -> a bigger budget.
+        assert hi.budgets_ms["Y"] >= lo.budgets_ms["Y"]
+
+    def test_beats_even_split(self):
+        """The DP split never needs more GPUs than the even split."""
+        for gamma in (0.1, 1.0, 10.0):
+            q = two_stage_query(gamma)
+            dp = plan_query(q, 300.0, epsilon_ms=5.0)
+            ev = even_split(q, 300.0)
+            assert dp.total_gpus <= ev.total_gpus + 1e-9
+
+    def test_infeasible_slo_raises(self):
+        x = LinearProfile(name="x", alpha=10.0, beta=50.0)
+        q = Query("q", QueryStage("x", x), slo_ms=20.0)
+        with pytest.raises(ValueError):
+            plan_query(q, 10.0, epsilon_ms=5.0)
+
+    def test_negative_rate_rejected(self):
+        q = two_stage_query(1.0)
+        with pytest.raises(ValueError):
+            plan_query(q, -1.0)
+
+    def test_single_stage_gets_whole_budget(self):
+        x = LinearProfile(name="x", alpha=1.0, beta=5.0)
+        q = Query("q", QueryStage("x", x), slo_ms=80.0)
+        split = plan_query(q, 50.0, epsilon_ms=5.0)
+        assert split.budgets_ms["x"] == pytest.approx(80.0)
+
+    def test_leaf_absorbs_slack(self):
+        """Sibling leaves under a source each get the full SLO."""
+        tiny = LinearProfile(name="t", alpha=0.01, beta=0.3)
+        big = LinearProfile(name="b", alpha=1.0, beta=10.0)
+        root = QueryStage("src", None)
+        root.add_child(QueryStage("tiny", tiny, gamma=6.0))
+        root.add_child(QueryStage("big", big, gamma=1.0))
+        q = Query("game", root, slo_ms=50.0)
+        split = plan_query(q, 100.0, epsilon_ms=5.0)
+        assert split.budgets_ms["tiny"] == pytest.approx(50.0)
+        assert split.budgets_ms["big"] == pytest.approx(50.0)
+        assert split.budgets_ms["src"] == 0.0
+
+    def test_three_stage_chain(self):
+        a = LinearProfile(name="a", alpha=1.0, beta=10.0)
+        b = LinearProfile(name="b", alpha=0.5, beta=5.0)
+        c = LinearProfile(name="c", alpha=0.2, beta=2.0)
+        root = QueryStage("a", a)
+        mid = root.add_child(QueryStage("b", b, gamma=2.0))
+        mid.add_child(QueryStage("c", c, gamma=3.0))
+        q = Query("chain", root, slo_ms=300.0)
+        split = plan_query(q, 100.0, epsilon_ms=5.0)
+        total = (split.budgets_ms["a"] + split.budgets_ms["b"]
+                 + split.budgets_ms["c"])
+        assert total <= 300.0 + 1e-9
+        assert all(v > 0 for v in split.budgets_ms.values())
+
+    def test_epsilon_refinement_improves_or_matches(self):
+        q = two_stage_query(1.0)
+        coarse = plan_query(q, 200.0, epsilon_ms=25.0)
+        fine = plan_query(q, 200.0, epsilon_ms=2.0)
+        assert fine.total_gpus <= coarse.total_gpus + 1e-9
+
+    def test_worst_case_factor_halves_batches(self):
+        x = LinearProfile(name="x", alpha=1.0, beta=0.0, max_batch=512)
+        q = Query("q", QueryStage("x", x), slo_ms=100.0)
+        plain = plan_query(q, 100.0, worst_case_factor=1.0)
+        safe = plan_query(q, 100.0, worst_case_factor=2.0)
+        assert safe.batches["x"] <= plain.batches["x"] / 2 + 1
+
+    @given(st.floats(0.1, 10.0), st.floats(100.0, 500.0))
+    @settings(max_examples=30, deadline=None)
+    def test_budgets_respect_path_constraint(self, gamma, slo):
+        q = two_stage_query(gamma, slo=slo)
+        split = plan_query(q, 100.0, epsilon_ms=slo / 20)
+        assert split.budgets_ms["X"] + split.budgets_ms["Y"] <= slo + 1e-6
+
+
+class TestEvenSplit:
+    def test_even_budgets(self):
+        q = two_stage_query(1.0, slo=100.0)
+        split = even_split(q, 100.0)
+        assert split.budgets_ms["X"] == pytest.approx(50.0)
+        assert split.budgets_ms["Y"] == pytest.approx(50.0)
+
+    def test_source_stage_excluded_from_depth(self):
+        tiny = LinearProfile(name="t", alpha=0.1, beta=1.0)
+        root = QueryStage("src", None)
+        root.add_child(QueryStage("m", tiny))
+        q = Query("q", root, slo_ms=60.0)
+        split = even_split(q, 10.0)
+        assert split.budgets_ms["m"] == pytest.approx(60.0)
+        assert split.budgets_ms["src"] == 0.0
+
+    def test_infeasible_marked_infinite(self):
+        x = LinearProfile(name="x", alpha=10.0, beta=100.0)
+        q = Query("q", QueryStage("x", x), slo_ms=50.0)
+        split = even_split(q, 10.0)
+        assert math.isinf(split.total_gpus)
+
+
+class TestQueryStructure:
+    def test_walk_multiplies_gammas(self):
+        a = LinearProfile(name="a", alpha=1.0, beta=1.0)
+        root = QueryStage("a", a)
+        b = root.add_child(QueryStage("b", a, gamma=2.0))
+        b.add_child(QueryStage("c", a, gamma=3.0))
+        q = Query("q", root, 100.0)
+        mults = {s.name: m for s, m in q.stages()}
+        assert mults == {"a": 1.0, "b": 2.0, "c": 6.0}
+
+    def test_depth(self):
+        a = LinearProfile(name="a", alpha=1.0, beta=1.0)
+        root = QueryStage("a", a)
+        b = root.add_child(QueryStage("b", a))
+        b.add_child(QueryStage("c", a))
+        root.add_child(QueryStage("d", a))
+        assert Query("q", root, 1.0).depth() == 3
+
+    def test_gamma_validation(self):
+        a = LinearProfile(name="a", alpha=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            QueryStage("a", a, gamma=-0.5)
+
+    def test_slo_validation(self):
+        a = LinearProfile(name="a", alpha=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            Query("q", QueryStage("a", a), slo_ms=0.0)
+
+    def test_sessions_materialization(self):
+        q = two_stage_query(2.0)
+        split = plan_query(q, 100.0)
+        loads = split.sessions(q)
+        by_id = {l.session_id: l for l in loads}
+        assert by_id["xy/X"].rate_rps == pytest.approx(100.0)
+        assert by_id["xy/Y"].rate_rps == pytest.approx(200.0)

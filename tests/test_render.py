@@ -1,0 +1,99 @@
+"""Tests for the text renderers (metrics/render.py)."""
+
+import pytest
+
+from repro.cluster.backend import ExecutionSpan
+from repro.metrics.collector import TimeSeries
+from repro.metrics.render import render_figure13, render_gantt, render_series
+
+
+def series(values, window=1000.0):
+    s = TimeSeries(window)
+    for i, v in enumerate(values):
+        s.times_ms.append(i * window)
+        s.values.append(v)
+    return s
+
+
+class TestRenderSeries:
+    def test_range_annotated(self):
+        out = render_series(series([1.0, 5.0, 10.0]), title="load")
+        assert out.startswith("load [1.0..10.0]")
+
+    def test_monotone_values_monotone_chars(self):
+        out = render_series(series([0.0, 5.0, 10.0]))
+        strip = out.split("] ")[1]
+        assert strip[0] == " " and strip[-1] == "@"
+
+    def test_flat_series(self):
+        out = render_series(series([3.0, 3.0, 3.0]))
+        assert "[3.0..3.0]" in out
+
+    def test_empty(self):
+        assert "(empty)" in render_series(series([]), title="x")
+
+    def test_downsampling(self):
+        out = render_series(series(list(range(100))), width=10)
+        strip = out.split("] ")[1]
+        assert len(strip) == 10
+
+    def test_figure13_panels(self):
+        out = render_figure13(series([1, 2]), series([4, 8]),
+                              series([0.0, 0.5]))
+        assert out.count("\n") == 2
+        assert "workload" in out and "GPUs" in out and "bad rate" in out
+
+
+class TestRenderGantt:
+    def test_basic_strip(self):
+        spans = [
+            ExecutionSpan(0, "a", 0.0, 50.0, 4),
+            ExecutionSpan(0, "b", 50.0, 100.0, 2),
+            ExecutionSpan(1, "a", 10.0, 60.0, 4),
+        ]
+        out = render_gantt(spans, width=20)
+        assert "gpu0" in out and "gpu1" in out
+        assert "A=a" in out and "B=b" in out
+
+    def test_idle_shown_as_dots(self):
+        spans = [ExecutionSpan(0, "a", 0.0, 10.0, 1),
+                 ExecutionSpan(0, "a", 90.0, 100.0, 1)]
+        out = render_gantt(spans, width=20)
+        row = out.splitlines()[0]
+        assert "." in row
+
+    def test_overlap_rejected(self):
+        spans = [ExecutionSpan(0, "a", 0.0, 60.0, 1),
+                 ExecutionSpan(0, "b", 50.0, 100.0, 1)]
+        with pytest.raises(ValueError):
+            render_gantt(spans)
+
+    def test_empty(self):
+        assert render_gantt([]) == "(no spans)"
+
+    def test_window_clipping(self):
+        spans = [ExecutionSpan(0, "a", 0.0, 10.0, 1),
+                 ExecutionSpan(0, "b", 500.0, 510.0, 1)]
+        out = render_gantt(spans, start_ms=0.0, end_ms=20.0, width=10)
+        assert "B=b" not in out
+
+    def test_from_real_backend_trace(self):
+        from repro.cluster.backend import Backend, BackendSession
+        from repro.core.profile import LinearProfile
+        from repro.cluster.messages import Request
+        from repro.simulation.simulator import Simulator
+
+        sim = Simulator()
+        backend = Backend(sim)
+        backend.trace_enabled = True
+        backend.set_schedule([BackendSession(
+            session_id="m",
+            profile=LinearProfile(name="m", alpha=1.0, beta=5.0, max_batch=8),
+            slo_ms=100.0, target_batch=4, duty_cycle_ms=20.0,
+        )])
+        for t in (0.0, 30.0, 60.0):
+            sim.schedule_at(t, lambda t=t: backend.enqueue(Request(
+                session_id="m", arrival_ms=t, deadline_ms=t + 100.0)))
+        sim.run()
+        out = render_gantt(backend.trace, width=40)
+        assert "gpu0" in out and "A=m" in out

@@ -1,0 +1,71 @@
+"""Tests for the Session/SessionLoad abstractions (core/session.py)."""
+
+import pytest
+
+from repro.core.profile import LinearProfile
+from repro.core.session import Session, SessionLoad
+
+
+class TestSession:
+    def test_default_id(self):
+        s = Session("resnet50", 100.0)
+        assert s.session_id == "resnet50@100ms"
+        assert str(s) == "resnet50@100ms"
+
+    def test_explicit_id(self):
+        s = Session("resnet50", 100.0, session_id="app/stage")
+        assert s.session_id == "app/stage"
+
+    def test_distinct_slos_distinct_sessions(self):
+        a = Session("m", 100.0)
+        b = Session("m", 200.0)
+        assert a.session_id != b.session_id
+        assert a != b
+
+    def test_frozen(self):
+        s = Session("m", 100.0)
+        with pytest.raises(AttributeError):
+            s.slo_ms = 50.0
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            Session("m", 0.0)
+        with pytest.raises(ValueError):
+            Session("m", -1.0)
+
+    def test_hashable(self):
+        assert len({Session("m", 100.0), Session("m", 100.0)}) == 1
+
+
+class TestSessionLoad:
+    def _load(self, rate=50.0, slo=100.0, alpha=1.0, beta=10.0):
+        return SessionLoad(
+            Session("m", slo), rate,
+            LinearProfile(name="m", alpha=alpha, beta=beta, max_batch=64),
+        )
+
+    def test_accessors(self):
+        l = self._load()
+        assert l.slo_ms == 100.0
+        assert l.session_id == "m@100ms"
+
+    def test_with_rate_copies(self):
+        l = self._load(rate=50.0)
+        m = l.with_rate(80.0)
+        assert m.rate_rps == 80.0
+        assert l.rate_rps == 50.0
+        assert m.session is l.session
+        assert m.profile is l.profile
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self._load(rate=-1.0)
+
+    def test_peak_throughput(self):
+        l = self._load(slo=100.0, alpha=1.0, beta=10.0)
+        # 2*(b+10) <= 100 -> b=40, T = 40/50ms = 800/s
+        assert l.peak_throughput() == pytest.approx(800.0)
+
+    def test_feasibility(self):
+        assert self._load(slo=100.0).is_feasible()
+        assert not self._load(slo=20.0, alpha=10.0, beta=50.0).is_feasible()

@@ -1,0 +1,187 @@
+"""Tests for squishy bin packing (core/squishy.py) -- Algorithm 1."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import LinearProfile
+from repro.core.session import Session, SessionLoad
+from repro.core.squishy import (
+    schedule_residue,
+    schedule_saturate,
+    squishy_bin_packing,
+)
+
+
+def load(name, slo, rate, alpha=1.0, beta=10.0, max_batch=64):
+    return SessionLoad(
+        Session(name, slo),
+        rate,
+        LinearProfile(name=name, alpha=alpha, beta=beta, max_batch=max_batch),
+    )
+
+
+class TestScheduleSaturate:
+    def test_paper_example_peak_throughputs(self, table2_loads):
+        # Section 4.1: max batch 16 under each SLO; A=160, B=C=128 req/s.
+        a, b, c = table2_loads
+        assert a.peak_throughput() == pytest.approx(160.0)
+        assert b.peak_throughput() == pytest.approx(128.0)
+        assert c.peak_throughput() == pytest.approx(128.0)
+
+    def test_whole_gpus_allocated(self, table2_profiles):
+        # A at 400 r/s with peak 160 -> 2 saturated GPUs + 80 r/s residual.
+        l = SessionLoad(Session("A", 200.0), 400.0, table2_profiles["A"])
+        plans, residuals, infeasible = schedule_saturate([l])
+        assert len(plans) == 2
+        assert all(p.saturated for p in plans)
+        assert len(residuals) == 1
+        assert residuals[0].rate_rps == pytest.approx(80.0)
+        assert not infeasible
+
+    def test_saturated_plan_meets_slo(self, table2_profiles):
+        l = SessionLoad(Session("A", 200.0), 400.0, table2_profiles["A"])
+        plans, _, _ = schedule_saturate([l])
+        for p in plans:
+            assert not p.validate()
+
+    def test_zero_rate_skipped(self, table2_profiles):
+        l = SessionLoad(Session("A", 200.0), 0.0, table2_profiles["A"])
+        plans, residuals, infeasible = schedule_saturate([l])
+        assert plans == [] and residuals == [] and infeasible == []
+
+    def test_infeasible_session_reported(self):
+        # latency(1) = 110 > SLO/2 = 50: no batch works.
+        bad = load("bad", slo=100.0, rate=10.0, alpha=10.0, beta=100.0)
+        plans, residuals, infeasible = schedule_saturate([bad])
+        assert not plans and not residuals
+        assert [l.session_id for l in infeasible] == ["bad@100ms"]
+
+    def test_exact_multiple_leaves_no_residual(self, table2_profiles):
+        l = SessionLoad(Session("A", 200.0), 320.0, table2_profiles["A"])
+        plans, residuals, _ = schedule_saturate([l])
+        assert len(plans) == 2
+        assert not residuals
+
+
+class TestScheduleResidue:
+    def test_paper_merge_example(self, table2_loads):
+        """Section 4.1 / Figure 2(b): A(batch 8) + B(batch 4) co-locate in
+        a 125 ms duty cycle; C cannot fit and gets its own GPU."""
+        nodes, infeasible = schedule_residue(table2_loads)
+        assert not infeasible
+        assert len(nodes) == 2
+        shared = next(n for n in nodes if len(n.allocations) == 2)
+        ids = {a.session_id: a.batch for a in shared.allocations}
+        assert ids == {"A@200ms": 8, "B@250ms": 4}
+        assert shared.duty_cycle_ms == pytest.approx(125.0)
+
+    def test_c_alone_on_second_gpu(self, table2_loads):
+        nodes, _ = schedule_residue(table2_loads)
+        solo = next(n for n in nodes if len(n.allocations) == 1)
+        assert solo.allocations[0].session_id == "C@250ms"
+
+    def test_all_plans_validate(self, table2_loads):
+        nodes, _ = schedule_residue(table2_loads)
+        for n in nodes:
+            assert not n.validate()
+
+    def test_memory_constraint_blocks_merge(self):
+        profile = LinearProfile(name="big", alpha=1.0, beta=10.0,
+                                memory_model_bytes=900)
+        loads = [
+            SessionLoad(Session(f"s{i}", 500.0), 20.0, profile)
+            for i in range(3)
+        ]
+        merged, _ = schedule_residue(loads, memory_capacity=None)
+        separate, _ = schedule_residue(loads, memory_capacity=1000)
+        assert len(separate) > len(merged)
+
+    def test_merge_order_variants_all_valid(self, table2_loads):
+        for order in ("best_fit", "first_fit", "worst_fit"):
+            nodes, _ = schedule_residue(table2_loads, merge_order=order)
+            for n in nodes:
+                assert not n.validate()
+
+    def test_unknown_merge_order_rejected(self, table2_loads):
+        with pytest.raises(ValueError):
+            schedule_residue(table2_loads, merge_order="magic")
+
+    def test_merge_reduces_gpu_count_for_light_loads(self):
+        loads = [load(f"s{i}", slo=400.0, rate=5.0) for i in range(8)]
+        nodes, _ = schedule_residue(loads)
+        assert len(nodes) < 8
+
+    def test_tight_slo_low_rate_still_feasible(self):
+        # One request every 200 ms but a 30 ms SLO: batch 1 on arrival.
+        l = load("tight", slo=30.0, rate=5.0, alpha=1.0, beta=10.0)
+        nodes, infeasible = schedule_residue([l])
+        assert not infeasible
+        assert nodes[0].allocations[0].batch == 1
+        assert not nodes[0].validate()
+
+
+class TestSquishyBinPacking:
+    def test_end_to_end_paper_example(self, table2_loads):
+        plan = squishy_bin_packing(table2_loads)
+        assert plan.num_gpus == 2
+        assert not plan.validate()
+
+    def test_capacity_covers_demand(self, table2_loads):
+        plan = squishy_bin_packing(table2_loads)
+        for l in table2_loads:
+            assert plan.capacity_rps(l.session_id) >= l.rate_rps - 1e-6
+
+    def test_mixed_saturate_and_residue(self, table2_profiles):
+        loads = [
+            SessionLoad(Session("A", 200.0), 400.0, table2_profiles["A"]),
+            SessionLoad(Session("B", 250.0), 32.0, table2_profiles["B"]),
+        ]
+        plan = squishy_bin_packing(loads)
+        saturated = [g for g in plan.gpus if g.saturated]
+        assert len(saturated) == 2
+        assert plan.capacity_rps("A@200ms") >= 400.0 - 1e-6
+        assert plan.capacity_rps("B@250ms") >= 32.0 - 1e-6
+
+    def test_empty_input(self):
+        plan = squishy_bin_packing([])
+        assert plan.num_gpus == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(50.0, 500.0),   # slo
+                st.floats(1.0, 300.0),    # rate
+                st.floats(0.1, 3.0),      # alpha
+                st.floats(0.0, 30.0),     # beta
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plans_always_valid_and_sufficient(self, specs):
+        """Property: every generated plan respects SLOs and covers demand
+        for all sessions it did not declare infeasible."""
+        loads = [
+            load(f"s{i}", slo=slo, rate=rate, alpha=alpha, beta=beta)
+            for i, (slo, rate, alpha, beta) in enumerate(specs)
+        ]
+        plan = squishy_bin_packing(loads)
+        assert not plan.validate()
+        infeasible_ids = {l.session_id for l in plan.infeasible}
+        for l in loads:
+            if l.session_id not in infeasible_ids:
+                assert plan.capacity_rps(l.session_id) >= l.rate_rps * (1 - 1e-9)
+
+    @given(st.floats(1.0, 2000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_gpu_count_scales_with_rate(self, rate):
+        l = load("s", slo=200.0, rate=rate, alpha=1.0, beta=10.0)
+        plan = squishy_bin_packing([l])
+        peak = l.peak_throughput()
+        assert plan.num_gpus == math.ceil(rate / peak) or (
+            plan.num_gpus == math.floor(rate / peak) + 1
+        )

@@ -1,0 +1,114 @@
+"""Additional squishy-packing coverage: sharding, validation, accessors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import LinearProfile
+from repro.core.session import Session, SessionLoad
+from repro.core.squishy import (
+    Allocation,
+    GpuPlan,
+    SchedulePlan,
+    _shard_tight_session,
+    schedule_saturate,
+    squishy_bin_packing,
+)
+
+
+def load(name, slo, rate, alpha=1.0, beta=10.0, pre=0.0, workers=1):
+    return SessionLoad(
+        Session(name, slo), rate,
+        LinearProfile(name=name, alpha=alpha, beta=beta, max_batch=64,
+                      pre_ms=pre, cpu_workers=workers),
+    )
+
+
+class TestTightSessionSharding:
+    def test_tight_session_becomes_residual_shards(self):
+        # 2*l(1) = 2*30 = 60 > 50 SLO, but l(1)=30 <= 50: servable
+        # on-arrival, not back-to-back.
+        tight = load("t", slo=50.0, rate=100.0, alpha=10.0, beta=20.0)
+        plans, residuals, infeasible = schedule_saturate([tight])
+        assert not infeasible
+        assert not plans
+        assert len(residuals) >= 2  # sharded across nodes
+        assert sum(r.rate_rps for r in residuals) == pytest.approx(100.0)
+
+    def test_shards_land_on_distinct_gpus(self):
+        tight = load("t", slo=50.0, rate=100.0, alpha=10.0, beta=20.0)
+        plan = squishy_bin_packing([tight])
+        hosting = [g for g in plan.gpus if "t@50ms" in g.session_ids()]
+        assert len(hosting) >= 2
+        for g in hosting:
+            assert g.session_ids().count("t@50ms") == 1
+        assert plan.capacity_rps("t@50ms") >= 100.0 - 1e-6
+
+    def test_hopeless_session_infeasible(self):
+        # l(1) = 60 > 50 SLO: nothing helps.
+        bad = load("x", slo=50.0, rate=10.0, alpha=10.0, beta=50.0)
+        plan = squishy_bin_packing([bad])
+        assert [l.session_id for l in plan.infeasible] == ["x@50ms"]
+
+    def test_shard_helper_capacity(self):
+        tight = load("t", slo=50.0, rate=100.0, alpha=10.0, beta=20.0)
+        shards = _shard_tight_session(tight)
+        assert len(shards) >= 1
+        assert sum(s.rate_rps for s in shards) == pytest.approx(100.0)
+
+
+class TestPlanAccessors:
+    def test_gpu_plan_memory(self):
+        prof = LinearProfile(name="m", alpha=1.0, beta=5.0,
+                             memory_model_bytes=100,
+                             memory_per_input_bytes=10)
+        l = SessionLoad(Session("m", 200.0), 20.0, prof)
+        plan = GpuPlan([Allocation(l, 4)], 50.0)
+        assert plan.memory_bytes() == 140
+
+    def test_schedule_plan_validate_aggregates(self):
+        prof = LinearProfile(name="m", alpha=1.0, beta=5.0)
+        l = SessionLoad(Session("m", 10.0), 20.0, prof)
+        # Deliberately broken plan: duty + exec > slo.
+        broken = SchedulePlan(gpus=[
+            GpuPlan([Allocation(l, 8), Allocation(load("n", 10.0, 20.0), 8)],
+                    100.0),
+        ])
+        problems = broken.validate()
+        assert problems
+        assert all(p.startswith("gpu0:") for p in problems)
+
+    def test_occupancy_zero_duty(self):
+        plan = GpuPlan([], 0.0)
+        assert plan.occupancy == 0.0
+        assert plan.busy_ms == 0.0
+
+    def test_throughput_rps_for_absent_session(self):
+        prof = LinearProfile(name="m", alpha=1.0, beta=5.0)
+        l = SessionLoad(Session("m", 200.0), 20.0, prof)
+        plan = GpuPlan([Allocation(l, 4)], 50.0)
+        assert plan.throughput_rps("other") == 0.0
+
+    @given(st.floats(1.0, 64.0))
+    @settings(max_examples=20)
+    def test_allocation_gather_wait(self, rate):
+        prof = LinearProfile(name="m", alpha=1.0, beta=5.0)
+        l = SessionLoad(Session("m", 500.0), rate, prof)
+        a = Allocation(l, 8)
+        assert a.gather_wait_ms() == pytest.approx(7.0 / rate * 1000.0)
+
+
+class TestCpuBoundPacking:
+    def test_cpu_bound_session_capacity(self):
+        """A CPU-bound profile (cpu > gpu at all batches) packs at the CPU
+        ceiling, not the GPU throughput."""
+        from repro.core.profile import EffectiveProfile
+
+        base = LinearProfile(name="m", alpha=0.01, beta=0.5, pre_ms=5.0,
+                             cpu_workers=5, max_batch=128)
+        eff = EffectiveProfile(base=base, overlap=True)
+        l = SessionLoad(Session("m", 100.0), 4_000.0, eff)
+        plan = squishy_bin_packing([l])
+        # CPU ceiling = 1000 / (5/5) = 1000 r/s per GPU -> 4+ GPUs.
+        assert plan.num_gpus >= 4
+        assert plan.capacity_rps("m@100ms") >= 4_000.0 - 1e-6

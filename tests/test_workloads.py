@@ -1,0 +1,176 @@
+"""Tests for the application workloads and trace generators."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.workloads.apps import (
+    APP_BUILDERS,
+    all_apps,
+    amber_query,
+    bb_query,
+    bike_query,
+    dance_query,
+    game_queries,
+    game_query,
+    logo_query,
+    traffic_query,
+)
+from repro.workloads.traces import (
+    RateSchedule,
+    diurnal_rate,
+    rush_hour_gammas,
+    step_rate,
+)
+
+
+class TestApps:
+    def test_game_query_structure(self):
+        q = game_query("gtx1080ti", game_id=3)
+        assert q.name == "game3"
+        assert q.slo_ms == 50.0
+        assert q.root.is_source
+        names = set(q.stage_names())
+        assert names == {"frame", "digits", "icon"}
+        # QA-1 per Table 4: one model stage of depth.
+        assert q.depth() == 1
+
+    def test_game_digit_fanout_is_six(self):
+        q = game_query("gtx1080ti")
+        digits = next(s for s, _ in q.stages() if s.name == "digits")
+        assert digits.gamma == 6.0
+
+    def test_games_use_distinct_specializations(self):
+        q0, q1 = game_queries("gtx1080ti", num_games=2)
+        icon0 = next(s for s, _ in q0.stages() if s.name == "icon")
+        icon1 = next(s for s, _ in q1.stages() if s.name == "icon")
+        assert icon0.model_id != icon1.model_id
+        assert icon0.model_id.startswith("resnet50@")
+
+    def test_traffic_matches_figure8(self):
+        q = traffic_query("gtx1080ti")
+        assert q.root.name == "ssd"
+        children = {c.name for c in q.root.children}
+        assert children == {"car", "face"}
+        assert q.depth() == 2  # QA-2
+
+    def test_stage_depths_match_table4(self):
+        expectations = {
+            dance_query: 2,   # QA-2
+            bb_query: 3,      # QA-3
+            bike_query: 4,    # QA-4
+            amber_query: 4,   # QA-4
+            logo_query: 5,    # QA-5
+        }
+        for builder, depth in expectations.items():
+            assert builder("gtx1080ti").depth() == depth, builder.__name__
+
+    def test_all_apps_coverage(self):
+        queries = all_apps("gtx1080ti", num_games=4)
+        assert len(queries) == 4 + len(APP_BUILDERS)
+        assert all(isinstance(q, Query) for q in queries)
+        names = [q.name for q in queries]
+        assert len(names) == len(set(names))
+
+    def test_all_stages_have_profiles_or_source(self):
+        for q in all_apps("gtx1080ti", num_games=1):
+            for stage, mult in q.stages():
+                assert stage.is_source or stage.profile.latency(1) > 0
+                assert mult > 0
+
+    def test_prefix_batchable_apps_use_variants(self):
+        """Table 4 marks game/bb/bike/amber/logo as PB: their stages use
+        '@'-specialized models, so the cluster can fuse them."""
+        for builder in (bb_query, bike_query, amber_query, logo_query):
+            q = builder("gtx1080ti")
+            specialized = [
+                s.model_id for s, _ in q.stages()
+                if not s.is_source and "@" in s.model_id
+            ]
+            assert specialized, builder.__name__
+
+
+class TestTraces:
+    def test_step_rate_shape(self):
+        base = 100.0
+        assert step_rate(base, 0.0) == base
+        assert step_rate(base, 700_000.0) == base
+        surged = step_rate(base, 400_000.0)
+        assert surged > 1.3 * base
+
+    def test_step_rate_wobbles_during_surge(self):
+        vals = {step_rate(100.0, t) for t in range(330_000, 630_000, 7_000)}
+        assert len(vals) > 5  # "starts varying significantly"
+
+    def test_diurnal_rate_positive_and_periodic(self):
+        day = 86_400_000.0
+        for t in (0.0, day / 4, day / 2, day):
+            assert diurnal_rate(100.0, t) > 0
+        assert diurnal_rate(100.0, 0.0) == pytest.approx(
+            diurnal_rate(100.0, day), rel=1e-6
+        )
+
+    def test_diurnal_rush_bump(self):
+        day = 86_400_000.0
+        rush = diurnal_rate(100.0, 8.5 / 24 * day)
+        night = diurnal_rate(100.0, 3.0 / 24 * day)
+        assert rush > 1.5 * night
+
+    def test_rush_hour_gammas(self):
+        calm = rush_hour_gammas(False)
+        rush = rush_hour_gammas(True)
+        assert rush["gamma_car"] > calm["gamma_car"]
+        assert rush["gamma_face"] > calm["gamma_face"]
+
+    def test_rate_schedule(self):
+        sched = RateSchedule([(0.0, 10.0), (1000.0, 50.0), (2000.0, 5.0)])
+        assert sched(500.0) == 10.0
+        assert sched(1500.0) == 50.0
+        assert sched(9999.0) == 5.0
+
+    def test_rate_schedule_requires_points(self):
+        with pytest.raises(ValueError):
+            RateSchedule([])
+
+
+class TestStreamTraces:
+    def test_ar1_mean_reversion(self):
+        from repro.workloads.traces import ar1_series
+
+        xs = ar1_series(5.0, 5000, phi=0.9, sigma=0.3, seed=1)
+        mean = sum(xs) / len(xs)
+        assert 4.0 < mean < 6.0
+        assert min(xs) >= 0.0
+
+    def test_ar1_phi_validation(self):
+        from repro.workloads.traces import ar1_series
+
+        with pytest.raises(ValueError):
+            ar1_series(5.0, 10, phi=1.5)
+
+    def test_stream_trace_shape(self):
+        from repro.workloads.traces import StreamTrace
+
+        trace = StreamTrace(fps=2.0, duration_ms=10_000.0, mean_objects=3.0)
+        assert len(trace) == 20
+        assert trace.frame_times_ms[1] - trace.frame_times_ms[0] == 500.0
+        assert 1.0 < trace.mean_fanout() < 6.0
+
+    def test_stream_trace_autocorrelated(self):
+        from repro.workloads.traces import StreamTrace
+
+        sticky = StreamTrace(2.0, 100_000.0, 3.0, phi=0.95, seed=2)
+        jumpy = StreamTrace(2.0, 100_000.0, 3.0, phi=0.0, seed=2)
+        assert sticky.autocorrelation(1) > 0.5
+        assert abs(jumpy.autocorrelation(1)) < 0.2
+
+    def test_stream_trace_diurnal_modulation(self):
+        from repro.workloads.traces import StreamTrace
+
+        trace = StreamTrace(1.0, 3_600_000.0, 3.0, diurnal=True, seed=3)
+        assert max(trace.object_counts) > 2 * (min(trace.object_counts) + 0.1)
+
+    def test_stream_trace_validation(self):
+        from repro.workloads.traces import StreamTrace
+
+        with pytest.raises(ValueError):
+            StreamTrace(0.0, 1000.0, 3.0)
