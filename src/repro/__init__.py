@@ -40,6 +40,7 @@ from .core import (
     squishy_bin_packing,
 )
 from .models import get_device, get_model, profile, profile_model
+from .observability import TraceBuffer, TraceEvent, Tracer, capture_trace
 
 __version__ = "1.0.0"
 
@@ -66,5 +67,9 @@ __all__ = [
     "get_model",
     "profile",
     "profile_model",
+    "TraceBuffer",
+    "TraceEvent",
+    "Tracer",
+    "capture_trace",
     "__version__",
 ]

@@ -9,6 +9,15 @@ Commands:
 - ``profile <model>``        print a model's batching profile on a device
 - ``plan``                   capacity-plan a workload of sessions given as
                              ``model:slo_ms:rate_rps`` triples
+
+Observability flags (before the subcommand) capture the structured event
+stream of every cluster run the command performs (docs/observability.md):
+
+- ``--trace-out PATH``       Chrome trace_event JSON (chrome://tracing /
+                             Perfetto)
+- ``--metrics-out PATH``     Prometheus-style text snapshot of
+                             counters/gauges
+- ``--trace-csv PATH``       the raw event table as CSV
 """
 
 from __future__ import annotations
@@ -47,6 +56,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Nexus (SOSP 2019) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of every cluster run the "
+             "command performs (open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a Prometheus-style text snapshot of the run's "
+             "counters/gauges (goodput, bad rate, drops, batch sizes, "
+             "GPU occupancy)",
+    )
+    parser.add_argument(
+        "--trace-csv", metavar="PATH", default=None,
+        help="write the raw structured event table as CSV",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -176,8 +200,7 @@ def _cmd_plan(sessions: list[str], device: str, exact: bool) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "run":
@@ -189,6 +212,43 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "plan":
         return _cmd_plan(args.sessions, args.device, args.exact)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not (args.trace_out or args.metrics_out or args.trace_csv):
+        return _dispatch(args)
+
+    from .observability import (
+        capture_trace,
+        write_chrome_trace,
+        write_csv,
+        write_prometheus_snapshot,
+    )
+
+    # Fail on unwritable paths now, not after a possibly long run.
+    for path in (args.trace_out, args.metrics_out, args.trace_csv):
+        if path:
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"cannot write {path}: {exc}", file=sys.stderr)
+                return 2
+
+    with capture_trace() as buffer:
+        status = _dispatch(args)
+    if args.trace_out:
+        write_chrome_trace(buffer.events, args.trace_out)
+        print(f"trace: {len(buffer.events)} events -> {args.trace_out}",
+              file=sys.stderr)
+    if args.metrics_out:
+        write_prometheus_snapshot(buffer.events, args.metrics_out)
+        print(f"metrics snapshot -> {args.metrics_out}", file=sys.stderr)
+    if args.trace_csv:
+        write_csv(buffer.events, args.trace_csv)
+        print(f"event csv -> {args.trace_csv}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

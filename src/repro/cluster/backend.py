@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy, QueuedRequest
 from ..core.profile import BatchingProfile
-from ..metrics.collector import MetricsCollector, RequestRecord
+from ..metrics.collector import MetricsCollector
+from ..observability.events import DROP_EARLY, DROP_MISROUTED, DROP_UNSCHEDULED
+from ..observability.tracer import Tracer, tracer_for_collector
 from ..simulation.simulator import EventHandle, Simulator
 from .messages import Request
 
@@ -93,6 +95,10 @@ class Backend:
         gpu_id: identifier for metrics.
         collector: sink for per-request outcome records (invocation
             granularity); pass None to rely on callbacks only.
+        tracer: structured event tracer; when omitted, one is derived
+            from ``collector`` (metrics-only, no event recording).  All
+            outcome records reach the collector *through* the tracer's
+            event stream.
         pacing: ``"cycle"`` or ``"greedy"`` (see module docstring).
         overlap: CPU/GPU overlap (OL).
         interference_factor: per-extra-co-located-session latency
@@ -108,12 +114,16 @@ class Backend:
         overlap: bool = True,
         interference_factor: float = 0.0,
         defer_missed: bool = False,
+        tracer: Tracer | None = None,
     ):
         if pacing not in ("cycle", "greedy"):
             raise ValueError(f"unknown pacing {pacing!r}")
         self.sim = sim
         self.gpu_id = gpu_id
         self.collector = collector
+        self.tracer = (
+            tracer if tracer is not None else tracer_for_collector(collector)
+        )
         self.pacing = pacing
         self.overlap = overlap
         self.interference_factor = interference_factor
@@ -165,7 +175,7 @@ class Backend:
         for sid, prev in old.items():
             if sid not in self._sessions:
                 for q in prev.queue + prev.deferred:
-                    self._finish_drop(prev, q)
+                    self._finish_drop(prev, q, DROP_UNSCHEDULED)
         self._cycle_pos = 0
         self._kick()
 
@@ -182,13 +192,17 @@ class Backend:
         state = self._sessions.get(request.session_id)
         if state is None:
             # Misrouted (e.g. schedule changed mid-flight): drop.
-            self._record_drop(request, self.sim.now)
+            self._record_drop(request, self.sim.now, DROP_MISROUTED)
             return
         state.queue.append(
             QueuedRequest(request.request_id, request.arrival_ms,
                           request.deadline_ms)
         )
         state.requests[request.request_id] = request
+        self.tracer.request_admitted(
+            self.sim.now, request.session_id, request.request_id,
+            request.deadline_ms, gpu_id=self.gpu_id,
+        )
         self._kick()
 
     # ------------------------------------------------------------ execution
@@ -225,7 +239,7 @@ class Backend:
             if self.defer_missed:
                 state.deferred.append(q)
             else:
-                self._finish_drop(state, q)
+                self._finish_drop(state, q, DROP_EARLY)
         if not batch:
             # Policy had nothing servable; try the next session right away.
             self._advance_cycle(candidate)
@@ -242,8 +256,9 @@ class Backend:
         self._busy = True
         self.busy_ms += exec_ms
         self.batches_executed += 1
-        if self.collector is not None:
-            self.collector.record_gpu_busy(self.gpu_id, exec_ms)
+        self.tracer.batch_executed(
+            now, exec_ms, self.gpu_id, state.spec.session_id, len(batch)
+        )
         completion = now + exec_ms
         if self.trace_enabled:
             self.trace.append(ExecutionSpan(
@@ -314,8 +329,10 @@ class Backend:
         self._busy = True
         self.busy_ms += exec_ms
         self.batches_executed += 1
-        if self.collector is not None:
-            self.collector.record_gpu_busy(self.gpu_id, exec_ms)
+        self.tracer.batch_executed(
+            now, exec_ms, self.gpu_id, state.spec.session_id, len(batch),
+            deferred=True,
+        )
         completion = now + exec_ms
         if self.trace_enabled:
             self.trace.append(ExecutionSpan(
@@ -370,38 +387,28 @@ class Backend:
             if request is None:
                 continue
             ok = completion <= q.deadline_ms
-            if self.collector is not None:
-                self.collector.record(
-                    RequestRecord(
-                        request_id=q.request_id,
-                        session_id=state.spec.session_id,
-                        arrival_ms=q.arrival_ms,
-                        deadline_ms=q.deadline_ms,
-                        completion_ms=completion,
-                    )
-                )
+            self.tracer.request_completed(
+                completion, state.spec.session_id, q.request_id,
+                q.arrival_ms, q.deadline_ms, ok, gpu_id=self.gpu_id,
+            )
             if request.on_complete is not None:
                 request.on_complete(request, completion, ok)
         self._kick()
 
-    def _finish_drop(self, state: _SessionState, q: QueuedRequest) -> None:
+    def _finish_drop(self, state: _SessionState, q: QueuedRequest,
+                     reason: str = DROP_EARLY) -> None:
         request = state.requests.pop(q.request_id, None)
         if request is None:
             return
-        self._record_drop(request, self.sim.now)
+        self._record_drop(request, self.sim.now, reason)
 
-    def _record_drop(self, request: Request, now: float) -> None:
-        if self.collector is not None:
-            self.collector.record(
-                RequestRecord(
-                    request_id=request.request_id,
-                    session_id=request.session_id,
-                    arrival_ms=request.arrival_ms,
-                    deadline_ms=request.deadline_ms,
-                    completion_ms=None,
-                    dropped=True,
-                )
-            )
+    def _record_drop(self, request: Request, now: float,
+                     reason: str = DROP_EARLY) -> None:
+        self.tracer.request_dropped(
+            now, request.session_id, request.request_id,
+            request.arrival_ms, request.deadline_ms, reason,
+            gpu_id=self.gpu_id,
+        )
         if request.on_drop is not None:
             request.on_drop(request, now)
 

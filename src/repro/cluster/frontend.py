@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.query import Query, QueryStage
-from ..metrics.collector import MetricsCollector, RequestRecord
+from ..metrics.collector import MetricsCollector
+from ..observability.tracer import Tracer, tracer_for_collector
 from ..simulation.simulator import Simulator
 from .backend import Backend
 from .messages import Request, new_request_id
@@ -134,6 +135,9 @@ class Frontend:
         sim: the event loop.
         routing: the (shared) routing table pushed by the global scheduler.
         query_collector: sink for whole-query outcome records.
+        tracer: structured event tracer; when omitted, one is derived
+            from ``query_collector`` (metrics-only).  Query outcomes reach
+            the collector *through* the tracer's event stream.
         seed: RNG seed for fan-out sampling (deterministic experiments).
         session_prefix_fn: maps ``(query_name, stage_name)`` to the session
             id used in the routing table; default ``"<query>/<stage>"``.
@@ -145,10 +149,15 @@ class Frontend:
         routing: RoutingTable,
         query_collector: MetricsCollector | None = None,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.routing = routing
         self.query_collector = query_collector
+        self.tracer = (
+            tracer if tracer is not None
+            else tracer_for_collector(query=query_collector)
+        )
         self.rng = np.random.default_rng(seed)
         self.dispatched = 0
         self.routing_failures = 0
@@ -180,6 +189,7 @@ class Frontend:
         )
         if backend is None:
             self.routing_failures += 1
+            self.tracer.route_failed(now, session_id)
             if on_drop is not None:
                 on_drop(request, now)
             return False
@@ -197,6 +207,10 @@ class Frontend:
         instance._budgets = budgets_ms  # type: ignore[attr-defined]
         self.query_counters[query.name] = (
             self.query_counters.get(query.name, 0) + 1
+        )
+        self.tracer.query_submitted(
+            instance.arrival_ms, query.name, instance.query_id,
+            instance.deadline_ms,
         )
         instance.spawn(query.root, max(1, self._sample_fanout(query.root.gamma)))
         return instance
@@ -235,6 +249,7 @@ class Frontend:
         )
         if backend is None:
             self.routing_failures += 1
+            self.tracer.route_failed(now, session_id)
             instance.stage_dropped(stage, now)
             return
         self.dispatched += 1
@@ -256,17 +271,11 @@ class Frontend:
         if instance.finished:
             return
         instance.finished = True
-        if self.query_collector is not None:
-            self.query_collector.record(
-                RequestRecord(
-                    request_id=instance.query_id,
-                    session_id=instance.query.name,
-                    arrival_ms=instance.arrival_ms,
-                    deadline_ms=instance.deadline_ms,
-                    completion_ms=None if instance.failed else instance.completion_ms,
-                    dropped=instance.failed,
-                )
-            )
+        self.tracer.query_completed(
+            instance.completion_ms, instance.query.name, instance.query_id,
+            instance.arrival_ms, instance.deadline_ms,
+            ok=not instance.failed,
+        )
 
     # ------------------------------------------------------------ workload
 

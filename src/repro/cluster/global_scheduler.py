@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy
 from ..core.squishy import GpuPlan, SchedulePlan
 from ..metrics.collector import MetricsCollector
+from ..observability.tracer import Tracer, tracer_for_collector
 from ..simulation.simulator import Simulator
 from .backend import Backend, BackendSession
 from .frontend import RoutingTable
@@ -60,13 +61,20 @@ class BackendPool:
         routing: RoutingTable,
         collector: MetricsCollector | None = None,
         config: PoolConfig | None = None,
+        tracer: Tracer | None = None,
     ):
         self.sim = sim
         self.routing = routing
         self.collector = collector
+        self.tracer = (
+            tracer if tracer is not None else tracer_for_collector(collector)
+        )
         self.config = config or PoolConfig()
         self.backends: list[Backend] = []
         self._active: set[int] = set()
+        #: session -> gpu placement from the last applied plan, for
+        #: placement/relocation events across epochs.
+        self._placement: dict[str, int] = {}
 
     @property
     def gpus_in_use(self) -> int:
@@ -129,8 +137,32 @@ class BackendPool:
         for session_id, targets in new_routes.items():
             self.routing.set_routes(session_id, targets)
 
-        if self.collector is not None:
-            self.collector.sample_gpu_count(self.sim.now, len(self._active))
+        self._emit_placement_events(assignments)
+        self.tracer.plan_applied(self.sim.now, len(self._active))
+
+    def _emit_placement_events(
+        self, assignments: list[tuple[int, GpuPlan]]
+    ) -> None:
+        """Diff the new placement against the previous plan's and emit
+        session placed/removed/relocated lifecycle events."""
+        now = self.sim.now
+        new_placement: dict[str, int] = {}
+        for backend_idx, gpu_plan in assignments:
+            gpu_id = self._backend(backend_idx).gpu_id
+            for sid in gpu_plan.session_ids():
+                new_placement[sid] = gpu_id
+        if self.tracer.recording:
+            old = self._placement
+            for sid, gpu in new_placement.items():
+                if sid not in old:
+                    self.tracer.session_placed(now, gpu, sid)
+                elif old[sid] != gpu:
+                    self.tracer.session_relocated(now, gpu, sid,
+                                                  from_gpu=old[sid])
+            for sid, gpu in old.items():
+                if sid not in new_placement:
+                    self.tracer.session_removed(now, gpu, sid)
+        self._placement = new_placement
 
     def _backend(self, idx: int) -> Backend:
         while len(self.backends) <= idx:
@@ -139,6 +171,7 @@ class BackendPool:
                     self.sim,
                     gpu_id=len(self.backends),
                     collector=self.collector,
+                    tracer=self.tracer,
                     pacing=self.config.pacing,
                     overlap=self.config.overlap,
                     interference_factor=self.config.interference_factor,

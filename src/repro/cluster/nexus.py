@@ -34,6 +34,13 @@ from ..core.squishy import SchedulePlan, squishy_bin_packing
 from ..baselines.batch_oblivious import batch_oblivious_plan  # noqa: E402 -- leaf module, no cycle
 from ..metrics.collector import MetricsCollector
 from ..models import get_device, get_model, prefix_suffix_profiles
+from ..observability.events import TraceEvent
+from ..observability.tracer import (
+    MetricsSink,
+    TraceBuffer,
+    Tracer,
+    active_trace_buffer,
+)
 from ..simulation.simulator import Simulator
 from ..workloads.arrivals import poisson_arrivals, uniform_arrivals
 from .frontend import Frontend, RoutingTable
@@ -108,6 +115,9 @@ class ClusterResult:
     gpus_used: int
     duration_ms: float
     epochs: int = 0
+    #: full structured event stream; populated by ``run(trace=True)``,
+    #: ``None`` otherwise (tracing is off by default).
+    trace: list[TraceEvent] | None = None
 
     @property
     def good_rate(self) -> float:
@@ -404,11 +414,16 @@ class NexusCluster:
 
     # -------------------------------------------------------------- running
 
-    def run(self, duration_ms: float, warmup_ms: float = 0.0) -> ClusterResult:
+    def run(self, duration_ms: float, warmup_ms: float = 0.0,
+            trace: bool = False) -> ClusterResult:
         """Plan, deploy, generate traffic, and serve for ``duration_ms``.
 
         ``warmup_ms`` excludes an initial window from the metrics (queries
-        *arriving* before it are not recorded).
+        *arriving* before it are not recorded).  ``trace=True`` records
+        the full structured event stream into ``ClusterResult.trace``
+        (see :mod:`repro.observability`); the ambient
+        :func:`~repro.observability.capture_trace` buffer, when active,
+        is attached as well.
         """
         cfg = self.config
         sim = Simulator()
@@ -417,10 +432,25 @@ class NexusCluster:
         query_metrics = MetricsCollector()
         warm_query_metrics = MetricsCollector()
 
+        # One tracer serves the whole deployment: the metrics collectors
+        # are sinks on the same event stream the exporters consume.
+        sinks: list = [
+            MetricsSink(invocation=invocation_metrics, query=query_metrics)
+        ]
+        local_buffer = TraceBuffer() if trace else None
+        if local_buffer is not None:
+            sinks.append(local_buffer)
+        ambient = active_trace_buffer()
+        if ambient is not None:
+            sinks.append(ambient)
+        tracer = Tracer(sinks)
+        sim.attach_tracer(tracer)
+
         pool = BackendPool(
             sim,
             routing,
             collector=invocation_metrics,
+            tracer=tracer,
             config=PoolConfig(
                 pacing=cfg.pacing,
                 overlap=cfg.overlap,
@@ -431,7 +461,7 @@ class NexusCluster:
         )
         frontends = [
             Frontend(sim, routing, query_collector=query_metrics,
-                     seed=cfg.seed + 1009 * i)
+                     seed=cfg.seed + 1009 * i, tracer=tracer)
             for i in range(max(1, cfg.num_frontends))
         ]
 
@@ -443,7 +473,8 @@ class NexusCluster:
         self._generate_traffic(sim, frontends, duration_ms, warmup_ms)
 
         if cfg.dynamic:
-            self._install_epoch_loop(sim, frontends, pool, duration_ms)
+            self._install_epoch_loop(sim, frontends, pool, duration_ms,
+                                     tracer)
 
         tail_ms = max((a.query.slo_ms for a in self.apps), default=0.0)
         sim.run_until(duration_ms + tail_ms + 1000)
@@ -463,6 +494,7 @@ class NexusCluster:
             gpus_used=max(pool.gpus_in_use, plan.num_gpus),
             duration_ms=duration_ms - warmup_ms,
             epochs=epochs,
+            trace=local_buffer.events if local_buffer is not None else None,
         )
 
     def _generate_traffic(
@@ -504,7 +536,7 @@ class NexusCluster:
 
     def _install_epoch_loop(
         self, sim: Simulator, frontends: list[Frontend], pool: BackendPool,
-        duration_ms: float,
+        duration_ms: float, tracer: Tracer,
     ) -> int:
         """Section 5's control loop: measure, re-plan, redeploy."""
         cfg = self.config
@@ -533,6 +565,8 @@ class NexusCluster:
                 frontends[0].routing.set_alias(sid, target)
             pool.apply_plan(plan)
             state["epochs"] += 1
+            tracer.epoch_planned(now, state["epochs"], plan.num_gpus,
+                                 rates=rates)
             if now + cfg.epoch_ms <= duration_ms:
                 sim.schedule(cfg.epoch_ms, tick)
 

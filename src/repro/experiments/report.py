@@ -31,8 +31,25 @@ FAST_EXPERIMENTS: list[tuple[str, dict]] = [
 
 def generate_report(
     experiments: list[tuple[str, dict]] | None = None,
+    trace_dir: str | None = None,
 ) -> str:
-    """Run the listed experiments and render a markdown report."""
+    """Run the listed experiments and render a markdown report.
+
+    With ``trace_dir``, every experiment's cluster runs are traced and
+    each figure's underlying event stream is exported next to the report:
+    ``<trace_dir>/<name>.trace.json`` (Chrome trace_event) and
+    ``<trace_dir>/<name>.metrics.txt`` (Prometheus snapshot).
+    """
+    if trace_dir is not None:
+        import os
+
+        from ..observability import (
+            capture_trace,
+            write_chrome_trace,
+            write_prometheus_snapshot,
+        )
+
+        os.makedirs(trace_dir, exist_ok=True)
     out = io.StringIO()
     out.write("# Reproduction report\n\n")
     out.write("Regenerated tables/figures (fast subset; see EXPERIMENTS.md "
@@ -40,7 +57,14 @@ def generate_report(
     for name, kwargs in experiments or FAST_EXPERIMENTS:
         module = importlib.import_module(f"repro.experiments.{name}")
         t0 = time.perf_counter()
-        result = module.run(**kwargs)
+        if trace_dir is not None:
+            with capture_trace() as buffer:
+                result = module.run(**kwargs)
+            base = f"{trace_dir}/{name}"
+            write_chrome_trace(buffer.events, f"{base}.trace.json")
+            write_prometheus_snapshot(buffer.events, f"{base}.metrics.txt")
+        else:
+            result = module.run(**kwargs)
         elapsed = time.perf_counter() - t0
         if isinstance(result, tuple):  # fig13-style (table, extras)
             result = result[0]
@@ -50,4 +74,14 @@ def generate_report(
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    import argparse
+
+    _parser = argparse.ArgumentParser(
+        description="regenerate the fast-subset reproduction report"
+    )
+    _parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="also export each figure's event trace (Chrome JSON) and "
+             "metrics snapshot into DIR",
+    )
+    print(generate_report(trace_dir=_parser.parse_args().trace_dir))

@@ -1,0 +1,113 @@
+"""Programmatic trace querying: the helpers exporters and tests share.
+
+Everything here is a pure function over a ``list[TraceEvent]``; pair with
+``NexusCluster.run(trace=True)`` (see ``examples/trace_inspection.py``)
+or a CSV re-import.
+"""
+
+from __future__ import annotations
+
+from .events import (
+    BATCH_EXECUTED,
+    REQUEST_DROPPED,
+    TraceEvent,
+)
+
+__all__ = [
+    "filter_events",
+    "busy_intervals",
+    "gpu_busy_ms",
+    "batch_size_histogram",
+    "drop_reasons",
+    "session_cycle_stats",
+]
+
+
+def filter_events(
+    events: list[TraceEvent],
+    kind: str | None = None,
+    session_id: str | None = None,
+    gpu_id: int | None = None,
+) -> list[TraceEvent]:
+    """Events matching every given criterion (None = wildcard)."""
+    return [
+        e for e in events
+        if (kind is None or e.kind == kind)
+        and (session_id is None or e.session_id == session_id)
+        and (gpu_id is None or e.gpu_id == gpu_id)
+    ]
+
+
+def busy_intervals(events: list[TraceEvent]) -> dict[int, list[tuple[float, float]]]:
+    """Per-GPU sorted ``(start_ms, end_ms)`` busy intervals."""
+    out: dict[int, list[tuple[float, float]]] = {}
+    for ev in events:
+        if ev.kind == BATCH_EXECUTED:
+            out.setdefault(ev.gpu_id, []).append((ev.ts_ms, ev.end_ms))
+    for intervals in out.values():
+        intervals.sort()
+    return out
+
+
+def gpu_busy_ms(events: list[TraceEvent]) -> dict[int, float]:
+    """Total traced busy time per GPU (sums ``batch.executed`` spans)."""
+    out: dict[int, float] = {}
+    for ev in events:
+        if ev.kind == BATCH_EXECUTED:
+            out[ev.gpu_id] = out.get(ev.gpu_id, 0.0) + (ev.dur_ms or 0.0)
+    return out
+
+
+def batch_size_histogram(events: list[TraceEvent]) -> dict[int, int]:
+    """batch size -> number of executions."""
+    out: dict[int, int] = {}
+    for ev in events:
+        if ev.kind == BATCH_EXECUTED:
+            out[ev.batch] = out.get(ev.batch, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def drop_reasons(events: list[TraceEvent]) -> dict[str, int]:
+    """drop reason -> count."""
+    out: dict[str, int] = {}
+    for ev in events:
+        if ev.kind == REQUEST_DROPPED:
+            reason = ev.reason or "unknown"
+            out[reason] = out.get(reason, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def session_cycle_stats(
+    events: list[TraceEvent],
+) -> dict[tuple[int, str], dict[str, float]]:
+    """Per (gpu, session) duty-cycle statistics from the batch spans.
+
+    Returns, for every session slot, the number of batches, the maximum
+    gap between consecutive batch *starts* (the realized duty cycle), and
+    ``worst_case_ms = max_gap + max_exec`` -- the realized analogue of
+    section 4.1's ``duty_cycle + l(b)`` worst-case formula.  It is a
+    conservative composition: skipped cycles (empty queue) and cycle
+    drift can push it past the analytic value even while every *served
+    request* stays within its SLO (early drop enforces that).  Compare
+    per-request latencies from ``request.completed`` events for the hard
+    guarantee; use this to gauge how tightly the schedule runs.
+    """
+    starts: dict[tuple[int, str], list[tuple[float, float]]] = {}
+    for ev in events:
+        if ev.kind == BATCH_EXECUTED and ev.reason != "deferred":
+            starts.setdefault((ev.gpu_id, ev.session_id), []).append(
+                (ev.ts_ms, ev.dur_ms or 0.0)
+            )
+    out: dict[tuple[int, str], dict[str, float]] = {}
+    for key, spans in starts.items():
+        spans.sort()
+        gaps = [b[0] - a[0] for a, b in zip(spans, spans[1:])]
+        max_gap = max(gaps) if gaps else 0.0
+        max_exec = max(d for _, d in spans)
+        out[key] = {
+            "batches": float(len(spans)),
+            "max_start_gap_ms": max_gap,
+            "max_exec_ms": max_exec,
+            "worst_case_ms": max_gap + max_exec,
+        }
+    return out

@@ -1,0 +1,329 @@
+"""Exporters: Chrome trace_event JSON, Prometheus text snapshot, CSV.
+
+Three views over the same :class:`~repro.observability.events.TraceEvent`
+stream:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  ``trace_event`` format (the ``{"traceEvents": [...]}`` flavor), openable
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev.  Each GPU
+  becomes a process; each session hosted on it becomes a thread, so the
+  per-GPU duty-cycle multiplexing reads as stacked lanes.
+- :func:`prometheus_snapshot` -- a Prometheus text-exposition snapshot of
+  the run's counters and gauges (request/query outcomes, drop reasons,
+  batch-size histogram, per-GPU busy time and occupancy, goodput).
+- :func:`csv_dump` -- the raw event table for pandas / the ``benchmarks``
+  figure scripts.
+
+All exporters are pure functions of the event list; they never touch the
+runtime.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .events import (
+    BATCH_EXECUTED,
+    EPOCH_PLANNED,
+    PLAN_APPLIED,
+    QUERY_COMPLETED,
+    QUERY_SUBMITTED,
+    REQUEST_ADMITTED,
+    REQUEST_COMPLETED,
+    REQUEST_DROPPED,
+    ROUTE_FAILED,
+    SESSION_PLACED,
+    SESSION_RELOCATED,
+    SESSION_REMOVED,
+    TraceEvent,
+)
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_snapshot",
+    "write_prometheus_snapshot",
+    "csv_dump",
+    "write_csv",
+    "CSV_COLUMNS",
+]
+
+#: Chrome trace pid reserved for cluster-level (non-GPU) events.
+_CLUSTER_PID = 0
+
+
+def _gpu_pid(gpu_id: int) -> int:
+    # pid 0 is the cluster control plane; GPUs start at 1.
+    return int(gpu_id) + 1
+
+
+def chrome_trace(events: list[TraceEvent]) -> dict:
+    """Render events as a Chrome ``trace_event`` JSON object.
+
+    Timestamps are microseconds (the format's unit); ``dur`` spans come
+    from ``batch.executed`` events, everything else becomes instant or
+    counter events.  Deterministic: output order depends only on input
+    order.
+    """
+    trace: list[dict] = []
+    # Stable thread ids: (pid, session_id) -> tid, assigned first-seen.
+    tids: dict[tuple[int, str], int] = {}
+    named_pids: set[int] = set()
+
+    def tid_for(pid: int, session_id: str) -> int:
+        key = (pid, session_id)
+        if key not in tids:
+            tid = 1 + sum(1 for (p, _s) in tids if p == pid)
+            tids[key] = tid
+            trace.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": session_id},
+            })
+        return tids[key]
+
+    def ensure_pid(pid: int, name: str) -> None:
+        if pid not in named_pids:
+            named_pids.add(pid)
+            trace.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+
+    ensure_pid(_CLUSTER_PID, "cluster")
+
+    for ev in events:
+        ts_us = ev.ts_ms * 1000.0
+        if ev.kind == BATCH_EXECUTED:
+            pid = _gpu_pid(ev.gpu_id)
+            ensure_pid(pid, f"gpu{ev.gpu_id}")
+            args = {"batch": ev.batch}
+            if ev.reason == "deferred":
+                args["deferred"] = True
+            trace.append({
+                "name": ev.session_id, "cat": "batch", "ph": "X",
+                "ts": ts_us, "dur": (ev.dur_ms or 0.0) * 1000.0,
+                "pid": pid, "tid": tid_for(pid, ev.session_id),
+                "args": args,
+            })
+        elif ev.kind in (REQUEST_DROPPED, REQUEST_ADMITTED,
+                         REQUEST_COMPLETED):
+            pid = _CLUSTER_PID if ev.gpu_id is None else _gpu_pid(ev.gpu_id)
+            if pid != _CLUSTER_PID:
+                ensure_pid(pid, f"gpu{ev.gpu_id}")
+            args: dict = {"request_id": ev.request_id}
+            if ev.reason:
+                args["reason"] = ev.reason
+            if ev.ok is not None:
+                args["ok"] = ev.ok
+            trace.append({
+                "name": f"{ev.kind}:{ev.session_id}", "cat": "request",
+                "ph": "i", "s": "t", "ts": ts_us, "pid": pid,
+                "tid": tid_for(pid, ev.session_id), "args": args,
+            })
+        elif ev.kind == PLAN_APPLIED:
+            gpus = (ev.detail or {}).get("gpus", 0)
+            trace.append({
+                "name": "gpus_in_use", "cat": "control", "ph": "C",
+                "ts": ts_us, "pid": _CLUSTER_PID,
+                "args": {"gpus": gpus},
+            })
+        elif ev.kind in (SESSION_PLACED, SESSION_REMOVED,
+                         SESSION_RELOCATED, EPOCH_PLANNED, ROUTE_FAILED,
+                         QUERY_SUBMITTED, QUERY_COMPLETED):
+            args = {}
+            if ev.session_id is not None:
+                args["session"] = ev.session_id
+            if ev.gpu_id is not None:
+                args["gpu"] = ev.gpu_id
+            if ev.ok is not None:
+                args["ok"] = ev.ok
+            if ev.detail:
+                args.update(ev.detail)
+            trace.append({
+                "name": ev.kind, "cat": "control", "ph": "i", "s": "g",
+                "ts": ts_us, "pid": _CLUSTER_PID, "tid": 0, "args": args,
+            })
+        # sim.window and unknown kinds are deliberately omitted from the
+        # timeline view; they remain available via csv_dump.
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: list[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh)
+
+
+# --------------------------------------------------------------- prometheus
+
+#: batch-size histogram bucket upper bounds (powers of two cover every
+#: profile's max_batch in the zoo).
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def prometheus_snapshot(events: list[TraceEvent],
+                        prefix: str = "nexus") -> str:
+    """Render the run's counters/gauges in Prometheus text exposition.
+
+    A *snapshot*, not a live endpoint: the simulator finishes before the
+    scrape, so the whole run reduces to final counter values (plus
+    whole-run gauges such as occupancy and goodput).
+    """
+    requests = {"ok": 0, "late": 0, "dropped": 0}
+    drops: dict[str, int] = {}
+    queries = {"ok": 0, "failed": 0}
+    batch_hist = [0] * (len(_BATCH_BUCKETS) + 1)  # +Inf tail
+    batch_sum = 0
+    batch_count = 0
+    busy_ms: dict[int, float] = {}
+    batches: dict[int, int] = {}
+    t_min, t_max = None, None
+    ok_queries_latency: list[float] = []
+
+    for ev in events:
+        t_min = ev.ts_ms if t_min is None else min(t_min, ev.ts_ms)
+        t_max = ev.end_ms if t_max is None else max(t_max, ev.end_ms)
+        if ev.kind == REQUEST_COMPLETED:
+            requests["ok" if ev.ok else "late"] += 1
+        elif ev.kind == REQUEST_DROPPED:
+            requests["dropped"] += 1
+            reason = ev.reason or "unknown"
+            drops[reason] = drops.get(reason, 0) + 1
+        elif ev.kind == QUERY_COMPLETED:
+            queries["ok" if ev.ok else "failed"] += 1
+            if ev.ok and ev.arrival_ms is not None:
+                ok_queries_latency.append(ev.ts_ms - ev.arrival_ms)
+        elif ev.kind == BATCH_EXECUTED:
+            b = ev.batch or 0
+            batch_sum += b
+            batch_count += 1
+            for i, le in enumerate(_BATCH_BUCKETS):
+                if b <= le:
+                    batch_hist[i] += 1
+                    break
+            else:
+                batch_hist[-1] += 1
+            busy_ms[ev.gpu_id] = busy_ms.get(ev.gpu_id, 0.0) + (ev.dur_ms or 0.0)
+            batches[ev.gpu_id] = batches.get(ev.gpu_id, 0) + 1
+
+    span_ms = (t_max - t_min) if (t_min is not None and t_max is not None) else 0.0
+    total_requests = sum(requests.values())
+    total_queries = sum(queries.values())
+
+    out = io.StringIO()
+
+    def header(name: str, help_text: str, kind: str) -> None:
+        out.write(f"# HELP {prefix}_{name} {help_text}\n")
+        out.write(f"# TYPE {prefix}_{name} {kind}\n")
+
+    header("requests_total", "Model invocations by outcome.", "counter")
+    for outcome in ("ok", "late", "dropped"):
+        out.write(f'{prefix}_requests_total{{outcome="{outcome}"}} '
+                  f'{requests[outcome]}\n')
+
+    header("drops_total", "Dropped invocations by reason.", "counter")
+    for reason in sorted(drops):
+        out.write(f'{prefix}_drops_total{{reason="{reason}"}} '
+                  f'{drops[reason]}\n')
+
+    header("queries_total", "Whole queries by outcome.", "counter")
+    for outcome in ("ok", "failed"):
+        out.write(f'{prefix}_queries_total{{outcome="{outcome}"}} '
+                  f'{queries[outcome]}\n')
+
+    header("bad_rate", "Fraction of queries not served within SLO.", "gauge")
+    bad = (queries["failed"] / total_queries) if total_queries else 0.0
+    out.write(f"{prefix}_bad_rate {bad:.6f}\n")
+
+    header("goodput_rps", "Queries served within SLO per second of trace.",
+           "gauge")
+    goodput = queries["ok"] / span_ms * 1000.0 if span_ms > 0 else 0.0
+    out.write(f"{prefix}_goodput_rps {goodput:.6f}\n")
+
+    header("request_bad_rate",
+           "Fraction of invocations not served within SLO.", "gauge")
+    req_bad = (
+        (requests["late"] + requests["dropped"]) / total_requests
+        if total_requests else 0.0
+    )
+    out.write(f"{prefix}_request_bad_rate {req_bad:.6f}\n")
+
+    header("batch_size", "Executed batch sizes.", "histogram")
+    cumulative = 0
+    for i, le in enumerate(_BATCH_BUCKETS):
+        cumulative += batch_hist[i]
+        out.write(f'{prefix}_batch_size_bucket{{le="{le}"}} {cumulative}\n')
+    cumulative += batch_hist[-1]
+    out.write(f'{prefix}_batch_size_bucket{{le="+Inf"}} {cumulative}\n')
+    out.write(f"{prefix}_batch_size_sum {batch_sum}\n")
+    out.write(f"{prefix}_batch_size_count {batch_count}\n")
+
+    header("gpu_busy_ms_total", "GPU busy time (virtual ms).", "counter")
+    for gpu in sorted(busy_ms):
+        out.write(f'{prefix}_gpu_busy_ms_total{{gpu="{gpu}"}} '
+                  f'{busy_ms[gpu]:.3f}\n')
+
+    header("gpu_batches_total", "Batches executed per GPU.", "counter")
+    for gpu in sorted(batches):
+        out.write(f'{prefix}_gpu_batches_total{{gpu="{gpu}"}} '
+                  f'{batches[gpu]}\n')
+
+    header("gpu_occupancy",
+           "Busy fraction of the trace window per GPU.", "gauge")
+    for gpu in sorted(busy_ms):
+        occ = busy_ms[gpu] / span_ms if span_ms > 0 else 0.0
+        out.write(f'{prefix}_gpu_occupancy{{gpu="{gpu}"}} '
+                  f'{min(1.0, occ):.6f}\n')
+
+    header("query_latency_ms_mean",
+           "Mean latency of queries served within SLO.", "gauge")
+    mean_lat = (
+        sum(ok_queries_latency) / len(ok_queries_latency)
+        if ok_queries_latency else 0.0
+    )
+    out.write(f"{prefix}_query_latency_ms_mean {mean_lat:.3f}\n")
+
+    return out.getvalue()
+
+
+def write_prometheus_snapshot(events: list[TraceEvent], path: str,
+                              prefix: str = "nexus") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_snapshot(events, prefix=prefix))
+
+
+# --------------------------------------------------------------------- csv
+
+CSV_COLUMNS = (
+    "ts_ms", "kind", "gpu_id", "session_id", "request_id", "dur_ms",
+    "arrival_ms", "deadline_ms", "batch", "ok", "reason", "detail",
+)
+
+
+def csv_dump(events: list[TraceEvent]) -> str:
+    """The raw event table as CSV (``detail`` JSON-encoded)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for ev in events:
+        writer.writerow([
+            ev.ts_ms, ev.kind,
+            "" if ev.gpu_id is None else ev.gpu_id,
+            "" if ev.session_id is None else ev.session_id,
+            "" if ev.request_id is None else ev.request_id,
+            "" if ev.dur_ms is None else ev.dur_ms,
+            "" if ev.arrival_ms is None else ev.arrival_ms,
+            "" if ev.deadline_ms is None else ev.deadline_ms,
+            "" if ev.batch is None else ev.batch,
+            "" if ev.ok is None else int(ev.ok),
+            ev.reason or "",
+            json.dumps(ev.detail, sort_keys=True) if ev.detail else "",
+        ])
+    return out.getvalue()
+
+
+def write_csv(events: list[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(csv_dump(events))

@@ -1,0 +1,426 @@
+"""The tracer: low-overhead structured event emission with pluggable sinks.
+
+Design (mirrors how production tracing layers are shaped):
+
+- A :class:`Tracer` owns a list of sinks and exposes one typed ``emit_*``
+  method per event kind.  Call sites always talk to a tracer -- there is
+  no ``if tracing:`` sprinkled through the runtime.
+- With **no sinks** every emit method returns before allocating anything:
+  the shared :data:`NULL_TRACER` is the default for standalone components
+  and costs one attribute load + one branch per call.
+- With only a :class:`MetricsSink` (the normal cluster run), *outcome*
+  events still flow -- they are how the
+  :class:`~repro.metrics.collector.MetricsCollector` is fed -- but
+  *lifecycle* events (admissions, placements, route failures) are skipped
+  without allocation, and outcome events take a typed fast path that
+  feeds the sink without building a :class:`TraceEvent`, so metrics-only
+  runs match the pre-tracing cost.
+- Attaching a :class:`TraceBuffer` (``NexusCluster.run(trace=True)``, the
+  CLI's ``--trace-out``, or :func:`capture_trace`) turns on the full
+  stream.
+
+Sink protocol: any object with ``emit(event: TraceEvent)``.  Sinks that
+only need outcome events set ``wants_lifecycle = False``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from ..metrics.collector import MetricsCollector, RequestRecord
+from .events import (
+    BATCH_EXECUTED,
+    EPOCH_PLANNED,
+    PLAN_APPLIED,
+    QUERY_COMPLETED,
+    QUERY_SUBMITTED,
+    REQUEST_ADMITTED,
+    REQUEST_COMPLETED,
+    REQUEST_DROPPED,
+    ROUTE_FAILED,
+    SESSION_PLACED,
+    SESSION_RELOCATED,
+    SESSION_REMOVED,
+    SIM_WINDOW,
+    TraceEvent,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceBuffer",
+    "MetricsSink",
+    "NULL_TRACER",
+    "tracer_for_collector",
+    "capture_trace",
+    "active_trace_buffer",
+    "set_active_trace_buffer",
+]
+
+
+class TraceBuffer:
+    """A sink that records every event in emission order."""
+
+    wants_lifecycle = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class MetricsSink:
+    """Feeds a :class:`MetricsCollector` from the event stream.
+
+    This replaces the runtime's former ad-hoc ``collector.record(...)``
+    calls: request/query outcomes, GPU busy time, and GPU-count samples
+    all derive from the same events every other exporter sees.
+    """
+
+    wants_lifecycle = False
+
+    def __init__(
+        self,
+        invocation: MetricsCollector | None = None,
+        query: MetricsCollector | None = None,
+    ):
+        self.invocation = invocation
+        self.query = query
+
+    def emit(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == REQUEST_COMPLETED or kind == REQUEST_DROPPED:
+            if self.invocation is not None:
+                self.invocation.record(RequestRecord(
+                    request_id=event.request_id,
+                    session_id=event.session_id,
+                    arrival_ms=event.arrival_ms,
+                    deadline_ms=event.deadline_ms,
+                    completion_ms=(
+                        event.ts_ms if kind == REQUEST_COMPLETED else None
+                    ),
+                    dropped=kind == REQUEST_DROPPED,
+                ))
+        elif kind == BATCH_EXECUTED:
+            if self.invocation is not None:
+                self.invocation.record_gpu_busy(event.gpu_id, event.dur_ms)
+        elif kind == QUERY_COMPLETED:
+            if self.query is not None:
+                self.query.record(RequestRecord(
+                    request_id=event.request_id,
+                    session_id=event.session_id,
+                    arrival_ms=event.arrival_ms,
+                    deadline_ms=event.deadline_ms,
+                    completion_ms=event.ts_ms if event.ok else None,
+                    dropped=not event.ok,
+                ))
+        elif kind == PLAN_APPLIED:
+            count = (event.detail or {}).get("gpus", 0)
+            if self.invocation is not None:
+                self.invocation.sample_gpu_count(event.ts_ms, count)
+
+    # Typed fast path: semantically identical to ``emit`` on the matching
+    # TraceEvent, but callable without allocating one.  The Tracer uses
+    # these when every attached sink provides them and nothing records
+    # lifecycle events, which keeps metrics-only runs at pre-tracing cost.
+
+    def fast_request_completed(self, ts_ms, session_id, request_id,
+                               arrival_ms, deadline_ms, ok, gpu_id) -> None:
+        if self.invocation is not None:
+            self.invocation.record(RequestRecord(
+                request_id=request_id, session_id=session_id,
+                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
+                completion_ms=ts_ms, dropped=False,
+            ))
+
+    def fast_request_dropped(self, ts_ms, session_id, request_id,
+                             arrival_ms, deadline_ms, reason, gpu_id) -> None:
+        if self.invocation is not None:
+            self.invocation.record(RequestRecord(
+                request_id=request_id, session_id=session_id,
+                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
+                completion_ms=None, dropped=True,
+            ))
+
+    def fast_batch_executed(self, start_ms, dur_ms, gpu_id, session_id,
+                            batch, deferred) -> None:
+        if self.invocation is not None:
+            self.invocation.record_gpu_busy(gpu_id, dur_ms)
+
+    def fast_query_completed(self, ts_ms, query_name, query_id,
+                             arrival_ms, deadline_ms, ok) -> None:
+        if self.query is not None:
+            self.query.record(RequestRecord(
+                request_id=query_id, session_id=query_name,
+                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
+                completion_ms=ts_ms if ok else None, dropped=not ok,
+            ))
+
+    def fast_plan_applied(self, ts_ms, gpus) -> None:
+        if self.invocation is not None:
+            self.invocation.sample_gpu_count(ts_ms, gpus)
+
+
+class Tracer:
+    """Dispatches typed events to sinks; a no-op without sinks."""
+
+    __slots__ = ("_sinks", "_lifecycle", "_fast", "_frozen")
+
+    def __init__(self, sinks: list | tuple = (), frozen: bool = False):
+        self._sinks = list(sinks)
+        self._frozen = frozen
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._lifecycle = any(
+            getattr(s, "wants_lifecycle", True) for s in self._sinks
+        )
+        # Outcome events skip TraceEvent allocation entirely when nothing
+        # records lifecycle and every sink speaks the typed fast protocol.
+        self._fast = bool(self._sinks) and not self._lifecycle and all(
+            hasattr(s, "fast_request_completed") for s in self._sinks
+        )
+
+    # ---------------------------------------------------------- management
+
+    @property
+    def enabled(self) -> bool:
+        """Any sink listening at all?"""
+        return bool(self._sinks)
+
+    @property
+    def recording(self) -> bool:
+        """Is the full (lifecycle-inclusive) stream being consumed?"""
+        return self._lifecycle
+
+    def add_sink(self, sink) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                "cannot attach sinks to the shared NULL_TRACER; "
+                "construct a Tracer instead"
+            )
+        self._sinks.append(sink)
+        self._refresh()
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    # ------------------------------------------------------ outcome events
+    # Always emitted when any sink is attached: the metrics pipeline
+    # depends on them.
+
+    def request_completed(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+        gpu_id: int | None = None,
+    ) -> None:
+        if not self._sinks:
+            return
+        if self._fast:
+            for sink in self._sinks:
+                sink.fast_request_completed(
+                    ts_ms, session_id, request_id, arrival_ms, deadline_ms,
+                    ok, gpu_id)
+            return
+        self.emit(TraceEvent(
+            ts_ms, REQUEST_COMPLETED, gpu_id=gpu_id, session_id=session_id,
+            request_id=request_id, arrival_ms=arrival_ms,
+            deadline_ms=deadline_ms, ok=ok,
+        ))
+
+    def request_dropped(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, reason: str,
+        gpu_id: int | None = None,
+    ) -> None:
+        if not self._sinks:
+            return
+        if self._fast:
+            for sink in self._sinks:
+                sink.fast_request_dropped(
+                    ts_ms, session_id, request_id, arrival_ms, deadline_ms,
+                    reason, gpu_id)
+            return
+        self.emit(TraceEvent(
+            ts_ms, REQUEST_DROPPED, gpu_id=gpu_id, session_id=session_id,
+            request_id=request_id, arrival_ms=arrival_ms,
+            deadline_ms=deadline_ms, ok=False, reason=reason,
+        ))
+
+    def batch_executed(
+        self, start_ms: float, dur_ms: float, gpu_id: int, session_id: str,
+        batch: int, deferred: bool = False,
+    ) -> None:
+        if not self._sinks:
+            return
+        if self._fast:
+            for sink in self._sinks:
+                sink.fast_batch_executed(
+                    start_ms, dur_ms, gpu_id, session_id, batch, deferred)
+            return
+        self.emit(TraceEvent(
+            start_ms, BATCH_EXECUTED, gpu_id=gpu_id, session_id=session_id,
+            dur_ms=dur_ms, batch=batch,
+            reason="deferred" if deferred else None,
+        ))
+
+    def query_completed(
+        self, ts_ms: float, query_name: str, query_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+    ) -> None:
+        if not self._sinks:
+            return
+        if self._fast:
+            for sink in self._sinks:
+                sink.fast_query_completed(
+                    ts_ms, query_name, query_id, arrival_ms, deadline_ms, ok)
+            return
+        self.emit(TraceEvent(
+            ts_ms, QUERY_COMPLETED, session_id=query_name,
+            request_id=query_id, arrival_ms=arrival_ms,
+            deadline_ms=deadline_ms, ok=ok,
+        ))
+
+    def plan_applied(self, ts_ms: float, gpus: int,
+                     detail: dict | None = None) -> None:
+        if not self._sinks:
+            return
+        if self._fast:
+            for sink in self._sinks:
+                sink.fast_plan_applied(ts_ms, gpus)
+            return
+        info = {"gpus": gpus}
+        if detail:
+            info.update(detail)
+        self.emit(TraceEvent(ts_ms, PLAN_APPLIED, detail=info))
+
+    # ---------------------------------------------------- lifecycle events
+    # Skipped without allocation unless a recording sink wants them.
+
+    def request_admitted(
+        self, ts_ms: float, session_id: str, request_id: int,
+        deadline_ms: float, gpu_id: int | None = None,
+    ) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, REQUEST_ADMITTED, gpu_id=gpu_id, session_id=session_id,
+            request_id=request_id, arrival_ms=ts_ms, deadline_ms=deadline_ms,
+        ))
+
+    def query_submitted(
+        self, ts_ms: float, query_name: str, query_id: int,
+        deadline_ms: float,
+    ) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, QUERY_SUBMITTED, session_id=query_name,
+            request_id=query_id, arrival_ms=ts_ms, deadline_ms=deadline_ms,
+        ))
+
+    def route_failed(self, ts_ms: float, session_id: str) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(ts_ms, ROUTE_FAILED, session_id=session_id))
+
+    def session_placed(self, ts_ms: float, gpu_id: int, session_id: str,
+                       load_ms: float = 0.0) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, SESSION_PLACED, gpu_id=gpu_id, session_id=session_id,
+            dur_ms=load_ms or None,
+        ))
+
+    def session_removed(self, ts_ms: float, gpu_id: int,
+                        session_id: str) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, SESSION_REMOVED, gpu_id=gpu_id, session_id=session_id,
+        ))
+
+    def session_relocated(self, ts_ms: float, gpu_id: int, session_id: str,
+                          from_gpu: int) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, SESSION_RELOCATED, gpu_id=gpu_id, session_id=session_id,
+            detail={"from_gpu": from_gpu},
+        ))
+
+    def epoch_planned(self, ts_ms: float, epoch: int, gpus: int,
+                      rates: dict | None = None) -> None:
+        if not self._lifecycle:
+            return
+        detail = {"epoch": epoch, "gpus": gpus}
+        if rates:
+            detail["rates"] = dict(rates)
+        self.emit(TraceEvent(ts_ms, EPOCH_PLANNED, detail=detail))
+
+    def sim_window(self, start_ms: float, end_ms: float,
+                   events_processed: int) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            start_ms, SIM_WINDOW, dur_ms=max(0.0, end_ms - start_ms),
+            detail={"events_processed": events_processed},
+        ))
+
+
+#: the shared do-nothing tracer: default for standalone components.
+NULL_TRACER = Tracer(frozen=True)
+
+
+def tracer_for_collector(
+    invocation: MetricsCollector | None = None,
+    query: MetricsCollector | None = None,
+) -> Tracer:
+    """A tracer that only feeds collectors (the legacy default path)."""
+    if invocation is None and query is None:
+        return NULL_TRACER
+    return Tracer([MetricsSink(invocation=invocation, query=query)])
+
+
+# ------------------------------------------------- ambient capture (CLI)
+
+#: process-wide buffer that cluster runs attach to when set; lets the CLI
+#: and report generator capture traces from experiment modules without
+#: threading a tracer through every call signature.
+_active_buffer: TraceBuffer | None = None
+
+
+def active_trace_buffer() -> TraceBuffer | None:
+    return _active_buffer
+
+
+def set_active_trace_buffer(buffer: TraceBuffer | None) -> TraceBuffer | None:
+    """Install (or clear) the ambient buffer; returns the previous one."""
+    global _active_buffer
+    prior = _active_buffer
+    _active_buffer = buffer
+    return prior
+
+
+@contextlib.contextmanager
+def capture_trace():
+    """Capture every event emitted by cluster runs inside the block::
+
+        with capture_trace() as buffer:
+            module.run(...)
+        write_chrome_trace(buffer.events, "out.json")
+    """
+    buffer = TraceBuffer()
+    prior = set_active_trace_buffer(buffer)
+    try:
+        yield buffer
+    finally:
+        set_active_trace_buffer(prior)

@@ -62,6 +62,14 @@ class Simulator:
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: optional observability tracer (``repro.observability.Tracer``);
+        #: when attached and recording, each run window emits one
+        #: ``sim.window`` span.  Never consulted inside the hot loop.
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a structured-event tracer (see ``repro.observability``)."""
+        self._tracer = tracer
 
     @property
     def now(self) -> float:
@@ -94,6 +102,8 @@ class Simulator:
 
     def run_until(self, end_ms: float) -> None:
         """Process events up to and including ``end_ms``."""
+        start_ms = self._now
+        start_count = self._events_processed
         while self._heap and self._heap[0].time_ms <= end_ms:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -102,9 +112,12 @@ class Simulator:
             self._events_processed += 1
             event.fn()
         self._now = max(self._now, end_ms)
+        self._trace_window(start_ms, start_count)
 
     def run(self) -> None:
         """Process every pending event (callers must ensure termination)."""
+        start_ms = self._now
+        start_count = self._events_processed
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -112,6 +125,14 @@ class Simulator:
             self._now = event.time_ms
             self._events_processed += 1
             event.fn()
+        self._trace_window(start_ms, start_count)
+
+    def _trace_window(self, start_ms: float, start_count: int) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.recording:
+            tracer.sim_window(
+                start_ms, self._now, self._events_processed - start_count
+            )
 
     def peek_next_time(self) -> float | None:
         while self._heap and self._heap[0].cancelled:

@@ -71,6 +71,37 @@ class TestCommands:
         assert "INFEASIBLE" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_help_lists_trace_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--trace-out" in out and "--metrics-out" in out
+        assert "--trace-csv" in out
+
+    def test_traced_run_exports_artifacts(self, tmp_path, capsys):
+        """A traced experiment run produces parseable Chrome-trace JSON
+        plus a Prometheus snapshot (the README quickstart, in miniature)."""
+        import json
+
+        trace = tmp_path / "util.trace.json"
+        metrics = tmp_path / "util.metrics.txt"
+        assert main([
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+            "run", "utilization", "--quick",
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        phases = {te["ph"] for te in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        text = metrics.read_text()
+        assert "nexus_requests_total" in text
+        assert "nexus_gpu_occupancy" in text
+        err = capsys.readouterr().err
+        assert "trace:" in err and "metrics snapshot" in err
+
+
 class TestQuickRuns:
     def test_run_fig5_quick(self, capsys):
         assert main(["run", "fig5", "--quick"]) == 0

@@ -113,6 +113,19 @@ class TestServing:
         res = cluster.run(1_000.0)
         assert res.query_metrics.total == 0
 
+    def test_traced_busy_time_matches_collector(self):
+        """The trace's GPU busy intervals and the collector's utilization
+        accounting are two views of the same event stream: per-GPU busy
+        milliseconds must agree to within 1%."""
+        from repro.observability import gpu_busy_ms
+
+        res = simple_cluster(rate=120.0).run(6_000.0, trace=True)
+        traced = gpu_busy_ms(res.trace)
+        recorded = res.invocation_metrics.gpu_busy_ms
+        assert set(traced) == {g for g, ms in recorded.items() if ms > 0}
+        for gpu, ms in traced.items():
+            assert ms == pytest.approx(recorded[gpu], rel=0.01)
+
 
 class TestBaselineIntegration:
     def test_nexus_beats_baselines_on_game(self):
