@@ -5,6 +5,8 @@ Commands:
 - ``experiments``            list reproducible tables/figures
 - ``run <experiment>``       regenerate one table/figure (``--quick`` for
                              scaled-down parameters)
+- ``fault-recovery``         kill k of N backends mid-run; report goodput
+                             dip depth, detection latency, time-to-recover
 - ``models``                 show the model zoo with sizes and profiles
 - ``profile <model>``        print a model's batching profile on a device
 - ``plan``                   capacity-plan a workload of sessions given as
@@ -49,6 +51,9 @@ _EXPERIMENTS: dict[str, dict] = {
                         "slos": (400.0,), "gammas": (1.0,)}},
     "utilization": {"quick": {"duration_ms": 15_000.0}},
     "ilp_gap": {"quick": {"sizes": (4, 6), "trials": 5}},
+    "fault_recovery": {"quick": {"duration_ms": 60_000.0,
+                                 "kill_at_ms": 20_000.0,
+                                 "warmup_ms": 5_000.0}},
 }
 
 
@@ -80,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(_EXPERIMENTS))
     run.add_argument("--quick", action="store_true",
                      help="scaled-down parameters (minutes -> seconds)")
+
+    fr = sub.add_parser(
+        "fault-recovery",
+        help="kill k of N backends mid-run and measure recovery",
+    )
+    fr.add_argument("--gpus", type=int, default=8,
+                    help="cluster size (backends)")
+    fr.add_argument("--kill", type=int, default=1,
+                    help="backends to crash")
+    fr.add_argument("--kill-at", type=float, default=40_000.0,
+                    metavar="MS", help="crash instant (virtual ms)")
+    fr.add_argument("--duration", type=float, default=120_000.0,
+                    metavar="MS", help="run length (virtual ms)")
+    fr.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("models", help="show the model zoo")
 
@@ -119,7 +138,31 @@ def _cmd_run(name: str, quick: bool) -> int:
     module = importlib.import_module(f"repro.experiments.{name}")
     kwargs = _EXPERIMENTS[name].get("quick", {}) if quick else {}
     result = module.run(**kwargs)
+    # Some experiments return (table, structured output); print the table.
+    if isinstance(result, tuple):
+        result = result[0]
     print(result)
+    return 0
+
+
+def _cmd_fault_recovery(gpus: int, kill: int, kill_at_ms: float,
+                        duration_ms: float, seed: int) -> int:
+    from .experiments.fault_recovery import run
+
+    table, output = run(
+        duration_ms=duration_ms, kill_at_ms=kill_at_ms, kill=kill,
+        gpus=gpus, seed=seed,
+    )
+    print(table)
+    det = output.detection_ms
+    ttr = output.time_to_recover_ms
+    print(f"pre-fault goodput : {output.pre_fault_goodput_rps:.1f} rps")
+    print(f"dip depth         : {output.dip_fraction:.2f}x pre-fault")
+    print("detection latency : "
+          + ("not detected" if det is None else f"{det:.0f} ms"))
+    print("time to recover   : "
+          + ("not recovered" if ttr is None else f"{ttr:.0f} ms"))
+    print(f"recovered level   : {output.recovered_fraction:.2f}x pre-fault")
     return 0
 
 
@@ -205,6 +248,9 @@ def _dispatch(args) -> int:
         return _cmd_experiments()
     if args.command == "run":
         return _cmd_run(args.experiment, args.quick)
+    if args.command == "fault-recovery":
+        return _cmd_fault_recovery(args.gpus, args.kill, args.kill_at,
+                                   args.duration, args.seed)
     if args.command == "models":
         return _cmd_models()
     if args.command == "profile":

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy, QueuedRequest
 from ..core.profile import BatchingProfile
 from ..metrics.collector import MetricsCollector
-from ..observability.events import DROP_EARLY, DROP_MISROUTED, DROP_UNSCHEDULED
+from ..observability.events import (
+    DROP_BACKEND_FAILED,
+    DROP_EARLY,
+    DROP_MISROUTED,
+    DROP_UNSCHEDULED,
+)
 from ..observability.tracer import Tracer, tracer_for_collector
 from ..simulation.simulator import EventHandle, Simulator
 from .messages import Request
@@ -139,6 +144,16 @@ class Backend:
         self._cycle_pos = 0
         self._busy = False
         self._wake: EventHandle | None = None
+        #: False once :meth:`fail` fires; a dead backend executes nothing
+        #: and fails every request handed to it until :meth:`recover`.
+        self.alive = True
+        #: multiplier on every batch's execution time (transient stragg-
+        #: ler emulation); 1.0 = nominal speed.
+        self.slowdown_factor = 1.0
+        #: the in-flight batch, if any: (exec handle, state, batch,
+        #: completion time) -- cancelled wholesale on a crash.
+        self._inflight: tuple[EventHandle, _SessionState,
+                              list[QueuedRequest], float] | None = None
         self.busy_ms = 0.0
         self.batches_executed = 0
         #: set True to record an ExecutionSpan per batch (Gantt tooling).
@@ -182,6 +197,66 @@ class Backend:
     def serves(self, session_id: str) -> bool:
         return session_id in self._sessions
 
+    # --------------------------------------------------------------- faults
+
+    def fail(self, cause: str = "crash") -> None:
+        """Crash this backend: lose every queued and in-flight request.
+
+        Lost requests take the ``on_fail`` path (retryable, no outcome
+        event) rather than the drop path -- see
+        :class:`~repro.cluster.messages.Request`.  The backend stays dead
+        (rejecting all work) until :meth:`recover`.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        now = self.sim.now
+        self.tracer.backend_failed(now, self.gpu_id, cause=cause)
+        if self._wake is not None:
+            self._wake.cancel()
+            self._wake = None
+        if self._inflight is not None:
+            handle, state, batch, completion = self._inflight
+            handle.cancel()
+            self._inflight = None
+            self._busy = False
+            # The batch never finished: give back the unspent busy time.
+            self.busy_ms -= max(0.0, completion - now)
+            for q in batch:
+                self._fail_request(state, q, now)
+        for state in self._sessions.values():
+            lost, state.queue = state.queue, []
+            lost += state.deferred
+            state.deferred = []
+            for q in lost:
+                self._fail_request(state, q, now)
+
+    def recover(self) -> None:
+        """Bring a failed backend back, empty, ready for a new schedule."""
+        if self.alive:
+            return
+        self.alive = True
+        self.slowdown_factor = 1.0
+        self.tracer.backend_recovered(self.sim.now, self.gpu_id)
+        self._kick()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale execution time by ``factor`` (1.0 restores full speed)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self.slowdown_factor = factor
+        self.tracer.backend_slowdown(self.sim.now, self.gpu_id, factor)
+
+    def _fail_request(self, state: _SessionState, q: QueuedRequest,
+                      now: float) -> None:
+        request = state.requests.pop(q.request_id, None)
+        if request is None:
+            return
+        if request.on_fail is not None:
+            request.on_fail(request, now)
+        else:
+            self._record_drop(request, now, DROP_BACKEND_FAILED)
+
     @property
     def num_sessions(self) -> int:
         return len(self._sessions)
@@ -189,6 +264,13 @@ class Backend:
     # -------------------------------------------------------------- enqueue
 
     def enqueue(self, request: Request) -> None:
+        if not self.alive:
+            # Routed to a corpse (detection lag): retryable failure.
+            if request.on_fail is not None:
+                request.on_fail(request, self.sim.now)
+            else:
+                self._record_drop(request, self.sim.now, DROP_BACKEND_FAILED)
+            return
         state = self._sessions.get(request.session_id)
         if state is None:
             # Misrouted (e.g. schedule changed mid-flight): drop.
@@ -208,7 +290,7 @@ class Backend:
     # ------------------------------------------------------------ execution
 
     def _kick(self) -> None:
-        if self._busy:
+        if self._busy or not self.alive:
             return
         if self._wake is not None:
             self._wake.cancel()
@@ -251,6 +333,7 @@ class Backend:
         )
         if self.interference_factor > 0 and len(self._sessions) > 1:
             exec_ms *= 1.0 + self.interference_factor * (len(self._sessions) - 1)
+        exec_ms *= self.slowdown_factor
 
         state.last_start_ms = now
         self._busy = True
@@ -266,7 +349,10 @@ class Backend:
                 len(batch),
             ))
         self._advance_cycle(candidate)
-        self.sim.schedule(exec_ms, lambda: self._on_batch_done(state, batch, completion))
+        handle = self.sim.schedule(
+            exec_ms, lambda: self._on_batch_done(state, batch, completion)
+        )
+        self._inflight = (handle, state, batch, completion)
 
     def _pick_session(self, now: float) -> str | None:
         """Choose the next session to execute, honoring pacing."""
@@ -324,7 +410,7 @@ class Backend:
         batch, state.deferred = state.deferred[:size], state.deferred[size:]
         exec_ms = state.spec.profile.occupancy_time(
             len(batch), overlap=self.overlap
-        )
+        ) * self.slowdown_factor
         state.last_start_ms = now
         self._busy = True
         self.busy_ms += exec_ms
@@ -339,9 +425,10 @@ class Backend:
                 self.gpu_id, state.spec.session_id, now, completion,
                 len(batch), deferred=True,
             ))
-        self.sim.schedule(
+        handle = self.sim.schedule(
             exec_ms, lambda: self._on_batch_done(state, batch, completion)
         )
+        self._inflight = (handle, state, batch, completion)
 
     def _at_risk(self, state: _SessionState, head, now: float) -> bool:
         """Would waiting for the next duty slot make ``head`` miss?"""
@@ -382,6 +469,7 @@ class Backend:
         self, state: _SessionState, batch: list[QueuedRequest], completion: float
     ) -> None:
         self._busy = False
+        self._inflight = None
         for q in batch:
             request = state.requests.pop(q.request_id, None)
             if request is None:

@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The injector is the *cause* side of the fault-tolerance story: it kills,
+slows, and revives backends on a schedule driven entirely by the
+simulator clock, so every run with the same seed produces bit-identical
+failure timelines.  Detection (:class:`~repro.cluster.global_scheduler.
+HeartbeatMonitor`) and recovery (the epoch scheduler's re-pack) live in
+the control plane and observe only the effects -- a dead backend stops
+answering heartbeats; they never peek at the schedule.
+
+Two ways to build a schedule:
+
+- explicitly, via :meth:`FaultPlan.crash` / :meth:`FaultPlan.slowdown`
+  (experiments that kill k of N backends at a known instant);
+- randomly, via :func:`seeded_plan`, which draws crash times and victims
+  from a seeded generator (soak-style runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.simulator import Simulator
+from .backend import Backend
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "seeded_plan"]
+
+#: event kinds a plan may contain.
+CRASH = "crash"
+RECOVER = "recover"
+SLOWDOWN = "slowdown"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what happens to which backend, and when."""
+
+    time_ms: float
+    kind: str  # CRASH | RECOVER | SLOWDOWN
+    backend_idx: int
+    #: slowdown multiplier (>1 slows, 1.0 restores); ignored for
+    #: crash/recover events.
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CRASH, RECOVER, SLOWDOWN):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time_ms < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time_ms}")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered fault schedule (builder with a fluent interface)."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def crash(self, time_ms: float, backend_idx: int,
+              recover_after_ms: float | None = None) -> "FaultPlan":
+        """Kill a backend at ``time_ms``; optionally revive it later."""
+        self.events.append(FaultEvent(time_ms, CRASH, backend_idx))
+        if recover_after_ms is not None:
+            self.events.append(
+                FaultEvent(time_ms + recover_after_ms, RECOVER, backend_idx)
+            )
+        return self
+
+    def slowdown(self, time_ms: float, backend_idx: int, factor: float,
+                 duration_ms: float | None = None) -> "FaultPlan":
+        """Slow a backend by ``factor``; optionally restore speed later."""
+        self.events.append(FaultEvent(time_ms, SLOWDOWN, backend_idx, factor))
+        if duration_ms is not None:
+            self.events.append(
+                FaultEvent(time_ms + duration_ms, SLOWDOWN, backend_idx, 1.0)
+            )
+        return self
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Stable chronological order (ties keep insertion order)."""
+        return sorted(
+            self.events, key=lambda e: e.time_ms
+        )
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against live backends on a simulator.
+
+    The injector resolves backend indices lazily at fire time (backends
+    are drafted on demand by the pool), so a plan may reference indices
+    that do not exist yet when :meth:`arm` runs.  Events aimed at an
+    index that still does not exist when they fire are recorded as
+    skipped rather than raising -- a seeded soak plan may target more
+    slots than a small run drafts.
+    """
+
+    def __init__(self, sim: Simulator, backends: list[Backend],
+                 plan: FaultPlan):
+        self.sim = sim
+        #: live view of the pool's backend list (shared, not copied).
+        self.backends = backends
+        self.plan = plan
+        #: (time_ms, kind, backend_idx) log of every event actually
+        #: applied, for assertions and reports.
+        self.applied: list[tuple[float, str, int]] = []
+        #: events that fired against a nonexistent backend slot.
+        self.skipped: list[FaultEvent] = []
+
+    def arm(self) -> None:
+        """Schedule every plan event on the simulator (call once)."""
+        for ev in self.plan.sorted_events():
+            self.sim.schedule_at(ev.time_ms, lambda e=ev: self._fire(e))
+
+    def _fire(self, ev: FaultEvent) -> None:
+        if ev.backend_idx >= len(self.backends):
+            self.skipped.append(ev)
+            return
+        backend = self.backends[ev.backend_idx]
+        if ev.kind == CRASH:
+            backend.fail(cause="crash")
+        elif ev.kind == RECOVER:
+            backend.recover()
+        elif ev.kind == SLOWDOWN:
+            backend.set_slowdown(ev.factor)
+        self.applied.append((self.sim.now, ev.kind, ev.backend_idx))
+
+
+def seeded_plan(
+    seed: int,
+    num_backends: int,
+    duration_ms: float,
+    crash_rate_per_min: float = 1.0,
+    recover_after_ms: float | None = 20_000.0,
+    start_ms: float = 0.0,
+) -> FaultPlan:
+    """Draw a random-but-reproducible crash schedule.
+
+    Crash instants follow a Poisson process at ``crash_rate_per_min``
+    over ``[start_ms, duration_ms)``; victims are drawn uniformly.  The
+    same ``seed`` always yields the identical plan.
+    """
+    if num_backends < 1:
+        raise ValueError("need at least one backend to injure")
+    rng = np.random.default_rng(seed)
+    plan = FaultPlan()
+    rate_per_ms = crash_rate_per_min / 60_000.0
+    t = start_ms
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_ms)) if rate_per_ms > 0 else duration_ms
+        if t >= duration_ms:
+            break
+        victim = int(rng.integers(0, num_backends))
+        plan.crash(t, victim, recover_after_ms=recover_after_ms)
+    return plan

@@ -25,12 +25,32 @@ import numpy as np
 
 from ..core.query import Query, QueryStage
 from ..metrics.collector import MetricsCollector
+from ..observability.events import DROP_BACKEND_FAILED
 from ..observability.tracer import Tracer, tracer_for_collector
 from ..simulation.simulator import Simulator
 from .backend import Backend
 from .messages import Request, new_request_id
 
-__all__ = ["RoutingTable", "Frontend", "QueryInstance"]
+__all__ = ["RoutingTable", "Frontend", "QueryInstance", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Frontend behavior when a backend fails a dispatched request.
+
+    A lost request is re-dispatched (to any live backend the routing
+    table offers) after an exponential backoff, up to ``max_retries``
+    times; past that -- or once the request's deadline has passed -- it
+    becomes a terminal ``DROP_BACKEND_FAILED`` drop.
+    """
+
+    max_retries: int = 3
+    backoff_ms: float = 5.0
+    multiplier: float = 2.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before re-dispatch number ``attempt`` (1-based)."""
+        return self.backoff_ms * self.multiplier ** max(0, attempt - 1)
 
 
 @dataclass
@@ -66,11 +86,19 @@ class RoutingTable:
         return self._alias.get(session_id, session_id)
 
     def pick(self, session_id: str) -> Backend | None:
-        """Deterministic weighted round robin: least served/weight first."""
+        """Deterministic weighted round robin: least served/weight first.
+
+        Backends known to be dead are skipped, so during the detection
+        window only requests already routed (or racing the failure) land
+        on the corpse and need the retry path.
+        """
         routes = self._routes.get(self.resolve(session_id))
         if not routes:
             return None
-        best = min(routes, key=lambda r: (r.served / r.weight, r.index))
+        live = [r for r in routes if r.backend.alive]
+        if not live:
+            return None
+        best = min(live, key=lambda r: (r.served / r.weight, r.index))
         best.served += 1
         return best.backend
 
@@ -150,6 +178,7 @@ class Frontend:
         query_collector: MetricsCollector | None = None,
         seed: int = 0,
         tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.sim = sim
         self.routing = routing
@@ -159,8 +188,12 @@ class Frontend:
             else tracer_for_collector(query=query_collector)
         )
         self.rng = np.random.default_rng(seed)
+        self.retry_policy = retry_policy or RetryPolicy()
         self.dispatched = 0
         self.routing_failures = 0
+        #: re-dispatches after backend failures / terminal retry drops.
+        self.retries = 0
+        self.retry_drops = 0
         #: observed per-session arrival counters for workload statistics
         #: (the control plane reads and resets these each epoch).
         self.session_counters: dict[str, int] = {}
@@ -186,6 +219,7 @@ class Frontend:
             deadline_ms=now + slo_ms,
             on_complete=on_complete,
             on_drop=on_drop,
+            on_fail=self._handle_backend_failure,
         )
         if backend is None:
             self.routing_failures += 1
@@ -245,6 +279,7 @@ class Frontend:
             deadline_ms=deadline,
             on_complete=lambda req, t, ok, s=stage: instance.stage_done(s, t, ok),
             on_drop=lambda req, t, s=stage: instance.stage_dropped(s, t),
+            on_fail=self._handle_backend_failure,
             context=instance,
         )
         if backend is None:
@@ -254,6 +289,54 @@ class Frontend:
             return
         self.dispatched += 1
         backend.enqueue(request)
+
+    # ---------------------------------------------------- failure handling
+
+    def _handle_backend_failure(self, request: Request, now: float) -> None:
+        """A backend crashed with ``request`` queued or in flight.
+
+        Retry on a surviving backend after exponential backoff; give up
+        (terminal ``DROP_BACKEND_FAILED``) when retries or the deadline
+        budget run out.  No outcome event was emitted for the loss
+        itself, so exactly one outcome is recorded per logical request:
+        either the eventual completion or the terminal drop here.
+        """
+        policy = self.retry_policy
+        if request.attempt >= policy.max_retries or now >= request.deadline_ms:
+            self._final_fail_drop(request, now)
+            return
+        request.attempt += 1
+        backoff = policy.backoff_for(request.attempt)
+        self.retries += 1
+        self.tracer.request_retried(
+            now, request.session_id, request.request_id,
+            attempt=request.attempt, backoff_ms=backoff,
+        )
+        self.sim.schedule(backoff, lambda: self._redispatch(request))
+
+    def _redispatch(self, request: Request) -> None:
+        now = self.sim.now
+        if now >= request.deadline_ms:
+            self._final_fail_drop(request, now)
+            return
+        backend = self.routing.pick(request.session_id)
+        if backend is None:
+            # No live replica serves this session (yet): the recovery
+            # epoch has not landed.  Treat as a failure so the remaining
+            # retry budget keeps probing.
+            self._handle_backend_failure(request, now)
+            return
+        self.dispatched += 1
+        backend.enqueue(request)
+
+    def _final_fail_drop(self, request: Request, now: float) -> None:
+        self.retry_drops += 1
+        self.tracer.request_dropped(
+            now, request.session_id, request.request_id,
+            request.arrival_ms, request.deadline_ms, DROP_BACKEND_FAILED,
+        )
+        if request.on_drop is not None:
+            request.on_drop(request, now)
 
     def _sample_fanout(self, gamma: float) -> int:
         """Integer fan-out with mean gamma.

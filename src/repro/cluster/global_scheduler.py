@@ -6,14 +6,21 @@ and at what batch size, and pushes routing tables to frontends and
 execution schedules to backends.
 
 :class:`BackendPool` owns the physical backends and applies a
-:class:`~repro.core.squishy.SchedulePlan` with minimal churn: new GPU
-plans are matched to the existing backends hosting the most-overlapping
-session sets before new backends are drafted.
+:class:`~repro.core.squishy.SchedulePlan` with minimal churn: plan nodes
+that were already deployed stay on their backend (stable ``node_id``
+stickiness); remaining plans are matched to the backends hosting the
+most-overlapping session sets before new backends are drafted.
+
+:class:`HeartbeatMonitor` is the failure detector: backends hold a lease
+that live ones renew every heartbeat; a backend whose lease expires is
+declared dead within ``lease_ms + heartbeat_ms`` of the actual crash and
+handed to the recovery callback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy
 from ..core.squishy import GpuPlan, SchedulePlan
@@ -23,7 +30,7 @@ from ..simulation.simulator import Simulator
 from .backend import Backend, BackendSession
 from .frontend import RoutingTable
 
-__all__ = ["BackendPool", "make_policy"]
+__all__ = ["BackendPool", "HeartbeatMonitor", "make_policy"]
 
 
 def make_policy(kind: str, target_batch: int) -> DropPolicy:
@@ -50,6 +57,10 @@ class PoolConfig:
     #: pace each session to its planned duty cycle (Nexus's GPU scheduler);
     #: baselines execute as soon as the GPU frees up.
     paced: bool = True
+    #: hard cap on backend slots (the physical cluster size); ``None`` =
+    #: draft freely.  With a cap, a failed backend's slot stays dead --
+    #: recovery must re-pack onto the survivors, not draft a replacement.
+    max_backends: int | None = None
 
 
 class BackendPool:
@@ -75,10 +86,40 @@ class BackendPool:
         #: session -> gpu placement from the last applied plan, for
         #: placement/relocation events across epochs.
         self._placement: dict[str, int] = {}
+        #: backend indices declared dead by the failure detector; never
+        #: assigned plans until marked recovered.
+        self.failed: set[int] = set()
+        #: plan node_id -> backend index from the last applied plan
+        #: (stable identity across epochs; basis for sticky matching and
+        #: for mapping a dead backend back to its plan nodes).
+        self._node_backend: dict[int, int] = {}
 
     @property
     def gpus_in_use(self) -> int:
         return len(self._active)
+
+    @property
+    def live_backends(self) -> int:
+        """Backend slots currently usable for placement."""
+        cap = self.config.max_backends
+        if cap is None:
+            return max(0, len(self.backends) - len(self.failed))
+        return max(0, cap - len(self.failed))
+
+    def mark_failed(self, backend_idx: int) -> None:
+        """The failure detector declared this backend dead."""
+        self.failed.add(backend_idx)
+        self._active.discard(backend_idx)
+
+    def mark_recovered(self, backend_idx: int) -> None:
+        """A declared-dead backend is serving heartbeats again."""
+        self.failed.discard(backend_idx)
+
+    def nodes_on(self, backend_idx: int) -> list[int]:
+        """Plan node ids deployed on the given backend slot."""
+        return sorted(
+            nid for nid, b in self._node_backend.items() if b == backend_idx
+        )
 
     def apply_plan(self, plan: SchedulePlan) -> None:
         """Deploy a plan: match GPU plans to backends, push schedules/routes."""
@@ -137,6 +178,9 @@ class BackendPool:
         for session_id, targets in new_routes.items():
             self.routing.set_routes(session_id, targets)
 
+        self._node_backend = {
+            gpu_plan.node_id: b_idx for b_idx, gpu_plan in assignments
+        }
         self._emit_placement_events(assignments)
         self.tracer.plan_applied(self.sim.now, len(self._active))
 
@@ -180,30 +224,51 @@ class BackendPool:
         return self.backends[idx]
 
     def _match(self, gpu_plans: list[GpuPlan]) -> list[tuple[int, GpuPlan]]:
-        """Assign plans to backend slots, maximizing session overlap.
+        """Assign plans to backend slots with minimal movement.
 
-        Greedy: plans with the largest overlap against an existing
-        backend's current sessions claim that backend; the rest fill free
-        or new slots.  Keeps models resident across epochs where possible
-        (section 6.1: "minimizing the movement of models across nodes").
+        Three passes: (0) a plan node already deployed keeps its backend
+        (stable ``node_id`` stickiness -- immune to the occupancy re-sort
+        the epoch scheduler applies every update); (1) remaining plans
+        claim the backend whose current sessions overlap most; (2) the
+        rest fill free or newly drafted slots.  Failed backend slots are
+        never assigned.  Keeps models resident across epochs where
+        possible (section 6.1: "minimizing the movement of models across
+        nodes").
         """
         current: dict[int, set[str]] = {
             i: set(backend._sessions)  # noqa: SLF001 -- pool owns backends
             for i, backend in enumerate(self.backends)
+            if i not in self.failed
         }
 
+        plan_taken: set[int] = set()
+        backend_taken: set[int] = set(self.failed)
+        out: list[tuple[int, GpuPlan]] = []
+
+        # Pass 0: node_id stickiness.
+        for p_idx, plan in enumerate(gpu_plans):
+            b_idx = self._node_backend.get(plan.node_id)
+            if b_idx is None or b_idx in backend_taken:
+                continue
+            if b_idx >= len(self.backends):
+                continue
+            plan_taken.add(p_idx)
+            backend_taken.add(b_idx)
+            out.append((b_idx, plan))
+
+        # Pass 1: session overlap.
         scored: list[tuple[int, int, int]] = []  # (-overlap, plan_idx, backend_idx)
         for p_idx, plan in enumerate(gpu_plans):
+            if p_idx in plan_taken:
+                continue
             sessions = set(plan.session_ids())
             for b_idx, hosted in current.items():
+                if b_idx in backend_taken:
+                    continue
                 overlap = len(sessions & hosted)
                 if overlap:
                     scored.append((-overlap, p_idx, b_idx))
         scored.sort()
-
-        plan_taken: set[int] = set()
-        backend_taken: set[int] = set()
-        out: list[tuple[int, GpuPlan]] = []
         for neg, p_idx, b_idx in scored:
             if p_idx in plan_taken or b_idx in backend_taken:
                 continue
@@ -211,12 +276,105 @@ class BackendPool:
             backend_taken.add(b_idx)
             out.append((b_idx, gpu_plans[p_idx]))
 
+        # Pass 2: free / drafted slots (skipping dead ones).
         next_free = 0
         for p_idx, plan in enumerate(gpu_plans):
             if p_idx in plan_taken:
                 continue
             while next_free in backend_taken:
                 next_free += 1
+            cap = self.config.max_backends
+            if cap is not None and next_free >= cap:
+                raise ValueError(
+                    f"plan needs more than the {cap} backend slots the "
+                    f"cluster has ({len(self.failed)} failed)"
+                )
             backend_taken.add(next_free)
             out.append((next_free, plan))
         return out
+
+
+class HeartbeatMonitor:
+    """Lease-based failure detector over a :class:`BackendPool`.
+
+    Every ``heartbeat_ms`` the monitor sweeps the pool: a live backend
+    renews its lease (``last_beat = now``); a backend whose lease has
+    been stale for more than ``lease_ms`` is declared dead -- the pool
+    marks the slot failed and ``on_failure(backend_idx, now)`` fires so
+    the control plane can run a recovery epoch.  A declared-dead backend
+    that starts answering again is declared recovered symmetrically.
+
+    Detection bound: a backend that crashes at time ``t`` renewed its
+    lease at most ``heartbeat_ms`` before ``t``, and the declaring sweep
+    runs at most ``heartbeat_ms`` after the lease goes stale, so the
+    declaration lands within ``lease_ms + 2 * heartbeat_ms`` of the
+    crash (and never before ``lease_ms`` has elapsed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool: BackendPool,
+        heartbeat_ms: float = 500.0,
+        lease_ms: float = 2_000.0,
+        on_failure: Callable[[int, float], None] | None = None,
+        on_recovery: Callable[[int, float], None] | None = None,
+    ):
+        if heartbeat_ms <= 0 or lease_ms <= 0:
+            raise ValueError("heartbeat_ms and lease_ms must be > 0")
+        self.sim = sim
+        self.pool = pool
+        self.heartbeat_ms = heartbeat_ms
+        self.lease_ms = lease_ms
+        self.on_failure = on_failure
+        self.on_recovery = on_recovery
+        self._last_beat: dict[int, float] = {}
+        self._declared: set[int] = set()
+        self._running = False
+        #: (backend_idx, declared_at_ms) log of every declaration.
+        self.declared_failures: list[tuple[int, float]] = []
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def suspected(self) -> set[int]:
+        return set(self._declared)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        for idx, backend in enumerate(self.pool.backends):
+            if backend.alive:
+                self._last_beat[idx] = now
+                if idx in self._declared:
+                    self._declared.discard(idx)
+                    self.pool.mark_recovered(idx)
+                    self.pool.tracer.backend_recovered(
+                        now, backend.gpu_id, cause="heartbeat_resumed"
+                    )
+                    if self.on_recovery is not None:
+                        self.on_recovery(idx, now)
+                continue
+            if idx in self._declared:
+                continue
+            # A backend first observed already-dead leases from this
+            # sweep, keeping the "never before lease_ms" lower bound.
+            last = self._last_beat.setdefault(idx, now)
+            if now - last > self.lease_ms:
+                self._declared.add(idx)
+                self.declared_failures.append((idx, now))
+                self.pool.mark_failed(idx)
+                self.pool.tracer.backend_failed(
+                    now, backend.gpu_id, cause="lease_expired"
+                )
+                if self.on_failure is not None:
+                    self.on_failure(idx, now)
+        self.sim.schedule(self.heartbeat_ms, self._tick)

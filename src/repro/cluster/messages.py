@@ -23,6 +23,14 @@ class Request:
     execution containing this request finishes; ``on_drop(request,
     time_ms)`` fires if admission control sheds it.  Query orchestration
     in the frontend hangs its continuation logic on these callbacks.
+
+    ``on_fail(request, time_ms)`` fires when the request is *lost to a
+    backend failure* (crash while queued or in flight).  Unlike
+    ``on_drop`` it is not a final outcome: the hosting frontend may
+    re-dispatch the request to a surviving backend, so no drop event is
+    emitted on this path -- emitting one would double-count the request
+    if the retry later completes.  When ``on_fail`` is unset the failure
+    degrades to a terminal drop.
     """
 
     session_id: str
@@ -31,6 +39,10 @@ class Request:
     request_id: int = field(default_factory=new_request_id)
     on_complete: Callable[["Request", float, bool], None] | None = None
     on_drop: Callable[["Request", float], None] | None = None
+    on_fail: Callable[["Request", float], None] | None = None
+    #: retry attempt number (0 = first dispatch); bumped by the frontend
+    #: on each re-dispatch after a backend failure.
+    attempt: int = 0
     #: opaque payload for the application layer (e.g. query instance).
     context: object = None
 

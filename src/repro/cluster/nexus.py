@@ -43,8 +43,9 @@ from ..observability.tracer import (
 )
 from ..simulation.simulator import Simulator
 from ..workloads.arrivals import poisson_arrivals, uniform_arrivals
-from .frontend import Frontend, RoutingTable
-from .global_scheduler import BackendPool, PoolConfig
+from .faults import FaultInjector, FaultPlan
+from .frontend import Frontend, RetryPolicy, RoutingTable
+from .global_scheduler import BackendPool, HeartbeatMonitor, PoolConfig
 
 __all__ = ["ClusterConfig", "AppSpec", "ClusterResult", "NexusCluster"]
 
@@ -90,6 +91,16 @@ class ClusterConfig:
     #: (the paper's fixed-cluster throughput experiments); dynamic
     #: deployments keep the minimal allocation so idle GPUs are released.
     expand_to_cluster: bool = True
+    #: failure-detector cadence: backends renew their lease every
+    #: heartbeat; the monitor sweeps at the same period.
+    heartbeat_ms: float = 500.0
+    #: lease duration: a backend silent for longer is declared dead
+    #: (detection lands within ``lease_ms + 2 * heartbeat_ms`` of the
+    #: crash).
+    lease_ms: float = 2_000.0
+    #: frontend retry budget for requests lost to backend failures.
+    retry_max: int = 3
+    retry_backoff_ms: float = 5.0
     seed: int = 0
 
 
@@ -118,6 +129,11 @@ class ClusterResult:
     #: full structured event stream; populated by ``run(trace=True)``,
     #: ``None`` otherwise (tracing is off by default).
     trace: list[TraceEvent] | None = None
+    #: ``(time_ms, kind, backend_idx)`` faults actually injected
+    #: (``run(faults=...)`` only).
+    fault_log: list[tuple[float, str, int]] | None = None
+    #: ``(backend_idx, declared_at_ms)`` failure-detector declarations.
+    detections: list[tuple[int, float]] | None = None
 
     @property
     def good_rate(self) -> float:
@@ -415,7 +431,8 @@ class NexusCluster:
     # -------------------------------------------------------------- running
 
     def run(self, duration_ms: float, warmup_ms: float = 0.0,
-            trace: bool = False) -> ClusterResult:
+            trace: bool = False,
+            faults: FaultPlan | None = None) -> ClusterResult:
         """Plan, deploy, generate traffic, and serve for ``duration_ms``.
 
         ``warmup_ms`` excludes an initial window from the metrics (queries
@@ -424,6 +441,14 @@ class NexusCluster:
         (see :mod:`repro.observability`); the ambient
         :func:`~repro.observability.capture_trace` buffer, when active,
         is attached as well.
+
+        ``faults`` arms a :class:`~repro.cluster.faults.FaultPlan`
+        against the deployment and installs the fault-tolerant control
+        loop: a heartbeat/lease failure detector plus incremental
+        epoch-driven recovery (dead backends' sessions are re-packed
+        onto survivors, charging weight-reload costs).  Fault runs use
+        the incremental :class:`~repro.core.epoch.EpochScheduler` in
+        place of the scratch-replan ``dynamic`` loop.
         """
         cfg = self.config
         sim = Simulator()
@@ -457,11 +482,18 @@ class NexusCluster:
                 drop_policy=cfg.drop_policy,
                 interference_factor=cfg.interference_factor,
                 paced=cfg.paced,
+                # With faults the cluster is physically capped: a dead
+                # backend's slot must not be replaced by drafting.
+                max_backends=cfg.max_gpus if faults is not None else None,
             ),
         )
         frontends = [
             Frontend(sim, routing, query_collector=query_metrics,
-                     seed=cfg.seed + 1009 * i, tracer=tracer)
+                     seed=cfg.seed + 1009 * i, tracer=tracer,
+                     retry_policy=RetryPolicy(
+                         max_retries=cfg.retry_max,
+                         backoff_ms=cfg.retry_backoff_ms,
+                     ))
             for i in range(max(1, cfg.num_frontends))
         ]
 
@@ -472,7 +504,15 @@ class NexusCluster:
 
         self._generate_traffic(sim, frontends, duration_ms, warmup_ms)
 
-        if cfg.dynamic:
+        injector: FaultInjector | None = None
+        monitor: HeartbeatMonitor | None = None
+        if faults is not None:
+            injector = FaultInjector(sim, pool.backends, faults)
+            injector.arm()
+            monitor = self._install_ft_loop(
+                sim, frontends, pool, plan, duration_ms, tracer
+            )
+        elif cfg.dynamic:
             self._install_epoch_loop(sim, frontends, pool, duration_ms,
                                      tracer)
 
@@ -495,6 +535,10 @@ class NexusCluster:
             duration_ms=duration_ms - warmup_ms,
             epochs=epochs,
             trace=local_buffer.events if local_buffer is not None else None,
+            fault_log=injector.applied if injector is not None else None,
+            detections=(
+                monitor.declared_failures if monitor is not None else None
+            ),
         )
 
     def _generate_traffic(
@@ -574,6 +618,71 @@ class NexusCluster:
         # Return count lazily via closure; run() reads after sim completes.
         self._epoch_state = state
         return 0
+
+    def _install_ft_loop(
+        self, sim: Simulator, frontends: list[Frontend], pool: BackendPool,
+        plan: SchedulePlan, duration_ms: float, tracer: Tracer,
+    ) -> HeartbeatMonitor:
+        """Fault-tolerant control loop: detect, re-pack, redeploy.
+
+        The incremental :class:`EpochScheduler` adopts the deployed plan;
+        a lease failure detector triggers an *emergency* recovery epoch
+        the moment a backend is declared dead (the dead node's sessions
+        are re-packed onto survivors under the shrunken GPU cap), and
+        regular epoch ticks keep running on the nominal cadence.
+        """
+        cfg = self.config
+        loads = list(self._session_loads)
+        scheduler = EpochScheduler(
+            epoch_ms=cfg.epoch_ms,
+            memory_capacity=int(get_device(cfg.device).mem_capacity),
+            max_gpus=cfg.max_gpus,
+        )
+        scheduler.adopt(plan, sim.now, loads)
+        state = {"epochs": 0, "last": 0.0}
+        self._epoch_state = state
+        self._ft_scheduler = scheduler
+
+        def redeploy(now: float) -> None:
+            for sid, target in self._aliases.items():
+                frontends[0].routing.set_alias(sid, target)
+            pool.apply_plan(scheduler.plan)
+            state["epochs"] += 1
+            tracer.epoch_planned(now, state["epochs"],
+                                 scheduler.plan.num_gpus)
+
+        def on_failure(backend_idx: int, now: float) -> None:
+            dead_nodes = pool.nodes_on(backend_idx)
+            if cfg.max_gpus is not None:
+                scheduler.max_gpus = pool.live_backends
+            scheduler.handle_failure(now, dead_nodes, loads)
+            redeploy(now)
+
+        def on_recovery(backend_idx: int, now: float) -> None:
+            if cfg.max_gpus is not None:
+                scheduler.max_gpus = pool.live_backends
+            scheduler.update(now, loads)
+            redeploy(now)
+
+        monitor = HeartbeatMonitor(
+            sim, pool,
+            heartbeat_ms=cfg.heartbeat_ms,
+            lease_ms=cfg.lease_ms,
+            on_failure=on_failure,
+            on_recovery=on_recovery,
+        )
+        monitor.start()
+
+        def tick() -> None:
+            now = sim.now
+            if scheduler.should_reschedule(now, loads):
+                scheduler.update(now, loads)
+                redeploy(now)
+            if now + cfg.epoch_ms <= duration_ms:
+                sim.schedule(cfg.epoch_ms, tick)
+
+        sim.schedule(cfg.epoch_ms, tick)
+        return monitor
 
     # ------------------------------------------------------------- measure
 

@@ -295,6 +295,15 @@ def max_goodput(
     if not good(lo_rps):
         return 0.0
     lo, hi = lo_rps, hi_rps
+    # Validate the ceiling before bisecting: if the system is still good
+    # at ``hi_rps`` the search would silently converge to it and
+    # under-report.  Double the upper bound until it fails (capped).
+    for _ in range(12):
+        if not good(hi):
+            break
+        lo, hi = hi, hi * 2.0
+    else:
+        return hi  # good even at the expansion cap; report what we proved
     for _ in range(iterations):
         mid = (lo + hi) / 2.0
         if good(mid):

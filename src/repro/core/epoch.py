@@ -96,6 +96,13 @@ class EpochScheduler:
                 return True
             if abs(new - old) / base > self.change_threshold:
                 return True
+        # A session that disappears entirely (present last epoch, absent
+        # from the current loads) is a rate change to zero: without an
+        # early epoch its GPUs stay allocated until the next boundary.
+        seen = {load.session_id for load in loads}
+        for sid, old in self._last_rates.items():
+            if old > 0.0 and sid not in seen:
+                return True
         return False
 
     # ------------------------------------------------------------- schedule
@@ -112,7 +119,7 @@ class EpochScheduler:
 
         new_plan = self._incremental_plan(loads)
         if self.max_gpus is not None and new_plan.num_gpus > self.max_gpus:
-            new_plan = self._capped_plan(loads, new_plan)
+            new_plan = self._capped_plan(loads)
         self.plan = new_plan
 
         moved = self._count_moves(before_assignment, self._assignment())
@@ -160,7 +167,8 @@ class EpochScheduler:
             if not new_allocs:
                 continue  # release this backend
             candidate = GpuPlan(
-                new_allocs, node.duty_cycle_ms, saturated=node.saturated
+                new_allocs, node.duty_cycle_ms, saturated=node.saturated,
+                node_id=node.node_id,
             )
             # Overload check: evict cheapest sessions until feasible.
             while candidate.validate(self.memory_capacity):
@@ -180,7 +188,8 @@ class EpochScheduler:
                     candidate = None  # type: ignore[assignment]
                     break
                 candidate = GpuPlan(
-                    rest, candidate.duty_cycle_ms, saturated=candidate.saturated
+                    rest, candidate.duty_cycle_ms,
+                    saturated=candidate.saturated, node_id=candidate.node_id,
                 )
             if candidate is not None and candidate.allocations:
                 kept.append(candidate)
@@ -198,38 +207,99 @@ class EpochScheduler:
             gpus=kept + extra.gpus, infeasible=extra.infeasible
         )
 
-    def _capped_plan(
-        self, loads: list[SessionLoad], plan: SchedulePlan
-    ) -> SchedulePlan:
-        """Shrink to the GPU cap by dropping the least-utilized nodes.
+    def _capped_plan(self, loads: list[SessionLoad]) -> SchedulePlan:
+        """Demand exceeds the GPU cap: shed load *proportionally*.
 
-        The runtime's admission control absorbs the lost capacity by
-        dropping excess requests (section 5: "Nexus relies on admission
-        control that drops excessive requests").
+        Scaling every session's rate down by a common factor until the
+        plan fits keeps all sessions served -- admission control absorbs
+        the shed fraction uniformly (section 5: "Nexus relies on admission
+        control that drops excessive requests").  Dropping whole GPU plans
+        would zero out some sessions entirely, which matters most in the
+        recovery case (a dead backend shrinks the cap).
         """
         assert self.max_gpus is not None
-        nodes = sorted(plan.gpus, key=lambda n: n.occupancy, reverse=True)
-        return SchedulePlan(
-            gpus=nodes[: self.max_gpus], infeasible=plan.infeasible
+
+        def pack_at(scale: float) -> SchedulePlan:
+            scaled = [l.with_rate(l.rate_rps * scale) for l in loads]
+            return self._incremental_plan(scaled)
+
+        lo, hi = 0.02, 1.0
+        best = pack_at(lo)
+        if best.num_gpus > self.max_gpus:
+            # Even 2% does not fit: keep the fullest nodes and give up on
+            # the rest (nothing proportional shedding can do here).
+            nodes = sorted(best.gpus, key=lambda n: n.occupancy, reverse=True)
+            return SchedulePlan(
+                gpus=nodes[: self.max_gpus], infeasible=best.infeasible
+            )
+        for _ in range(12):
+            mid = (lo + hi) / 2
+            cand = pack_at(mid)
+            if cand.num_gpus <= self.max_gpus:
+                lo, best = mid, cand
+            else:
+                hi = mid
+        return best
+
+    # ------------------------------------------------------------- recovery
+
+    def handle_failure(
+        self, now_ms: float, failed_node_ids: set[int] | list[int],
+        loads: list[SessionLoad],
+    ) -> EpochUpdate:
+        """Run a recovery epoch after backends died.
+
+        Drops the plan nodes hosted by the dead backends (identified by
+        stable ``node_id``, never by list position) and re-runs the
+        incremental update: surviving nodes are kept, the dead nodes'
+        demand is uncovered and re-packed onto new nodes -- which the
+        deployment layer maps to surviving backends, charging each newly
+        placed session its weight-reload cost.
+        """
+        failed = set(failed_node_ids)
+        self.plan = SchedulePlan(
+            gpus=[n for n in self.plan.gpus if n.node_id not in failed],
+            infeasible=self.plan.infeasible,
         )
+        return self.update(now_ms, loads)
+
+    def adopt(
+        self, plan: SchedulePlan, now_ms: float, loads: list[SessionLoad]
+    ) -> None:
+        """Take ownership of an externally computed plan.
+
+        Used at deployment time: the initial plan comes from the full
+        planner (latency splits, prefix fusion, cluster expansion); the
+        epoch scheduler evolves it incrementally from there.
+        """
+        self.plan = plan
+        self._last_schedule_ms = now_ms
+        self._last_rates = {l.session_id: l.rate_rps for l in loads}
 
     # -------------------------------------------------------------- helpers
 
-    def _assignment(self) -> dict[str, list[int]]:
+    def _assignment(self) -> dict[str, tuple[int, ...]]:
+        """session -> stable node ids hosting it (order-independent)."""
         out: dict[str, list[int]] = {}
-        for i, node in enumerate(self.plan.gpus):
+        for node in self.plan.gpus:
             for alloc in node.allocations:
-                out.setdefault(alloc.session_id, []).append(i)
-        return out
+                out.setdefault(alloc.session_id, []).append(node.node_id)
+        return {sid: tuple(sorted(ids)) for sid, ids in out.items()}
 
     @staticmethod
     def _count_moves(
-        before: dict[str, list[int]], after: dict[str, list[int]]
+        before: dict[str, tuple[int, ...]], after: dict[str, tuple[int, ...]]
     ) -> int:
-        """Sessions whose GPU-set changed (coarse churn measure)."""
+        """Sessions whose node-id set changed (coarse churn measure).
+
+        Diffing stable node ids -- not positions in ``plan.gpus``, which
+        re-sort every epoch -- means a session that stays put counts as
+        zero churn even when the node list reorders, and a session that
+        retires (or appears) counts as one move.
+        """
         moved = 0
-        for sid, gpus in after.items():
-            if before.get(sid) != gpus:
+        for sid in before.keys() | after.keys():
+            if before.get(sid, ()) != after.get(sid, ()):
                 moved += 1
         return moved
 

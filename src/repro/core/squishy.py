@@ -25,6 +25,7 @@ throughput non-decreasing in batch size -- no linearity required.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
@@ -70,6 +71,17 @@ class Allocation:
         return self.load.profile.memory_bytes(self.batch)
 
 
+#: process-wide source of stable GPU-plan node ids.  Ids are identity, not
+#: order: churn accounting and failure tracking diff plans on ``node_id``,
+#: never on a node's position in ``SchedulePlan.gpus`` (which the epoch
+#: scheduler re-sorts every epoch).
+_node_ids = itertools.count(1)
+
+
+def _next_node_id() -> int:
+    return next(_node_ids)
+
+
 @dataclass
 class GpuPlan:
     """The schedule for one GPU: sessions executed round-robin in a cycle.
@@ -77,11 +89,17 @@ class GpuPlan:
     ``duty_cycle_ms`` is the period over which the GPU cycles through all
     its allocations.  A saturated GPU (single session at peak batch) uses
     ``duty_cycle = l(B)`` and back-to-back batches.
+
+    ``node_id`` is a stable identity that survives re-sorting and rebuilds:
+    a plan node that carries over to the next epoch (possibly with adjusted
+    allocations) keeps its id, so "did this session move?" and "which node
+    died with that backend?" have well-defined answers.
     """
 
     allocations: list[Allocation]
     duty_cycle_ms: float
     saturated: bool = False
+    node_id: int = field(default_factory=_next_node_id)
 
     @property
     def busy_ms(self) -> float:
@@ -206,7 +224,11 @@ def schedule_saturate(
                 )
             )
         residue_rate = load.rate_rps - whole_gpus * peak_tput
-        if residue_rate > 1e-9:
+        # Tolerance relative to one GPU's capacity: at high rates the
+        # subtraction's float rounding can leave a residue of a few ulps
+        # of ``rate_rps``, and an absolute 1e-9 threshold would spawn a
+        # whole extra GPU to serve it.
+        if residue_rate > 1e-9 * peak_tput * max(1.0, whole_gpus):
             residuals.append(load.with_rate(residue_rate))
     return plans, residuals, infeasible
 
@@ -302,7 +324,8 @@ def _try_merge(
         new_allocs.append(Allocation(load, new_batch))
     if busy > occupancy_cap * new_duty + 1e-9:
         return None
-    merged = GpuPlan(new_allocs, new_duty)
+    # The merge grows an existing node in place: keep its identity.
+    merged = GpuPlan(new_allocs, new_duty, node_id=node.node_id)
     if memory_capacity is not None and merged.memory_bytes() > memory_capacity:
         return None
     return merged

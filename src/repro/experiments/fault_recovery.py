@@ -1,0 +1,182 @@
+"""Fault recovery: kill k of N backends mid-run, measure the goodput dip.
+
+Not a paper figure -- the SOSP paper treats failures as out of scope --
+but the natural stress test of section 5's control plane: the epoch
+scheduler owns an incremental plan, so a backend crash is just a forced
+epoch with fewer GPUs.  The experiment deploys the standard applications
+on a fixed cluster, kills ``kill`` backends at a known instant, and
+reports three numbers:
+
+- **detection latency**: crash -> lease-expiry declaration (bounded by
+  ``lease_ms + 2 * heartbeat_ms``);
+- **dip depth**: the worst windowed goodput after the crash, relative to
+  the pre-fault mean;
+- **time to recover**: crash -> first window back at >= 95% of the
+  pre-fault goodput.
+
+Everything is simulator-driven and seeded: the same arguments produce a
+bit-identical table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.faults import FaultPlan
+from ..cluster.nexus import ClusterConfig, ClusterResult, NexusCluster
+from ..workloads.apps import all_apps
+from .common import ExperimentResult
+
+__all__ = ["run", "FaultRecoveryOutput", "make_fault_cluster"]
+
+#: a window counts as recovered at this fraction of pre-fault goodput.
+RECOVERY_THRESHOLD = 0.95
+
+
+@dataclass
+class FaultRecoveryOutput:
+    """Everything the recovery experiment measured."""
+
+    pre_fault_goodput_rps: float
+    dip_goodput_rps: float
+    recovered_goodput_rps: float
+    #: crash -> first window back above the recovery threshold; None if
+    #: the run ended still degraded.
+    time_to_recover_ms: float | None
+    #: crash -> first lease-expiry declaration; None if undetected.
+    detection_ms: float | None
+    window_ms: float
+    kill_at_ms: float
+    #: (window start ms, goodput rps) series over the whole run.
+    goodput_series: list[tuple[float, float]] = field(default_factory=list)
+    result: ClusterResult | None = None
+
+    @property
+    def dip_fraction(self) -> float:
+        """Worst post-crash goodput relative to the pre-fault mean."""
+        if self.pre_fault_goodput_rps <= 0:
+            return 0.0
+        return self.dip_goodput_rps / self.pre_fault_goodput_rps
+
+    @property
+    def recovered_fraction(self) -> float:
+        if self.pre_fault_goodput_rps <= 0:
+            return 0.0
+        return self.recovered_goodput_rps / self.pre_fault_goodput_rps
+
+
+def make_fault_cluster(
+    gpus: int = 8,
+    per_app_rps: float = 30.0,
+    num_apps: int = 3,
+    seed: int = 0,
+    device: str = "gtx1080ti",
+) -> NexusCluster:
+    """A fixed-size deployment sized so the plan fills the cluster."""
+    config = ClusterConfig(
+        device=device,
+        max_gpus=gpus,
+        expand_to_cluster=False,
+        seed=seed,
+    )
+    cluster = NexusCluster(config)
+    for query in all_apps(device)[:num_apps]:
+        cluster.add_query(query, rate_rps=per_app_rps)
+    return cluster
+
+
+def _goodput_windows(
+    result: ClusterResult, window_ms: float, duration_ms: float
+) -> list[tuple[float, float]]:
+    """(window start, ok queries per second) over the run, by arrival."""
+    n = max(1, int(duration_ms // window_ms))
+    counts = [0] * n
+    for rec in result.query_metrics.records:
+        idx = int(rec.arrival_ms // window_ms)
+        if rec.ok and 0 <= idx < n:
+            counts[idx] += 1
+    return [
+        (i * window_ms, c / (window_ms / 1000.0)) for i, c in enumerate(counts)
+    ]
+
+
+def run(
+    duration_ms: float = 120_000.0,
+    kill_at_ms: float = 40_000.0,
+    kill: int = 1,
+    gpus: int = 8,
+    per_app_rps: float = 30.0,
+    num_apps: int = 3,
+    window_ms: float = 2_000.0,
+    warmup_ms: float = 10_000.0,
+    seed: int = 0,
+) -> tuple[ExperimentResult, FaultRecoveryOutput]:
+    """Kill ``kill`` of ``gpus`` backends at ``kill_at_ms``; measure."""
+    if not 0 < kill <= gpus:
+        raise ValueError(f"kill must be in 1..{gpus}, got {kill}")
+    cluster = make_fault_cluster(
+        gpus=gpus, per_app_rps=per_app_rps, num_apps=num_apps, seed=seed,
+    )
+    faults = FaultPlan()
+    for idx in range(kill):
+        faults.crash(kill_at_ms, idx)
+    result = cluster.run(duration_ms, faults=faults)
+
+    series = _goodput_windows(result, window_ms, duration_ms)
+    pre = [
+        g for t, g in series
+        if warmup_ms <= t and t + window_ms <= kill_at_ms
+    ]
+    pre_goodput = sum(pre) / len(pre) if pre else 0.0
+    # The last window is cut off by the run's tail; ignore it.
+    post = [(t, g) for t, g in series
+            if t >= kill_at_ms and t + window_ms <= duration_ms]
+    dip = min((g for _, g in post), default=0.0)
+    recovered_at = None
+    for t, g in post:
+        if g >= RECOVERY_THRESHOLD * pre_goodput:
+            recovered_at = t + window_ms
+            break
+    tail = [g for t, g in post[-5:]]
+    recovered_goodput = sum(tail) / len(tail) if tail else 0.0
+    detection = None
+    if result.detections:
+        detection = min(t for _, t in result.detections) - kill_at_ms
+
+    output = FaultRecoveryOutput(
+        pre_fault_goodput_rps=pre_goodput,
+        dip_goodput_rps=dip,
+        recovered_goodput_rps=recovered_goodput,
+        time_to_recover_ms=(
+            recovered_at - kill_at_ms if recovered_at is not None else None
+        ),
+        detection_ms=detection,
+        window_ms=window_ms,
+        kill_at_ms=kill_at_ms,
+        goodput_series=series,
+        result=result,
+    )
+
+    table = ExperimentResult(
+        name=f"Fault recovery: kill {kill} of {gpus} backends",
+        columns=["t_s", "goodput_rps", "rel_goodput"],
+        notes=(
+            f"pre-fault {pre_goodput:.1f} rps; dip "
+            f"{output.dip_fraction:.2f}x; detection "
+            f"{'-' if detection is None else f'{detection:.0f} ms'}; "
+            f"time to recover "
+            f"{'-' if output.time_to_recover_ms is None else f'{output.time_to_recover_ms:.0f} ms'}; "
+            f"recovered at {output.recovered_fraction:.2f}x"
+        ),
+    )
+    for t, g in series:
+        if t + window_ms > duration_ms:
+            continue
+        rel = g / pre_goodput if pre_goodput > 0 else 0.0
+        table.add(round(t / 1000.0, 1), round(g, 2), round(rel, 3))
+    return table, output
+
+
+if __name__ == "__main__":
+    tbl, out = run(duration_ms=80_000.0, kill_at_ms=30_000.0)
+    print(tbl)

@@ -26,6 +26,8 @@ FAST_EXPERIMENTS: list[tuple[str, dict]] = [
     ("fig15", {}),
     ("ilp_gap", {"sizes": (4, 6, 8), "trials": 6}),
     ("utilization", {"duration_ms": 15_000.0}),
+    ("fault_recovery", {"duration_ms": 60_000.0, "kill_at_ms": 20_000.0,
+                        "warmup_ms": 5_000.0}),
 ]
 
 

@@ -26,6 +26,14 @@ kind                      meaning
 ``session.relocated``     a session moved between GPUs across plans
 ``plan.applied``          a schedule plan was deployed (``detail["gpus"]``)
 ``epoch.planned``         the epoch control loop re-planned from observed load
+``backend.failed``        a backend crashed (``detail["cause"]="crash"``) or
+                          its lease expired at the global scheduler
+                          (``detail["cause"]="lease_expired"``)
+``backend.recovered``     a failed backend came back / was detected healthy
+``backend.slowdown``      a backend's execution speed changed
+                          (``detail["factor"]``; 1.0 = restored)
+``request.retried``       a frontend re-dispatched a request lost to a
+                          backend failure (``detail["attempt"]``)
 ``sim.window``            one simulator ``run_until`` window (events processed)
 ========================  =====================================================
 
@@ -54,6 +62,10 @@ __all__ = [
     "SESSION_RELOCATED",
     "PLAN_APPLIED",
     "EPOCH_PLANNED",
+    "BACKEND_FAILED",
+    "BACKEND_RECOVERED",
+    "BACKEND_SLOWDOWN",
+    "REQUEST_RETRIED",
     "SIM_WINDOW",
     "OUTCOME_KINDS",
     "LIFECYCLE_KINDS",
@@ -61,6 +73,7 @@ __all__ = [
     "DROP_EARLY",
     "DROP_UNSCHEDULED",
     "DROP_UNROUTABLE",
+    "DROP_BACKEND_FAILED",
 ]
 
 # ------------------------------------------------------------- event kinds
@@ -77,6 +90,10 @@ SESSION_REMOVED = "session.removed"
 SESSION_RELOCATED = "session.relocated"
 PLAN_APPLIED = "plan.applied"
 EPOCH_PLANNED = "epoch.planned"
+BACKEND_FAILED = "backend.failed"
+BACKEND_RECOVERED = "backend.recovered"
+BACKEND_SLOWDOWN = "backend.slowdown"
+REQUEST_RETRIED = "request.retried"
 SIM_WINDOW = "sim.window"
 
 #: kinds the metrics pipeline depends on -- always emitted when any sink
@@ -101,6 +118,10 @@ LIFECYCLE_KINDS = frozenset({
     SESSION_REMOVED,
     SESSION_RELOCATED,
     EPOCH_PLANNED,
+    BACKEND_FAILED,
+    BACKEND_RECOVERED,
+    BACKEND_SLOWDOWN,
+    REQUEST_RETRIED,
     SIM_WINDOW,
 })
 
@@ -117,6 +138,10 @@ DROP_EARLY = "early_drop"
 DROP_UNSCHEDULED = "unscheduled"
 #: the frontend found no route for the session.
 DROP_UNROUTABLE = "unroutable"
+#: the request was lost to a backend failure (crash while queued or
+#: in flight, or every retry landed on a dead backend / ran out of
+#: deadline budget).
+DROP_BACKEND_FAILED = "backend_failed"
 
 
 @dataclass(slots=True)

@@ -25,6 +25,9 @@ import io
 import json
 
 from .events import (
+    BACKEND_FAILED,
+    BACKEND_RECOVERED,
+    BACKEND_SLOWDOWN,
     BATCH_EXECUTED,
     EPOCH_PLANNED,
     PLAN_APPLIED,
@@ -33,6 +36,7 @@ from .events import (
     REQUEST_ADMITTED,
     REQUEST_COMPLETED,
     REQUEST_DROPPED,
+    REQUEST_RETRIED,
     ROUTE_FAILED,
     SESSION_PLACED,
     SESSION_RELOCATED,
@@ -129,9 +133,21 @@ def chrome_trace(events: list[TraceEvent]) -> dict:
                 "ts": ts_us, "pid": _CLUSTER_PID,
                 "args": {"gpus": gpus},
             })
+        elif ev.kind in (BACKEND_FAILED, BACKEND_RECOVERED,
+                         BACKEND_SLOWDOWN):
+            # Fault events land on the affected GPU's own lane so the
+            # crash window frames that process's batch spans.
+            pid = _gpu_pid(ev.gpu_id)
+            ensure_pid(pid, f"gpu{ev.gpu_id}")
+            args = dict(ev.detail or {})
+            trace.append({
+                "name": ev.kind, "cat": "fault", "ph": "i", "s": "p",
+                "ts": ts_us, "pid": pid, "tid": 0, "args": args,
+            })
         elif ev.kind in (SESSION_PLACED, SESSION_REMOVED,
                          SESSION_RELOCATED, EPOCH_PLANNED, ROUTE_FAILED,
-                         QUERY_SUBMITTED, QUERY_COMPLETED):
+                         QUERY_SUBMITTED, QUERY_COMPLETED,
+                         REQUEST_RETRIED):
             args = {}
             if ev.session_id is not None:
                 args["session"] = ev.session_id
@@ -139,6 +155,8 @@ def chrome_trace(events: list[TraceEvent]) -> dict:
                 args["gpu"] = ev.gpu_id
             if ev.ok is not None:
                 args["ok"] = ev.ok
+            if ev.request_id is not None and ev.kind == REQUEST_RETRIED:
+                args["request_id"] = ev.request_id
             if ev.detail:
                 args.update(ev.detail)
             trace.append({
@@ -181,6 +199,9 @@ def prometheus_snapshot(events: list[TraceEvent],
     batches: dict[int, int] = {}
     t_min, t_max = None, None
     ok_queries_latency: list[float] = []
+    backend_failures: dict[str, int] = {}
+    backend_recoveries = 0
+    retries = 0
 
     for ev in events:
         t_min = ev.ts_ms if t_min is None else min(t_min, ev.ts_ms)
@@ -207,6 +228,13 @@ def prometheus_snapshot(events: list[TraceEvent],
                 batch_hist[-1] += 1
             busy_ms[ev.gpu_id] = busy_ms.get(ev.gpu_id, 0.0) + (ev.dur_ms or 0.0)
             batches[ev.gpu_id] = batches.get(ev.gpu_id, 0) + 1
+        elif ev.kind == BACKEND_FAILED:
+            cause = (ev.detail or {}).get("cause", "crash")
+            backend_failures[cause] = backend_failures.get(cause, 0) + 1
+        elif ev.kind == BACKEND_RECOVERED:
+            backend_recoveries += 1
+        elif ev.kind == REQUEST_RETRIED:
+            retries += 1
 
     span_ms = (t_max - t_min) if (t_min is not None and t_max is not None) else 0.0
     total_requests = sum(requests.values())
@@ -276,6 +304,20 @@ def prometheus_snapshot(events: list[TraceEvent],
         occ = busy_ms[gpu] / span_ms if span_ms > 0 else 0.0
         out.write(f'{prefix}_gpu_occupancy{{gpu="{gpu}"}} '
                   f'{min(1.0, occ):.6f}\n')
+
+    header("backend_failures_total",
+           "Backend failures observed (crash or lease expiry).", "counter")
+    for cause in sorted(backend_failures):
+        out.write(f'{prefix}_backend_failures_total{{cause="{cause}"}} '
+                  f'{backend_failures[cause]}\n')
+
+    header("backend_recoveries_total",
+           "Backends that returned to service.", "counter")
+    out.write(f"{prefix}_backend_recoveries_total {backend_recoveries}\n")
+
+    header("request_retries_total",
+           "Requests re-dispatched after a backend failure.", "counter")
+    out.write(f"{prefix}_request_retries_total {retries}\n")
 
     header("query_latency_ms_mean",
            "Mean latency of queries served within SLO.", "gauge")

@@ -29,6 +29,9 @@ import contextlib
 
 from ..metrics.collector import MetricsCollector, RequestRecord
 from .events import (
+    BACKEND_FAILED,
+    BACKEND_RECOVERED,
+    BACKEND_SLOWDOWN,
     BATCH_EXECUTED,
     EPOCH_PLANNED,
     PLAN_APPLIED,
@@ -37,6 +40,7 @@ from .events import (
     REQUEST_ADMITTED,
     REQUEST_COMPLETED,
     REQUEST_DROPPED,
+    REQUEST_RETRIED,
     ROUTE_FAILED,
     SESSION_PLACED,
     SESSION_RELOCATED,
@@ -355,6 +359,43 @@ class Tracer:
         self.emit(TraceEvent(
             ts_ms, SESSION_RELOCATED, gpu_id=gpu_id, session_id=session_id,
             detail={"from_gpu": from_gpu},
+        ))
+
+    def backend_failed(self, ts_ms: float, gpu_id: int,
+                       cause: str = "crash") -> None:
+        """A backend died (``cause="crash"``) or the global scheduler's
+        lease on it expired (``cause="lease_expired"``)."""
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, BACKEND_FAILED, gpu_id=gpu_id, detail={"cause": cause},
+        ))
+
+    def backend_recovered(self, ts_ms: float, gpu_id: int,
+                          cause: str = "restart") -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, BACKEND_RECOVERED, gpu_id=gpu_id, detail={"cause": cause},
+        ))
+
+    def backend_slowdown(self, ts_ms: float, gpu_id: int,
+                         factor: float) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, BACKEND_SLOWDOWN, gpu_id=gpu_id,
+            detail={"factor": factor},
+        ))
+
+    def request_retried(self, ts_ms: float, session_id: str, request_id: int,
+                        attempt: int, backoff_ms: float = 0.0) -> None:
+        if not self._lifecycle:
+            return
+        self.emit(TraceEvent(
+            ts_ms, REQUEST_RETRIED, session_id=session_id,
+            request_id=request_id,
+            detail={"attempt": attempt, "backoff_ms": backoff_ms},
         ))
 
     def epoch_planned(self, ts_ms: float, epoch: int, gpus: int,

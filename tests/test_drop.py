@@ -188,3 +188,23 @@ class TestFigure5And9Shapes:
         early = max_goodput(arrivals, p, 100.0,
                             lambda: EarlyDropPolicy(25), iterations=8)
         assert early > lazy
+
+    def test_hi_rps_is_not_a_ceiling(self):
+        """A too-low initial upper bound is expanded, not returned.
+
+        The search used to bisect straight toward ``hi_rps`` and silently
+        report it when the system was still good there; now the bound is
+        doubled until it actually fails before bisecting.
+        """
+        p = fig5_profile(1.0)
+
+        def arrivals(rate):
+            return poisson_arrivals(rate, 20_000.0, seed=7)
+
+        policy = lambda: EarlyDropPolicy(25)
+        unconstrained = max_goodput(arrivals, p, 100.0, policy, iterations=8)
+        clipped = max_goodput(arrivals, p, 100.0, policy, iterations=8,
+                              hi_rps=10.0)
+        assert unconstrained > 10.0
+        assert clipped > 10.0
+        assert clipped >= unconstrained * 0.5

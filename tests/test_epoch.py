@@ -5,6 +5,7 @@ import pytest
 from repro.core.epoch import EpochScheduler
 from repro.core.profile import LinearProfile
 from repro.core.session import Session, SessionLoad
+from repro.core.squishy import SchedulePlan
 
 
 def load(name, slo, rate, alpha=1.0, beta=10.0):
@@ -42,6 +43,16 @@ class TestTriggers:
         both = [load("a", 200.0, 100.0), load("b", 200.0, 10.0)]
         assert s.should_reschedule(12_000.0, both)
 
+    def test_retired_session_triggers_early(self):
+        """A session absent from the loads is a rate change to zero: its
+        GPUs should be reclaimed at the next eligible epoch, not held
+        until the 30 s boundary."""
+        s = EpochScheduler(epoch_ms=30_000.0)
+        both = [load("a", 200.0, 100.0), load("b", 200.0, 50.0)]
+        s.update(0.0, both)
+        assert s.should_reschedule(12_000.0, [load("a", 200.0, 100.0)])
+        assert not s.should_reschedule(12_000.0, both)
+
 
 class TestIncrementalUpdates:
     def test_first_update_allocates(self):
@@ -73,6 +84,21 @@ class TestIncrementalUpdates:
         up = s.update(30_000.0, loads)
         assert up.sessions_moved == 0
         assert up.gpus_before == up.gpus_after
+
+    def test_node_reorder_is_not_churn(self):
+        """Churn is counted by stable node ids, not list positions.
+
+        The per-epoch occupancy re-sort permutes ``plan.gpus``; a session
+        that stays on the same physical node must count as zero moves
+        even when its node's position changes."""
+        s = EpochScheduler()
+        loads = [load("a", 200.0, 700.0), load("b", 300.0, 400.0)]
+        s.update(0.0, loads)
+        assert len(s.plan.gpus) >= 2
+        s.plan = SchedulePlan(gpus=list(reversed(s.plan.gpus)),
+                              infeasible=s.plan.infeasible)
+        up = s.update(30_000.0, loads)
+        assert up.sessions_moved == 0
 
     def test_retired_session_dropped(self):
         s = EpochScheduler()

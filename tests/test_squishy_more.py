@@ -57,6 +57,33 @@ class TestTightSessionSharding:
         assert sum(s.rate_rps for s in shards) == pytest.approx(100.0)
 
 
+class TestSaturateResidue:
+    def test_float_residue_spawns_no_extra_node(self):
+        """A few-ulps residue from ``rate - k*peak`` must not cost a GPU.
+
+        The tolerance is relative to the session's per-GPU capacity; an
+        absolute 1e-9 threshold used to promote float rounding noise into
+        a whole extra (nearly idle) backend."""
+        probe = load("a", slo=200.0, rate=1.0)
+        peak_batch = probe.profile.max_batch_under_slo(200.0)
+        peak_tput = probe.profile.throughput(peak_batch)
+        noisy = load("a", slo=200.0, rate=3 * peak_tput + peak_tput * 1e-10)
+        plans, residuals, infeasible = schedule_saturate([noisy])
+        assert len(plans) == 3
+        assert not residuals
+        assert not infeasible
+
+    def test_real_residue_still_served(self):
+        probe = load("a", slo=200.0, rate=1.0)
+        peak_batch = probe.profile.max_batch_under_slo(200.0)
+        peak_tput = probe.profile.throughput(peak_batch)
+        partial = load("a", slo=200.0, rate=3 * peak_tput + 0.25 * peak_tput)
+        plans, residuals, _ = schedule_saturate([partial])
+        assert len(plans) == 3
+        assert len(residuals) == 1
+        assert residuals[0].rate_rps == pytest.approx(0.25 * peak_tput)
+
+
 class TestPlanAccessors:
     def test_gpu_plan_memory(self):
         prof = LinearProfile(name="m", alpha=1.0, beta=5.0,
