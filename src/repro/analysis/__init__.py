@@ -1,0 +1,41 @@
+"""Static analysis for the cluster engine: nexuslint + plan validation.
+
+Two runtime-free checkers guard the repo's correctness contracts:
+
+- :mod:`repro.analysis.lint` (``python -m repro lint``) — an AST lint
+  pass rejecting determinism hazards (wall-clock reads, unseeded RNGs,
+  set-ordered iteration), unit-discipline hazards (float ``==``, mixed
+  ``_ms``/``_us``/``_s`` arithmetic), and untraced request-state
+  mutations in the planning and lifecycle paths.
+- :mod:`repro.analysis.plan_check` — Algorithm-1 invariant validation on
+  any :class:`~repro.core.squishy.SchedulePlan` (SLO headroom, duty-cycle
+  occupancy, GPU memory, session double-assignment, node-id uniqueness),
+  wired as an assertion layer into the epoch scheduler, the backend
+  pool, and the experiments.
+
+See docs/static-analysis.md for the rule reference and suppression
+syntax.
+"""
+
+from .lint import RULES, Finding, lint_paths, lint_source
+from .plan_check import (
+    PlanCheckError,
+    PlanViolation,
+    assert_valid_plan,
+    check_gpu_plan,
+    check_plan,
+    plans_checked,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "PlanViolation",
+    "PlanCheckError",
+    "check_gpu_plan",
+    "check_plan",
+    "assert_valid_plan",
+    "plans_checked",
+]

@@ -1,0 +1,616 @@
+"""nexuslint: project-specific static analysis for the cluster engine.
+
+An AST-based lint pass encoding the repo's correctness contracts — the
+hazards that surface as silent SLO misses or nondeterministic plans, not
+as crashes, and that no generic linter knows to look for:
+
+Determinism (planning paths only: ``core/``, ``cluster/``,
+``simulation/`` — the code whose outputs must be bit-identical across
+runs for seeded fault plans and plan diffing to work):
+
+- ``wall-clock``          calls to ``time.time()`` / ``datetime.now()``
+                          etc.; virtual time comes from the simulator.
+- ``unseeded-random``     module-level ``random.*`` / legacy
+                          ``np.random.*`` globals and ``default_rng()``
+                          without a seed.
+- ``unordered-iteration`` ``for``-loops and comprehensions over ``set``
+                          displays, ``set()``/``frozenset()`` calls, or
+                          dict-view set algebra (``a.keys() | b.keys()``):
+                          Python sets hash-order their elements, so plan
+                          construction driven by such iteration is
+                          order-dependent.
+
+Unit discipline (everywhere):
+
+- ``float-equality``      ``==``/``!=`` against float literals or between
+                          unit-suffixed quantities; use
+                          :mod:`repro.core.floatcmp`.
+- ``mixed-units``         ``+``/``-``/comparisons between operands whose
+                          suffixes disagree (``_ms`` vs ``_us`` vs ``_s``
+                          vs ``_rps``); multiplication/division are
+                          conversions and stay legal.
+
+Observability contract (``cluster/`` only):
+
+- ``untraced-mutation``   a function that mutates request state (assigns
+                          request attributes or fires ``on_drop`` /
+                          ``on_complete`` callbacks) must emit a
+                          ``TraceEvent`` on some path — directly via a
+                          tracer, or by delegating to a ``_record_*`` /
+                          ``_finish_*`` / ``_final_*`` helper.  The
+                          ``on_fail`` path is exempt by design: retryable
+                          losses are traced at the frontend when the
+                          retry or terminal drop happens, keeping exactly
+                          one outcome event per logical request.
+
+Suppression: append ``# nexuslint: disable=<rule>[,<rule>...]`` to the
+offending line, or ``# nexuslint: disable-file=<rule>`` anywhere in the
+file for a file-wide waiver.  ``disable=all`` waives every rule.
+
+Run via ``python -m repro lint [paths...]`` (defaults to the installed
+``repro`` package) — exit status 0 when clean, 1 with findings, 2 on
+unreadable/unparsable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+# --------------------------------------------------------------- rule table
+
+#: rule slug -> one-line description (the authoritative rule registry).
+RULES: dict[str, str] = {
+    "wall-clock": "wall-clock reads in planning paths; use simulator time",
+    "unseeded-random": "global/unseeded RNG in planning paths; seed an rng",
+    "unordered-iteration": "iteration over a set in planning paths; sort it",
+    "float-equality": "== / != on float quantities; use repro.core.floatcmp",
+    "mixed-units": "adding/comparing operands with different unit suffixes",
+    "untraced-mutation": "request-state mutation without a TraceEvent emit",
+}
+
+#: path components that mark deterministic planning code.
+_PLANNING_PARTS = frozenset({"core", "cluster", "simulation"})
+#: path components whose code owns request lifecycle state.
+_LIFECYCLE_PARTS = frozenset({"cluster"})
+
+# wall-clock: dotted callables that read host time.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "date.today",
+})
+
+# unseeded-random: module-level convenience functions backed by a hidden
+# process-global RNG (stdlib and numpy legacy).
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "random_sample", "rand", "randn", "normal", "poisson",
+    "exponential", "permutation",
+})
+
+# mixed-units: recognized quantity suffixes.  Time suffixes are mutually
+# incompatible under +/-/comparison; ``rps`` is incompatible with all of
+# them.
+_UNIT_SUFFIXES = frozenset({"ns", "us", "ms", "s", "rps"})
+
+# float-equality: name fragments marking latency/rate quantities.
+_QUANTITY_FRAGMENTS = (
+    "latency", "rate", "slo", "duty", "occupancy", "goodput",
+    "throughput", "deadline", "budget",
+)
+
+# untraced-mutation: parameter names treated as request handles, the
+# outcome callbacks that require a trace, and the helper-name prefixes
+# that count as emitting one.
+_REQUEST_NAMES = frozenset({"request", "req"})
+_OUTCOME_CALLBACKS = frozenset({"on_drop", "on_complete"})
+_TRACING_HELPER_PREFIXES = ("_record_", "_finish_", "_final_")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "message": self.message,
+        }
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract line-level and file-level ``# nexuslint:`` directives."""
+    per_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        marker = "# nexuslint:"
+        idx = text.find(marker)
+        if idx < 0:
+            continue
+        directive = text[idx + len(marker):].strip()
+        for form, sink in (("disable-file=", file_wide), ("disable=", None)):
+            if not directive.startswith(form):
+                continue
+            rules = frozenset(
+                r.strip() for r in directive[len(form):].split(",") if r.strip()
+            )
+            if sink is None:
+                per_line[lineno] = per_line.get(lineno, frozenset()) | rules
+            else:
+                sink.update(rules)
+            break
+    return per_line, frozenset(file_wide)
+
+
+def _suppressed(rule: str, line: int,
+                per_line: dict[int, frozenset[str]],
+                file_wide: frozenset[str]) -> bool:
+    if "all" in file_wide or rule in file_wide:
+        return True
+    at_line = per_line.get(line, frozenset())
+    return "all" in at_line or rule in at_line
+
+
+# ------------------------------------------------------------- AST helpers
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` -> ``"a.b.c"``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a name/attribute/call expression."""
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _unit_suffix(node: ast.expr) -> str | None:
+    """The unit suffix of a name-like operand (``exec_ms`` -> ``"ms"``)."""
+    name = _terminal_name(node)
+    if name is None or "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[-1]
+    return suffix if suffix in _UNIT_SUFFIXES else None
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_quantity_name(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    if _unit_suffix(node) is not None:
+        return True
+    return any(frag in lowered for frag in _QUANTITY_FRAGMENTS)
+
+
+def _iter_target(node: ast.expr) -> ast.expr:
+    """Unwrap pass-through wrappers around an iterable expression."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"enumerate", "reversed", "iter"}
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _is_unordered_iterable(node: ast.expr) -> bool:
+    node = _iter_target(node)
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return any(
+            _is_dict_view_or_set(side) for side in (node.left, node.right)
+        )
+    return False
+
+
+def _is_dict_view_or_set(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {"keys", "items"}:
+            return True
+    return False
+
+
+# ------------------------------------------------------------- the visitor
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor evaluating every applicable rule."""
+
+    def __init__(self, path: str, planning: bool, lifecycle: bool):
+        self.path = path
+        self.planning = planning
+        self.lifecycle = lifecycle
+        self.findings: list[Finding] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        ))
+
+    # --------------------------------------------------------- determinism
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.planning:
+            self._check_wall_clock(node)
+            self._check_unseeded_random(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None and dotted in _CLOCK_CALLS:
+            self._report(
+                node, "wall-clock",
+                f"{dotted}() reads host wall-clock time; planning code must "
+                f"use the simulator clock (sim.now)",
+            )
+
+    def _check_unseeded_random(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        # random.shuffle(...) / np.random.randint(...) style globals.
+        if (
+            len(parts) >= 2
+            and parts[-1] in _GLOBAL_RANDOM_FNS
+            and parts[-2] == "random"
+        ):
+            self._report(
+                node, "unseeded-random",
+                f"{dotted}() draws from the process-global RNG; construct a "
+                f"seeded generator instead",
+            )
+            return
+        # default_rng() / Random() with no (or an explicit None) seed.
+        if parts[-1] in {"default_rng", "Random", "RandomState"}:
+            seed_missing = not node.args and not any(
+                kw.arg == "seed" for kw in node.keywords
+            )
+            seed_none = any(
+                isinstance(arg, ast.Constant) and arg.value is None
+                for arg in node.args[:1]
+            ) or any(
+                kw.arg == "seed"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is None
+                for kw in node.keywords
+            )
+            if seed_missing or seed_none:
+                self._report(
+                    node, "unseeded-random",
+                    f"{dotted}() without a seed is entropy-seeded; pass an "
+                    f"explicit seed",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.planning:
+            self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if self.planning:
+            self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_unordered_iteration(self, iter_node: ast.expr) -> None:
+        if _is_unordered_iterable(iter_node):
+            self._report(
+                iter_node, "unordered-iteration",
+                "iterating a set hash-orders the elements; wrap in "
+                "sorted(...) with a stable key",
+            )
+
+    # ------------------------------------------------------ unit discipline
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_float_equality(node, left, right)
+            if isinstance(
+                op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+            ):
+                self._check_mixed_units(node, left, right)
+        self.generic_visit(node)
+
+    def _check_float_equality(
+        self, node: ast.Compare, left: ast.expr, right: ast.expr
+    ) -> None:
+        literal = _is_float_literal(left) or _is_float_literal(right)
+        quantities = _is_quantity_name(left) and _is_quantity_name(right)
+        if literal or quantities:
+            self._report(
+                node, "float-equality",
+                "exact == / != on float quantities is rounding-fragile; use "
+                "repro.core.floatcmp (approx_eq / approx_zero)",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_mixed_units(node, node.left, node.right)
+        self.generic_visit(node)
+
+    def _check_mixed_units(
+        self, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        lu, ru = _unit_suffix(left), _unit_suffix(right)
+        if lu is not None and ru is not None and lu != ru:
+            self._report(
+                node, "mixed-units",
+                f"operands carry different units (_{lu} vs _{ru}); convert "
+                f"explicitly before combining",
+            )
+
+    # ------------------------------------------------ observability contract
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self.lifecycle:
+            self._check_untraced_mutation(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if self.lifecycle:
+            self._check_untraced_mutation(node)
+        self.generic_visit(node)
+
+    def _check_untraced_mutation(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        mutates = False
+        traces = False
+        for child in ast.walk(node):
+            # Nested function bodies are checked on their own visit.
+            if child is not node and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in _REQUEST_NAMES
+                    ):
+                        mutates = True
+            if isinstance(child, ast.Call):
+                callee = _terminal_name(child.func)
+                if callee in _OUTCOME_CALLBACKS:
+                    mutates = True
+                if self._emits_trace(child):
+                    traces = True
+        if mutates and not traces:
+            self._report(
+                node, "untraced-mutation",
+                f"{node.name}() mutates request state but emits no "
+                f"TraceEvent; record the outcome via the tracer (or a "
+                f"_record_*/_finish_*/_final_* helper)",
+            )
+
+    @staticmethod
+    def _emits_trace(call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            owner = _terminal_name(func.value)
+            if owner is not None and "tracer" in owner:
+                return True
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return False
+        if name == "emit" or name.startswith("fast_"):
+            return True
+        return name.startswith(_TRACING_HELPER_PREFIXES)
+
+
+# --------------------------------------------------------------- front end
+
+
+def _scopes_for(rel_path: Path) -> tuple[bool, bool]:
+    parts = set(rel_path.parts[:-1])
+    return bool(parts & _PLANNING_PARTS), bool(parts & _LIFECYCLE_PARTS)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rel_path: Path | None = None,
+    rules: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Lint one unit of Python source; returns findings (never raises on
+    rule matches, raises ``SyntaxError`` on unparsable input)."""
+    planning, lifecycle = _scopes_for(rel_path or Path(path))
+    per_line, file_wide = _parse_suppressions(source)
+    tree = ast.parse(source, filename=path)
+    visitor = _Linter(path, planning=planning, lifecycle=lifecycle)
+    visitor.visit(tree)
+    findings = [
+        f for f in visitor.findings
+        if not _suppressed(f.rule, f.line, per_line, file_wide)
+    ]
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_file(
+    path: Path, root: Path | None = None,
+    rules: frozenset[str] | None = None,
+) -> list[Finding]:
+    rel = path.relative_to(root) if root is not None else path
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rel_path=rel, rules=rules)
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    if target.is_file():
+        yield target
+        return
+    yield from sorted(target.rglob("*.py"))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: frozenset[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint files/trees; returns ``(findings, errors)`` where errors are
+    unreadable or unparsable inputs."""
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for target in paths:
+        # Directory targets scope rules by path parts relative to the
+        # directory; lone files keep their absolute path so the enclosing
+        # core/cluster/simulation component still selects the right rules.
+        root = target if target.is_dir() else None
+        for file in _iter_python_files(target):
+            try:
+                findings.extend(lint_file(file, root=root, rules=rules))
+            except (OSError, SyntaxError) as exc:
+                errors.append(f"{file}: {exc}")
+    return findings, errors
+
+
+def _default_target() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="nexuslint: determinism / SLO-safety static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated subset of rules to apply",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for slug, description in RULES.items():
+            print(f"{slug:22s} {description}")
+        return 0
+
+    rules: frozenset[str] | None = None
+    if args.rules:
+        rules = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    targets = list(args.paths) or [_default_target()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for t in missing:
+            print(f"no such path: {t}", file=sys.stderr)
+        return 2
+
+    findings, errors = lint_paths(targets, rules=rules)
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 2
+    if findings:
+        print(f"nexuslint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Commands:
 - ``profile <model>``        print a model's batching profile on a device
 - ``plan``                   capacity-plan a workload of sessions given as
                              ``model:slo_ms:rate_rps`` triples
+- ``lint``                   run nexuslint, the project's determinism /
+                             SLO-safety static analysis (docs/static-analysis.md)
 
 Observability flags (before the subcommand) capture the structured event
 stream of every cluster run the command performs (docs/observability.md):
@@ -116,6 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--device", default="gtx1080ti")
     plan.add_argument("--exact", action="store_true",
                       help="also solve exactly (small workloads only)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="nexuslint: determinism / SLO-safety static analysis",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: the repro "
+                           "package source)")
+    lint.add_argument("--rules", default=None, metavar="R1,R2",
+                      help="comma-separated subset of rules")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="lint_format", help="findings output format")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
 
     return parser
 
@@ -243,6 +259,20 @@ def _cmd_plan(sessions: list[str], device: str, exact: bool) -> int:
     return 0
 
 
+def _cmd_lint(paths: list[str], rules: str | None, fmt: str,
+              list_rules: bool) -> int:
+    from .analysis.lint import main as lint_main
+
+    argv = list(paths)
+    if rules:
+        argv += ["--rules", rules]
+    if fmt != "text":
+        argv += ["--format", fmt]
+    if list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def _dispatch(args) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
@@ -257,6 +287,9 @@ def _dispatch(args) -> int:
         return _cmd_profile(args.model, args.device, args.batches)
     if args.command == "plan":
         return _cmd_plan(args.sessions, args.device, args.exact)
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.rules, args.lint_format,
+                         args.list_rules)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -81,7 +81,7 @@ class _SessionState:
     __slots__ = ("spec", "queue", "deferred", "requests", "last_start_ms",
                  "ready_ms")
 
-    def __init__(self, spec: BackendSession):
+    def __init__(self, spec: BackendSession) -> None:
         self.spec = spec
         self.queue: list[QueuedRequest] = []
         self.deferred: list[QueuedRequest] = []
@@ -120,7 +120,7 @@ class Backend:
         interference_factor: float = 0.0,
         defer_missed: bool = False,
         tracer: Tracer | None = None,
-    ):
+    ) -> None:
         if pacing not in ("cycle", "greedy"):
             raise ValueError(f"unknown pacing {pacing!r}")
         self.sim = sim
@@ -430,7 +430,9 @@ class Backend:
         )
         self._inflight = (handle, state, batch, completion)
 
-    def _at_risk(self, state: _SessionState, head, now: float) -> bool:
+    def _at_risk(
+        self, state: _SessionState, head: QueuedRequest, now: float
+    ) -> bool:
         """Would waiting for the next duty slot make ``head`` miss?"""
         due_time = max(now, state.last_start_ms + state.spec.duty_cycle_ms)
         batch = min(len(state.queue), state.spec.target_batch)

@@ -96,7 +96,7 @@ class FaultInjector:
     """
 
     def __init__(self, sim: Simulator, backends: list[Backend],
-                 plan: FaultPlan):
+                 plan: FaultPlan) -> None:
         self.sim = sim
         #: live view of the pool's backend list (shared, not copied).
         self.backends = backends

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -117,7 +118,8 @@ class QueryInstance:
         "failed", "finished", "completion_ms", "frontend", "_budgets",
     )
 
-    def __init__(self, frontend: "Frontend", query: Query, arrival_ms: float):
+    def __init__(self, frontend: "Frontend", query: Query,
+                 arrival_ms: float) -> None:
         self.frontend = frontend
         self.query = query
         self.query_id = new_request_id()
@@ -179,7 +181,7 @@ class Frontend:
         seed: int = 0,
         tracer: Tracer | None = None,
         retry_policy: RetryPolicy | None = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.routing = routing
         self.query_collector = query_collector
@@ -205,7 +207,8 @@ class Frontend:
 
     def submit_request(
         self, session_id: str, slo_ms: float,
-        on_complete=None, on_drop=None,
+        on_complete: Callable[[Request, float, bool], None] | None = None,
+        on_drop: Callable[[Request, float], None] | None = None,
     ) -> bool:
         """Dispatch a single-model request; returns False if unroutable."""
         now = self.sim.now

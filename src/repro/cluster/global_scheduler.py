@@ -61,6 +61,14 @@ class PoolConfig:
     #: draft freely.  With a cap, a failed backend's slot stays dead --
     #: recovery must re-pack onto the survivors, not draft a replacement.
     max_backends: int | None = None
+    #: check every applied plan against the Algorithm-1 invariants
+    #: (:mod:`repro.analysis.plan_check`) before deployment; a violation
+    #: raises :class:`~repro.analysis.plan_check.PlanCheckError`.  Off by
+    #: default so baselines that are latency-infeasible by design (e.g.
+    #: batch-oblivious) still deploy.
+    validate_plans: bool = False
+    #: per-GPU memory bound the validator enforces (``None`` = unchecked).
+    memory_capacity: int | None = None
 
 
 class BackendPool:
@@ -73,7 +81,7 @@ class BackendPool:
         collector: MetricsCollector | None = None,
         config: PoolConfig | None = None,
         tracer: Tracer | None = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.routing = routing
         self.collector = collector
@@ -123,6 +131,14 @@ class BackendPool:
 
     def apply_plan(self, plan: SchedulePlan) -> None:
         """Deploy a plan: match GPU plans to backends, push schedules/routes."""
+        if self.config.validate_plans:
+            # Lazy import: repro.analysis depends on repro.core, and the
+            # cluster package is imported from both directions.
+            from ..analysis.plan_check import assert_valid_plan
+
+            assert_valid_plan(
+                plan, memory_capacity=self.config.memory_capacity
+            )
         assignments = self._match(plan.gpus)
 
         new_routes: dict[str, list[tuple[Backend, float]]] = {}
@@ -319,7 +335,7 @@ class HeartbeatMonitor:
         lease_ms: float = 2_000.0,
         on_failure: Callable[[int, float], None] | None = None,
         on_recovery: Callable[[int, float], None] | None = None,
-    ):
+    ) -> None:
         if heartbeat_ms <= 0 or lease_ms <= 0:
             raise ValueError("heartbeat_ms and lease_ms must be > 0")
         self.sim = sim

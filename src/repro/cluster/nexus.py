@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from ..core.epoch import EpochScheduler
 from ..core.prefix import PrefixGroup
@@ -113,7 +114,7 @@ class AppSpec:
     arrival: str = "uniform"            # "uniform" | "poisson"
     #: optional time-varying rate, ms -> rps (drives Figure 13); when set,
     #: ``rate_rps`` is only the planning-time estimate.
-    rate_fn: object = None
+    rate_fn: Callable[[float], float] | None = None
 
 
 @dataclass
@@ -150,7 +151,7 @@ class ClusterResult:
 class NexusCluster:
     """Build, plan, and run one cluster deployment."""
 
-    def __init__(self, config: ClusterConfig | None = None):
+    def __init__(self, config: ClusterConfig | None = None) -> None:
         self.config = config or ClusterConfig()
         self.apps: list[AppSpec] = []
         self._session_loads: list[SessionLoad] = []
@@ -164,7 +165,7 @@ class NexusCluster:
         self.apps.append(app)
 
     def add_query(self, query: Query, rate_rps: float, arrival: str = "uniform",
-                  rate_fn=None) -> None:
+                  rate_fn: Callable[[float], float] | None = None) -> None:
         self.add_app(AppSpec(query, rate_rps, arrival, rate_fn))
 
     # ------------------------------------------------------------ planning
@@ -485,6 +486,11 @@ class NexusCluster:
                 # With faults the cluster is physically capped: a dead
                 # backend's slot must not be replaced by drafting.
                 max_backends=cfg.max_gpus if faults is not None else None,
+                # Algorithm-1 invariant assertion layer: every deployed
+                # squishy plan must be provably SLO- and memory-sound.
+                # Baselines (batch-oblivious) are infeasible by design.
+                validate_plans=cfg.scheduler == "squishy",
+                memory_capacity=int(get_device(cfg.device).mem_capacity),
             ),
         )
         frontends = [
@@ -588,6 +594,7 @@ class NexusCluster:
             epoch_ms=cfg.epoch_ms,
             memory_capacity=int(get_device(cfg.device).mem_capacity),
             max_gpus=cfg.max_gpus,
+            validate=cfg.scheduler == "squishy",
         )
         state = {"epochs": 0, "last": 0.0}
 
@@ -637,6 +644,7 @@ class NexusCluster:
             epoch_ms=cfg.epoch_ms,
             memory_capacity=int(get_device(cfg.device).mem_capacity),
             max_gpus=cfg.max_gpus,
+            validate=cfg.scheduler == "squishy",
         )
         scheduler.adopt(plan, sim.now, loads)
         state = {"epochs": 0, "last": 0.0}
@@ -698,7 +706,7 @@ def pool_plan_snapshot(pool: BackendPool, plan: SchedulePlan) -> SchedulePlan:
 
 
 def find_max_rate(
-    make_cluster,
+    make_cluster: Callable[[float], "NexusCluster"],
     base_rates: dict[str, float],
     target_good_rate: float = 0.99,
     duration_ms: float = 20_000.0,

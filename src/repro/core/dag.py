@@ -25,11 +25,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable, Union
 
 from .profile import BatchingProfile
 
 __all__ = ["SPStage", "Series", "Parallel", "SPPlan", "plan_sp",
            "sp_from_edges"]
+
+#: a node of the series-parallel expression tree.
+SPNode = Union["SPStage", "Series", "Parallel"]
+
+#: ``assign(budget_index, out)`` writes a subtree's chosen per-stage
+#: budgets into ``out``.
+_Assign = Callable[[int, "dict[str, float]"], None]
 
 
 @dataclass
@@ -56,7 +64,7 @@ class SPStage:
 class Series:
     """Parts executed one after another; budgets add along the chain."""
 
-    parts: list = field(default_factory=list)
+    parts: list[SPNode] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.parts) < 1:
@@ -67,7 +75,7 @@ class Series:
 class Parallel:
     """Branches executed concurrently between a fork and its join."""
 
-    branches: list = field(default_factory=list)
+    branches: list[SPNode] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.branches) < 2:
@@ -97,7 +105,7 @@ def _stage_costs(stage: SPStage, rate_rps: float, budgets: list[float],
 
 
 def plan_sp(
-    expr,
+    expr: SPNode,
     slo_ms: float,
     rate_rps: float,
     epsilon_ms: float = 5.0,
@@ -127,7 +135,7 @@ def plan_sp(
     # Each node yields (cost_table, assign) where cost_table[t] is the min
     # GPU cost within budget index t, and assign(t, out) writes the
     # chosen per-stage budgets into `out` for that allocation.
-    def solve(node):
+    def solve(node: SPNode) -> tuple[list[float], _Assign]:
         if isinstance(node, SPStage):
             costs = _stage_costs(node, rate_rps, budgets, worst_case_factor)
             # A stage's cost is non-increasing in budget; make the table
@@ -141,7 +149,8 @@ def plan_sp(
                 else:
                     best_k[t] = t
 
-            def assign(t, out, _k=best_k):
+            def assign(t: int, out: dict[str, float],
+                       _k: list[int] = best_k) -> None:
                 out[node.name] = budgets[t]
 
             return best, assign
@@ -149,7 +158,7 @@ def plan_sp(
         if isinstance(node, Parallel):
             tables = [solve(b) for b in node.branches]
 
-            def cost(t):
+            def cost(t: int) -> float:
                 total = 0.0
                 for tab, _ in tables:
                     c = tab[t]
@@ -160,7 +169,7 @@ def plan_sp(
 
             table = [cost(t) for t in range(steps + 1)]
 
-            def assign(t, out):
+            def assign(t: int, out: dict[str, float]) -> None:
                 for _, sub_assign in tables:
                     sub_assign(t, out)
 
@@ -186,7 +195,7 @@ def plan_sp(
                 acc = new
                 choices.append(choice)
 
-            def assign(t, out):
+            def assign(t: int, out: dict[str, float]) -> None:
                 remaining = t
                 # Walk parts in reverse: each recorded its chosen k given
                 # the budget remaining when it was composed.
@@ -213,7 +222,7 @@ def plan_sp(
 
 def sp_from_edges(
     stages: dict[str, SPStage], edges: list[tuple[str, str]]
-):
+) -> Series:
     """Build a series-parallel expression from a fork-join edge list.
 
     Supports the common fork-join shapes by recursive decomposition of the
@@ -249,10 +258,10 @@ def sp_from_edges(
             stack.extend(succ[n])
         return seen
 
-    def decompose(start: str, stop: str):
+    def decompose(start: str, stop: str) -> SPNode:
         """SP expression covering start..stop inclusive of start,
         exclusive of stop."""
-        parts = []
+        parts: list[SPNode] = []
         node = start
         while node != stop:
             parts.append(stages[node])
@@ -283,7 +292,7 @@ def sp_from_edges(
                     raise ValueError(
                         f"fork at {node!r} is not series-parallel"
                     )
-                branches = []
+                branches: list[SPNode] = []
                 for o in outs:
                     if o == join:
                         raise ValueError(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .profile import BatchingProfile
 
@@ -129,12 +130,17 @@ class LazyDropPolicy(DropPolicy):
     maximum batch size for each model, so its SLO is not violated").
     """
 
-    def __init__(self, batch_cap: int | None = None):
+    def __init__(self, batch_cap: int | None = None) -> None:
         if batch_cap is not None and batch_cap < 1:
             raise ValueError(f"batch_cap must be >= 1, got {batch_cap}")
         self.batch_cap = batch_cap
 
-    def select(self, queue, now_ms, profile):
+    def select(
+        self,
+        queue: list[QueuedRequest],
+        now_ms: float,
+        profile: BatchingProfile,
+    ) -> tuple[list[QueuedRequest], list[QueuedRequest]]:
         min_service = profile.latency(1)
         alive, dead = self._expire(queue, now_ms, min_service)
         if not alive:
@@ -159,12 +165,17 @@ class EarlyDropPolicy(DropPolicy):
     sacrificing a few old requests lets the window fit.
     """
 
-    def __init__(self, target_batch: int):
+    def __init__(self, target_batch: int) -> None:
         if target_batch < 1:
             raise ValueError(f"target_batch must be >= 1, got {target_batch}")
         self.target_batch = target_batch
 
-    def select(self, queue, now_ms, profile):
+    def select(
+        self,
+        queue: list[QueuedRequest],
+        now_ms: float,
+        profile: BatchingProfile,
+    ) -> tuple[list[QueuedRequest], list[QueuedRequest]]:
         min_service = profile.latency(1)
         alive, dead = self._expire(queue, now_ms, min_service)
         if not alive:
@@ -262,10 +273,10 @@ def simulate_dispatch(
 
 
 def max_goodput(
-    make_arrivals,
+    make_arrivals: Callable[[float], list[float]],
     profile: BatchingProfile,
     slo_ms: float,
-    make_policy,
+    make_policy: Callable[[], DropPolicy],
     target_good_rate: float = 0.99,
     lo_rps: float = 1.0,
     hi_rps: float | None = None,

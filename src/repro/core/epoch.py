@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .floatcmp import approx_zero
 from .session import SessionLoad
 from .squishy import (
     Allocation,
@@ -66,6 +67,11 @@ class EpochScheduler:
         memory_capacity: per-GPU memory bound handed to the packer.
         max_gpus: optional cluster size cap; demand beyond it is left to
             admission control (the runtime's drop policy).
+        validate: when True, every plan this scheduler emits is checked
+            against the Algorithm-1 invariants
+            (:mod:`repro.analysis.plan_check`) and a violation raises
+            :class:`~repro.analysis.plan_check.PlanCheckError`.  Leave
+            False for baselines that are latency-infeasible by design.
     """
 
     epoch_ms: float = 30_000.0
@@ -73,6 +79,7 @@ class EpochScheduler:
     change_threshold: float = 0.25
     memory_capacity: int | None = None
     max_gpus: int | None = None
+    validate: bool = False
 
     plan: SchedulePlan = field(default_factory=lambda: SchedulePlan(gpus=[]))
     updates: list[EpochUpdate] = field(default_factory=list)
@@ -92,7 +99,7 @@ class EpochScheduler:
             old = self._last_rates.get(load.session_id, 0.0)
             new = load.rate_rps
             base = max(old, 1e-9)
-            if old == 0.0 and new > 0.0:
+            if approx_zero(old) and new > 0.0:
                 return True
             if abs(new - old) / base > self.change_threshold:
                 return True
@@ -120,6 +127,13 @@ class EpochScheduler:
         new_plan = self._incremental_plan(loads)
         if self.max_gpus is not None and new_plan.num_gpus > self.max_gpus:
             new_plan = self._capped_plan(loads)
+        if self.validate:
+            # Imported lazily: repro.analysis depends on core.squishy, so a
+            # module-level import here would be circular when repro.analysis
+            # is imported first.
+            from ..analysis.plan_check import assert_valid_plan
+
+            assert_valid_plan(new_plan, memory_capacity=self.memory_capacity)
         self.plan = new_plan
 
         moved = self._count_moves(before_assignment, self._assignment())
@@ -149,7 +163,9 @@ class EpochScheduler:
         # demand shrinks, the least-utilized backends are the ones drained
         # (section 6.1: "the scheduler attempts to move sessions from the
         # least utilized backends to other backends").
-        for node in sorted(self.plan.gpus, key=lambda n: n.occupancy, reverse=True):
+        for node in sorted(
+            self.plan.gpus, key=lambda n: (-n.occupancy, n.node_id)
+        ):
             new_allocs: list[Allocation] = []
             for alloc in node.allocations:
                 sid = alloc.session_id
@@ -228,7 +244,7 @@ class EpochScheduler:
         if best.num_gpus > self.max_gpus:
             # Even 2% does not fit: keep the fullest nodes and give up on
             # the rest (nothing proportional shedding can do here).
-            nodes = sorted(best.gpus, key=lambda n: n.occupancy, reverse=True)
+            nodes = sorted(best.gpus, key=lambda n: (-n.occupancy, n.node_id))
             return SchedulePlan(
                 gpus=nodes[: self.max_gpus], infeasible=best.infeasible
             )
@@ -298,7 +314,7 @@ class EpochScheduler:
         retires (or appears) counts as one move.
         """
         moved = 0
-        for sid in before.keys() | after.keys():
+        for sid in sorted(before.keys() | after.keys()):
             if before.get(sid, ()) != after.get(sid, ()):
                 moved += 1
         return moved

@@ -1,0 +1,76 @@
+"""Tolerant float comparison helpers for latency/rate arithmetic.
+
+Scheduler math works in milliseconds and requests/second, where values
+routinely come out of long chains of multiplications and binary searches.
+Exact ``==``/``!=`` on such values is a determinism hazard (a few ulps of
+rounding flips a branch), and hand-rolled ``x <= y + 1e-9`` thresholds
+scale badly: at high rates an absolute epsilon is below one ulp and the
+comparison silently degrades to exact equality.  ``nexuslint`` (rule
+``float-equality``) flags the raw comparisons; these helpers are the
+sanctioned replacements.
+
+All helpers combine an absolute floor with a relative term, so they stay
+meaningful for both near-zero residues and multi-thousand-ms quantities:
+
+    tolerance = max(abs_tol, rel_tol * max(|a|, |b|))
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ABS_TOL",
+    "REL_TOL",
+    "tolerance",
+    "approx_eq",
+    "approx_zero",
+    "approx_le",
+    "approx_ge",
+    "definitely_lt",
+    "definitely_gt",
+]
+
+#: default absolute floor: one nanosecond when values are milliseconds.
+ABS_TOL: float = 1e-9
+#: default relative term: a few ulps of double precision headroom.
+REL_TOL: float = 1e-9
+
+
+def tolerance(a: float, b: float, rel_tol: float = REL_TOL,
+              abs_tol: float = ABS_TOL) -> float:
+    """The comparison slack for a pair of magnitudes."""
+    return max(abs_tol, rel_tol * max(abs(a), abs(b)))
+
+
+def approx_eq(a: float, b: float, rel_tol: float = REL_TOL,
+              abs_tol: float = ABS_TOL) -> bool:
+    """``a == b`` up to the combined tolerance."""
+    return abs(a - b) <= tolerance(a, b, rel_tol, abs_tol)
+
+
+def approx_zero(x: float, abs_tol: float = ABS_TOL) -> bool:
+    """``x == 0.0`` up to the absolute floor (no relative term)."""
+    return abs(x) <= abs_tol
+
+
+def approx_le(a: float, b: float, rel_tol: float = REL_TOL,
+              abs_tol: float = ABS_TOL) -> bool:
+    """``a <= b`` with slack: not meaningfully greater."""
+    return a <= b + tolerance(a, b, rel_tol, abs_tol)
+
+
+def approx_ge(a: float, b: float, rel_tol: float = REL_TOL,
+              abs_tol: float = ABS_TOL) -> bool:
+    """``a >= b`` with slack: not meaningfully smaller."""
+    return a >= b - tolerance(a, b, rel_tol, abs_tol)
+
+
+def definitely_lt(a: float, b: float, rel_tol: float = REL_TOL,
+                  abs_tol: float = ABS_TOL) -> bool:
+    """``a < b`` by more than the tolerance (strict beyond noise)."""
+    return a < b - tolerance(a, b, rel_tol, abs_tol)
+
+
+def definitely_gt(a: float, b: float, rel_tol: float = REL_TOL,
+                  abs_tol: float = ABS_TOL) -> bool:
+    """``a > b`` by more than the tolerance (strict beyond noise)."""
+    return a > b + tolerance(a, b, rel_tol, abs_tol)

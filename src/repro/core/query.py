@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from .profile import BatchingProfile
 from .session import Session, SessionLoad
@@ -68,7 +69,7 @@ class QueryStage:
         self.children.append(stage)
         return stage
 
-    def walk(self):
+    def walk(self) -> Iterator[tuple["QueryStage", float]]:
         """Yield (stage, rate_multiplier) preorder; multiplier is the
         product of gammas from the root down to the stage inclusive."""
         stack = [(self, self.gamma)]

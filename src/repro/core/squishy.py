@@ -29,6 +29,7 @@ import itertools
 import math
 from dataclasses import dataclass, field
 
+from .floatcmp import approx_ge, approx_le
 from .session import SessionLoad
 
 __all__ = [
@@ -129,7 +130,7 @@ class GpuPlan:
     def validate(self, memory_capacity: int | None = None) -> list[str]:
         """Return human-readable constraint violations (empty if valid)."""
         problems = []
-        if self.busy_ms > self.duty_cycle_ms + 1e-9:
+        if not approx_le(self.busy_ms, self.duty_cycle_ms):
             problems.append(
                 f"busy {self.busy_ms:.2f}ms exceeds duty cycle "
                 f"{self.duty_cycle_ms:.2f}ms"
@@ -143,7 +144,7 @@ class GpuPlan:
                 # fills: its first request waits the gather time, not the
                 # nominal duty cycle.
                 wc = min(wc, a.gather_wait_ms() + a.exec_ms)
-            if wc > a.load.slo_ms + 1e-9:
+            if not approx_le(wc, a.load.slo_ms):
                 problems.append(
                     f"{a.session_id}: worst-case {wc:.2f}ms > SLO "
                     f"{a.load.slo_ms:.2f}ms"
@@ -200,7 +201,10 @@ def schedule_saturate(
     plans: list[GpuPlan] = []
     residuals: list[SessionLoad] = []
     infeasible: list[SessionLoad] = []
-    for load in loads:
+    # Stable input order: callers often assemble loads from dicts/sets, and
+    # the emitted plan must not depend on their iteration order (the
+    # determinism contract nexuslint enforces on this package).
+    for load in sorted(loads, key=lambda l: l.session_id):
         if load.rate_rps <= 0:
             continue
         peak_batch = load.profile.max_batch_under_slo(load.slo_ms)
@@ -246,7 +250,7 @@ def _shard_tight_session(load: SessionLoad) -> list[SessionLoad]:
         if res is None:
             continue
         capacity = res.batch / res.duty_ms * 1000.0
-        if capacity >= shard.rate_rps * (1 - 1e-9):
+        if approx_ge(capacity, shard.rate_rps):
             return [shard] * shards
     return [load]  # give the packer one oversized shard; drops absorb it
 
@@ -278,7 +282,7 @@ def _initial_residual(load: SessionLoad) -> _Residual | None:
     exec_ms = load.profile.latency(1)
     if exec_ms <= load.slo_ms:
         duty_ms = exec_ms / _TIGHT_SESSION_UTILIZATION
-        if 1.0 / duty_ms * 1000.0 >= load.rate_rps * (1 - 1e-9):
+        if approx_ge(1.0 / duty_ms * 1000.0, load.rate_rps):
             return _Residual(load, 1, duty_ms)
     return None
 
@@ -318,11 +322,11 @@ def _try_merge(
         if new_batch < 1:
             new_batch = 1
         exec_ms = load.profile.latency(new_batch)
-        if new_duty + exec_ms > load.slo_ms + 1e-9:
+        if not approx_le(new_duty + exec_ms, load.slo_ms):
             return None
         busy += exec_ms
         new_allocs.append(Allocation(load, new_batch))
-    if busy > occupancy_cap * new_duty + 1e-9:
+    if not approx_le(busy, occupancy_cap * new_duty):
         return None
     # The merge grows an existing node in place: keep its identity.
     merged = GpuPlan(new_allocs, new_duty, node_id=node.node_id)
@@ -353,7 +357,9 @@ def schedule_residue(
 
     work: list[_Residual] = []
     infeasible: list[SessionLoad] = []
-    for load in residuals:
+    # Stable input order (see schedule_saturate): identical residual sets
+    # must pack identically regardless of how the caller ordered them.
+    for load in sorted(residuals, key=lambda l: l.session_id):
         if load.rate_rps <= 0:
             continue
         res = _initial_residual(load)
@@ -362,8 +368,9 @@ def schedule_residue(
         else:
             work.append(res)
 
-    # Best-fit decreasing: consider heaviest residuals first.
-    work.sort(key=lambda r: r.occupancy, reverse=True)
+    # Best-fit decreasing: consider heaviest residuals first; ties break
+    # on session id so equal-occupancy residues pack order-independently.
+    work.sort(key=lambda r: (-r.occupancy, r.load.session_id))
 
     nodes: list[GpuPlan] = []
     for res in work:

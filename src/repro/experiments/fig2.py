@@ -10,6 +10,7 @@ Reproduces both regimes:
 
 from __future__ import annotations
 
+from ..analysis.plan_check import assert_valid_plan
 from ..core.profile import TabulatedProfile
 from ..core.session import Session, SessionLoad
 from ..core.squishy import squishy_bin_packing
@@ -57,8 +58,11 @@ def run() -> ExperimentResult:
         result.add("saturate", m, m, batch, round(prof.latency(batch), 1),
                    1.0, round(prof.throughput(batch), 1))
 
-    # Residual regime: the packing itself.
-    plan = squishy_bin_packing(residual_loads())
+    # Residual regime: the packing itself (invariant-checked before we
+    # report numbers from it).
+    plan = assert_valid_plan(
+        squishy_bin_packing(residual_loads()), context="fig2 residual"
+    )
     for i, gpu in enumerate(plan.gpus):
         names = "+".join(a.session_id.split("@")[0] for a in gpu.allocations)
         batches = "+".join(str(a.batch) for a in gpu.allocations)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.plan_check import assert_valid_plan
 from ..core.ilp import exact_min_gpus
 from ..core.profile import LinearProfile
 from ..core.session import Session, SessionLoad
@@ -54,7 +55,9 @@ def run(sizes: tuple[int, ...] = (4, 6, 8, 10), trials: int = 10,
             if not loads:
                 continue
             exact = exact_min_gpus(loads).num_gpus
-            greedy = squishy_bin_packing(loads).num_gpus
+            greedy = assert_valid_plan(
+                squishy_bin_packing(loads), context=f"ilp_gap n={n}"
+            ).num_gpus
             exacts.append(exact)
             greedys.append(greedy)
             gaps.append(greedy / max(exact, 1))

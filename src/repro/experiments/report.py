@@ -12,6 +12,7 @@ import importlib
 import io
 import time
 
+from ..analysis.plan_check import PlanCheckError, plans_checked
 from .common import ExperimentResult
 
 __all__ = ["FAST_EXPERIMENTS", "generate_report"]
@@ -72,11 +73,17 @@ def generate_report(
             result = result[0]
         assert isinstance(result, ExperimentResult)
         out.write(f"\n## {name} ({elapsed:.1f}s)\n\n```\n{result}\n```\n")
+    out.write(
+        f"\n---\n{plans_checked()} GPU plans validated against the "
+        "Algorithm-1 invariants while producing this report "
+        "(repro.analysis.plan_check).\n"
+    )
     return out.getvalue()
 
 
 if __name__ == "__main__":
     import argparse
+    import sys
 
     _parser = argparse.ArgumentParser(
         description="regenerate the fast-subset reproduction report"
@@ -86,4 +93,10 @@ if __name__ == "__main__":
         help="also export each figure's event trace (Chrome JSON) and "
              "metrics snapshot into DIR",
     )
-    print(generate_report(trace_dir=_parser.parse_args().trace_dir))
+    try:
+        print(generate_report(trace_dir=_parser.parse_args().trace_dir))
+    except PlanCheckError as exc:
+        # A figure was about to be produced from an invariant-violating
+        # plan: fail loudly so CI (and readers) cannot miss it.
+        print(f"plan validation failed:\n{exc}", file=sys.stderr)
+        sys.exit(1)

@@ -26,6 +26,7 @@ only need outcome events set ``wants_lifecycle = False``.
 from __future__ import annotations
 
 import contextlib
+from typing import Iterator
 
 from ..metrics.collector import MetricsCollector, RequestRecord
 from .events import (
@@ -93,7 +94,7 @@ class MetricsSink:
         self,
         invocation: MetricsCollector | None = None,
         query: MetricsCollector | None = None,
-    ):
+    ) -> None:
         self.invocation = invocation
         self.query = query
 
@@ -134,8 +135,11 @@ class MetricsSink:
     # these when every attached sink provides them and nothing records
     # lifecycle events, which keeps metrics-only runs at pre-tracing cost.
 
-    def fast_request_completed(self, ts_ms, session_id, request_id,
-                               arrival_ms, deadline_ms, ok, gpu_id) -> None:
+    def fast_request_completed(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+        gpu_id: int | None,
+    ) -> None:
         if self.invocation is not None:
             self.invocation.record(RequestRecord(
                 request_id=request_id, session_id=session_id,
@@ -143,8 +147,11 @@ class MetricsSink:
                 completion_ms=ts_ms, dropped=False,
             ))
 
-    def fast_request_dropped(self, ts_ms, session_id, request_id,
-                             arrival_ms, deadline_ms, reason, gpu_id) -> None:
+    def fast_request_dropped(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, reason: str,
+        gpu_id: int | None,
+    ) -> None:
         if self.invocation is not None:
             self.invocation.record(RequestRecord(
                 request_id=request_id, session_id=session_id,
@@ -152,13 +159,17 @@ class MetricsSink:
                 completion_ms=None, dropped=True,
             ))
 
-    def fast_batch_executed(self, start_ms, dur_ms, gpu_id, session_id,
-                            batch, deferred) -> None:
+    def fast_batch_executed(
+        self, start_ms: float, dur_ms: float, gpu_id: int, session_id: str,
+        batch: int, deferred: bool,
+    ) -> None:
         if self.invocation is not None:
             self.invocation.record_gpu_busy(gpu_id, dur_ms)
 
-    def fast_query_completed(self, ts_ms, query_name, query_id,
-                             arrival_ms, deadline_ms, ok) -> None:
+    def fast_query_completed(
+        self, ts_ms: float, query_name: str, query_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+    ) -> None:
         if self.query is not None:
             self.query.record(RequestRecord(
                 request_id=query_id, session_id=query_name,
@@ -166,7 +177,7 @@ class MetricsSink:
                 completion_ms=ts_ms if ok else None, dropped=not ok,
             ))
 
-    def fast_plan_applied(self, ts_ms, gpus) -> None:
+    def fast_plan_applied(self, ts_ms: float, gpus: int) -> None:
         if self.invocation is not None:
             self.invocation.sample_gpu_count(ts_ms, gpus)
 
@@ -176,7 +187,10 @@ class Tracer:
 
     __slots__ = ("_sinks", "_lifecycle", "_fast", "_frozen")
 
-    def __init__(self, sinks: list | tuple = (), frozen: bool = False):
+    def __init__(
+        self, sinks: list[object] | tuple[object, ...] = (),
+        frozen: bool = False,
+    ) -> None:
         self._sinks = list(sinks)
         self._frozen = frozen
         self._refresh()
@@ -203,7 +217,7 @@ class Tracer:
         """Is the full (lifecycle-inclusive) stream being consumed?"""
         return self._lifecycle
 
-    def add_sink(self, sink) -> None:
+    def add_sink(self, sink: object) -> None:
         if self._frozen:
             raise RuntimeError(
                 "cannot attach sinks to the shared NULL_TRACER; "
@@ -293,14 +307,14 @@ class Tracer:
         ))
 
     def plan_applied(self, ts_ms: float, gpus: int,
-                     detail: dict | None = None) -> None:
+                     detail: dict[str, object] | None = None) -> None:
         if not self._sinks:
             return
         if self._fast:
             for sink in self._sinks:
                 sink.fast_plan_applied(ts_ms, gpus)
             return
-        info = {"gpus": gpus}
+        info: dict[str, object] = {"gpus": gpus}
         if detail:
             info.update(detail)
         self.emit(TraceEvent(ts_ms, PLAN_APPLIED, detail=info))
@@ -399,10 +413,10 @@ class Tracer:
         ))
 
     def epoch_planned(self, ts_ms: float, epoch: int, gpus: int,
-                      rates: dict | None = None) -> None:
+                      rates: dict[str, float] | None = None) -> None:
         if not self._lifecycle:
             return
-        detail = {"epoch": epoch, "gpus": gpus}
+        detail: dict[str, object] = {"epoch": epoch, "gpus": gpus}
         if rates:
             detail["rates"] = dict(rates)
         self.emit(TraceEvent(ts_ms, EPOCH_PLANNED, detail=detail))
@@ -452,7 +466,7 @@ def set_active_trace_buffer(buffer: TraceBuffer | None) -> TraceBuffer | None:
 
 
 @contextlib.contextmanager
-def capture_trace():
+def capture_trace() -> Iterator[TraceBuffer]:
     """Capture every event emitted by cluster runs inside the block::
 
         with capture_trace() as buffer:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import math
 
+from ..core.floatcmp import approx_zero
+
 __all__ = ["diurnal_rate", "step_rate", "rush_hour_gammas",
            "RateSchedule", "ar1_series", "StreamTrace"]
 
@@ -162,6 +164,6 @@ class StreamTrace:
             return 0.0
         x = x - x.mean()
         denom = float((x * x).sum())
-        if denom == 0.0:
+        if approx_zero(denom):
             return 0.0
         return float((x[:-lag] * x[lag:]).sum() / denom)

@@ -1,0 +1,356 @@
+"""Tests for nexuslint (analysis/lint.py): every rule, both directions."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import RULES, lint_paths, lint_source, main
+
+CORE = Path("core/mod.py")
+CLUSTER = Path("cluster/mod.py")
+EXPERIMENTS = Path("experiments/mod.py")
+
+
+def findings(source, rel_path=CORE, rules=None):
+    return lint_source(textwrap.dedent(source), rel_path=rel_path,
+                       rules=rules)
+
+
+def rules_of(found):
+    return {f.rule for f in found}
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_core(self):
+        found = findings("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert rules_of(found) == {"wall-clock"}
+
+    def test_datetime_now_flagged(self):
+        found = findings("""
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """)
+        assert rules_of(found) == {"wall-clock"}
+
+    def test_simulator_time_clean(self):
+        assert findings("""
+            def stamp(sim):
+                return sim.now
+        """) == []
+
+    def test_out_of_scope_path_clean(self):
+        found = findings("""
+            import time
+
+            def stamp():
+                return time.time()
+        """, rel_path=EXPERIMENTS)
+        assert found == []
+
+
+class TestUnseededRandom:
+    def test_global_random_flagged(self):
+        found = findings("""
+            import random
+
+            def jitter():
+                return random.random()
+        """)
+        assert rules_of(found) == {"unseeded-random"}
+
+    def test_unseeded_default_rng_flagged(self):
+        found = findings("""
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+        """)
+        assert rules_of(found) == {"unseeded-random"}
+
+    def test_seeded_default_rng_clean(self):
+        assert findings("""
+            import numpy as np
+
+            def make_rng(seed):
+                return np.random.default_rng(seed)
+        """) == []
+
+    def test_instance_methods_clean(self):
+        assert findings("""
+            def draw(rng):
+                return rng.normal(0.0, 1.0)
+        """) == []
+
+
+class TestUnorderedIteration:
+    def test_set_display_flagged(self):
+        found = findings("""
+            def walk():
+                for x in {3, 1, 2}:
+                    yield x
+        """)
+        assert rules_of(found) == {"unordered-iteration"}
+
+    def test_dict_view_union_flagged(self):
+        found = findings("""
+            def diff(before, after):
+                for sid in before.keys() | after.keys():
+                    yield sid
+        """)
+        assert rules_of(found) == {"unordered-iteration"}
+
+    def test_set_call_in_comprehension_flagged(self):
+        found = findings("""
+            def ids(items):
+                return [x for x in set(items)]
+        """)
+        assert rules_of(found) == {"unordered-iteration"}
+
+    def test_sorted_set_clean(self):
+        assert findings("""
+            def walk(before, after):
+                for sid in sorted(before.keys() | after.keys()):
+                    yield sid
+        """) == []
+
+    def test_list_iteration_clean(self):
+        assert findings("""
+            def walk(items):
+                for x in items:
+                    yield x
+        """) == []
+
+
+class TestFloatEquality:
+    def test_float_literal_eq_flagged(self):
+        found = findings("""
+            def check(rate_rps):
+                return rate_rps == 0.0
+        """)
+        assert "float-equality" in rules_of(found)
+
+    def test_quantity_names_ne_flagged(self):
+        found = findings("""
+            def changed(old_latency_ms, new_latency_ms):
+                return old_latency_ms != new_latency_ms
+        """)
+        assert "float-equality" in rules_of(found)
+
+    def test_int_literal_clean(self):
+        assert findings("""
+            def check(count):
+                return count == 0
+        """) == []
+
+    def test_floatcmp_usage_clean(self):
+        assert findings("""
+            from repro.core.floatcmp import approx_zero
+
+            def check(rate_rps):
+                return approx_zero(rate_rps)
+        """) == []
+
+
+class TestMixedUnits:
+    def test_add_ms_us_flagged(self):
+        found = findings("""
+            def total(exec_ms, wait_us):
+                return exec_ms + wait_us
+        """)
+        assert "mixed-units" in rules_of(found)
+
+    def test_compare_ms_s_flagged(self):
+        found = findings("""
+            def late(exec_ms, slo_s):
+                return exec_ms > slo_s
+        """)
+        assert "mixed-units" in rules_of(found)
+
+    def test_same_unit_clean(self):
+        assert findings("""
+            def total(exec_ms, wait_ms):
+                return exec_ms + wait_ms
+        """) == []
+
+    def test_multiplication_is_conversion(self):
+        # * and / convert between units and stay legal.
+        assert findings("""
+            def convert(duty_ms, rate_rps):
+                return duty_ms * rate_rps / 1000.0
+        """) == []
+
+
+class TestUntracedMutation:
+    def test_mutation_without_trace_flagged(self):
+        found = findings("""
+            def finish(self, request, now):
+                request.done = True
+        """, rel_path=CLUSTER)
+        assert rules_of(found) == {"untraced-mutation"}
+
+    def test_outcome_callback_without_trace_flagged(self):
+        found = findings("""
+            def drop(self, request, now):
+                if request.on_drop is not None:
+                    request.on_drop(request, now)
+        """, rel_path=CLUSTER)
+        assert rules_of(found) == {"untraced-mutation"}
+
+    def test_tracer_emit_clean(self):
+        assert findings("""
+            def finish(self, request, now):
+                request.done = True
+                self.tracer.request_completed(
+                    now, request.session_id, request.request_id,
+                    request.arrival_ms, request.deadline_ms, True,
+                )
+        """, rel_path=CLUSTER) == []
+
+    def test_record_helper_clean(self):
+        assert findings("""
+            def finish(self, request, now):
+                request.done = True
+                self._record_outcome(request, now)
+        """, rel_path=CLUSTER) == []
+
+    def test_on_fail_exempt(self):
+        # Retryable losses are traced at the frontend; on_fail alone does
+        # not constitute an outcome.
+        assert findings("""
+            def fail(self, request, now):
+                if request.on_fail is not None:
+                    request.on_fail(request, now)
+        """, rel_path=CLUSTER) == []
+
+    def test_rule_scoped_to_cluster(self):
+        assert findings("""
+            def finish(self, request, now):
+                request.done = True
+        """, rel_path=CORE) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        found = findings("""
+            def check(rate_rps):
+                return rate_rps == 0.0  # nexuslint: disable=float-equality
+        """)
+        assert found == []
+
+    def test_line_suppression_is_rule_specific(self):
+        found = findings("""
+            def check(rate_rps):
+                return rate_rps == 0.0  # nexuslint: disable=wall-clock
+        """)
+        assert rules_of(found) == {"float-equality"}
+
+    def test_file_suppression(self):
+        found = findings("""
+            # nexuslint: disable-file=float-equality
+            def a(rate_rps):
+                return rate_rps == 0.0
+
+            def b(slo_ms):
+                return slo_ms == 1.5
+        """)
+        assert found == []
+
+    def test_disable_all(self):
+        found = findings("""
+            import time
+
+            def stamp():
+                return time.time()  # nexuslint: disable=all
+        """)
+        assert found == []
+
+    def test_rules_filter(self):
+        source = """
+            import time
+
+            def f(rate_rps):
+                if rate_rps == 0.0:
+                    return time.time()
+        """
+        assert rules_of(findings(source)) == {"float-equality", "wall-clock"}
+        only = findings(source, rules=frozenset({"wall-clock"}))
+        assert rules_of(only) == {"wall-clock"}
+
+
+SEEDED_VIOLATIONS = {
+    # One file per rule, placed so the rule's scope applies.
+    "core/clock.py": "import time\n\ndef f():\n    return time.time()\n",
+    "core/rng.py": (
+        "import numpy as np\n\ndef f():\n"
+        "    return np.random.default_rng()\n"
+    ),
+    "core/sets.py": "def f(s):\n    return [x for x in set(s)]\n",
+    "core/eq.py": "def f(rate_rps):\n    return rate_rps == 0.0\n",
+    "core/units.py": "def f(a_ms, b_us):\n    return a_ms + b_us\n",
+    "cluster/mutate.py": (
+        "def f(self, request, now):\n    request.done = True\n"
+    ),
+}
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "core"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("def f(a_ms, b_ms):\n    return a_ms + b_ms\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_seeded_tree_exits_nonzero_with_every_rule(self, tmp_path, capsys):
+        for rel, source in SEEDED_VIOLATIONS.items():
+            target = tmp_path / rel
+            target.parent.mkdir(exist_ok=True)
+            target.write_text(source)
+        assert main([str(tmp_path)]) == 1
+        reported = capsys.readouterr().out
+        for rule in RULES:
+            assert f"[{rule}]" in reported
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "core" / "eq.py"
+        target.parent.mkdir()
+        target.write_text(SEEDED_VIOLATIONS["core/eq.py"])
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        import json
+
+        payload = json.loads(out)
+        assert payload and payload[0]["rule"] == "float-equality"
+
+    def test_unparsable_input_exits_two(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        assert main([str(tmp_path)]) == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--rules", "no-such-rule"]) == 2
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["/no/such/path/anywhere"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+
+class TestRepoIsClean:
+    def test_installed_package_lints_clean(self):
+        """Acceptance: ``python -m repro lint`` exits 0 on this repo."""
+        package_root = Path(repro.__file__).resolve().parent
+        found, errors = lint_paths([package_root])
+        assert errors == []
+        assert found == [], "\n".join(f.render() for f in found)
