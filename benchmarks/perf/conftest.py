@@ -1,0 +1,12 @@
+"""Perf-suite configuration.
+
+``benchmarks/perf`` times the substrate itself -- the event loop, the
+dispatch simulation, one headline cluster run -- via pytest-benchmark,
+where ``benchmarks/test_*`` time whole experiments.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q \
+        --benchmark-json=BENCH_pytest.json
+
+``python -m repro bench`` produces the same measurements tool-free and
+writes the project's ``BENCH_simulator.json`` baseline.
+"""

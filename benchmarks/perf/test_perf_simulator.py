@@ -1,0 +1,59 @@
+"""Perf: the three hot paths under pytest-benchmark.
+
+These wrap the same workloads as ``python -m repro bench`` (see
+``repro.experiments.bench``) so the statistical pytest-benchmark runs and
+the JSON baseline measure identical code.  Sizes are the quick-mode ones:
+the point here is min/mean/stddev per path, not a long soak.
+"""
+
+import random
+
+from repro.core.drop import EarlyDropPolicy, simulate_dispatch
+from repro.experiments.bench import _dispatch_profile
+from repro.simulation.simulator import Simulator
+from repro.workloads.arrivals import poisson_arrivals
+
+EVENTS = 50_000
+DISPATCH_MS = 20_000.0
+CLUSTER_MS = 4_000.0
+
+
+def test_simulator_event_loop(benchmark):
+    """Deep-heap drain: heap ordering + slotted events + the run loop."""
+    times = [random.Random(0).random() for _ in range(EVENTS)]
+
+    def drain() -> int:
+        sim = Simulator()
+        for t in times:
+            sim.schedule(t * 1000.0, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(drain)
+    assert processed == EVENTS
+
+
+def test_simulate_dispatch_overload(benchmark):
+    """Single-GPU dispatch at 1.8x the sustainable rate (long queues)."""
+    arrivals = poisson_arrivals(900.0, DISPATCH_MS, seed=3)
+    profile = _dispatch_profile()
+
+    stats = benchmark(
+        lambda: simulate_dispatch(arrivals, profile, 100.0,
+                                  EarlyDropPolicy(25))
+    )
+    assert stats.total == len(arrivals)
+    assert stats.served_ok > 0
+
+
+def test_cluster_headline(benchmark):
+    """One full cluster run: the all-apps mix on a planned deployment."""
+    from repro.experiments.bench import _make_cluster
+
+    def run():
+        return _make_cluster(800.0, seed=0).run(
+            CLUSTER_MS, warmup_ms=CLUSTER_MS / 10
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.good_rate > 0.9

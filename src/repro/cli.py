@@ -13,6 +13,9 @@ Commands:
                              ``model:slo_ms:rate_rps`` triples
 - ``lint``                   run nexuslint, the project's determinism /
                              SLO-safety static analysis (docs/static-analysis.md)
+- ``bench``                  time the simulator/dispatch/cluster hot paths
+                             and the parallel sweep runner; write the
+                             measurements to ``BENCH_simulator.json``
 
 Observability flags (before the subcommand) capture the structured event
 stream of every cluster run the command performs (docs/observability.md):
@@ -132,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="lint_format", help="findings output format")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf benchmarks and write BENCH_simulator.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down workloads (~10x smaller; for CI "
+                            "smoke runs)")
+    bench.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker processes for the parallel sweep "
+                            "(default: 4)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="K",
+                       help="best-of-K runs for the micro-benchmarks "
+                            "(default: 3)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output JSON path (default: "
+                            "BENCH_simulator.json in the current "
+                            "directory; '-' to skip writing)")
 
     return parser
 
@@ -273,6 +294,19 @@ def _cmd_lint(paths: list[str], rules: str | None, fmt: str,
     return lint_main(argv)
 
 
+def _cmd_bench(quick: bool, workers: int, repeats: int,
+               out: str | None) -> int:
+    from .experiments.bench import DEFAULT_OUT, format_bench, run_bench
+
+    out_path = DEFAULT_OUT if out is None else (None if out == "-" else out)
+    payload = run_bench(quick=quick, workers=workers, out_path=out_path,
+                        repeats=repeats)
+    print(format_bench(payload))
+    if out_path:
+        print(f"baseline -> {out_path}", file=sys.stderr)
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
@@ -290,6 +324,8 @@ def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args.paths, args.rules, args.lint_format,
                          args.list_rules)
+    if args.command == "bench":
+        return _cmd_bench(args.quick, args.workers, args.repeats, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -20,9 +20,15 @@ baselines' execution disciplines through three knobs:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
-from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy, QueuedRequest
+from ..core.drop import (
+    DropPolicy,
+    EarlyDropPolicy,
+    QueuedRequest,
+    consume_selected,
+)
 from ..core.profile import BatchingProfile
 from ..metrics.collector import MetricsCollector
 from ..observability.events import (
@@ -83,7 +89,7 @@ class _SessionState:
 
     def __init__(self, spec: BackendSession) -> None:
         self.spec = spec
-        self.queue: list[QueuedRequest] = []
+        self.queue: deque[QueuedRequest] = deque()
         self.deferred: list[QueuedRequest] = []
         self.requests: dict[int, Request] = {}
         self.last_start_ms = -math.inf
@@ -141,6 +147,9 @@ class Backend:
 
         self._sessions: dict[str, _SessionState] = {}
         self._order: list[str] = []
+        #: session_id -> position in ``_order`` (constant-time round-robin
+        #: advance; rebuilt with the schedule).
+        self._index: dict[str, int] = {}
         self._cycle_pos = 0
         self._busy = False
         self._wake: EventHandle | None = None
@@ -172,6 +181,7 @@ class Backend:
         old = self._sessions
         self._sessions = {}
         self._order = []
+        self._index = {}
         now = self.sim.now
         for spec in specs:
             state = _SessionState(spec)
@@ -181,15 +191,20 @@ class Backend:
                 state.deferred = prev.deferred
                 state.requests = prev.requests
                 state.last_start_ms = prev.last_start_ms
+                # A model still streaming over PCIe stays not-ready across
+                # schedule updates; resetting to the default -inf would let
+                # the next batch start before the weights have landed.
+                state.ready_ms = prev.ready_ms
             elif spec.load_ms > 0:
                 # Newly placed model: its weights stream over PCIe before
                 # the first batch can run (section 2.2).
                 state.ready_ms = now + spec.load_ms
             self._sessions[spec.session_id] = state
+            self._index[spec.session_id] = len(self._order)
             self._order.append(spec.session_id)
         for sid, prev in old.items():
             if sid not in self._sessions:
-                for q in prev.queue + prev.deferred:
+                for q in (*prev.queue, *prev.deferred):
                     self._finish_drop(prev, q, DROP_UNSCHEDULED)
         self._cycle_pos = 0
         self._kick()
@@ -225,8 +240,8 @@ class Backend:
             for q in batch:
                 self._fail_request(state, q, now)
         for state in self._sessions.values():
-            lost, state.queue = state.queue, []
-            lost += state.deferred
+            lost = [*state.queue, *state.deferred]
+            state.queue = deque()
             state.deferred = []
             for q in lost:
                 self._fail_request(state, q, now)
@@ -315,8 +330,7 @@ class Backend:
         batch, dropped = state.spec.policy.select(
             state.queue, now, state.spec.profile
         )
-        taken = {q.request_id for q in batch} | {q.request_id for q in dropped}
-        state.queue = [q for q in state.queue if q.request_id not in taken]
+        state.queue = consume_selected(state.queue, batch, dropped)
         for q in dropped:
             if self.defer_missed:
                 state.deferred.append(q)
@@ -362,8 +376,13 @@ class Backend:
             # sessions), mirroring a shared dispatch queue.
             best, best_arrival = None, math.inf
             for sid in self._order:
-                q = self._sessions[sid].queue
-                if q and q[0].arrival_ms < best_arrival:
+                state = self._sessions[sid]
+                q = state.queue
+                if not q or now < state.ready_ms:
+                    # An unloaded model cannot execute, greedy or not
+                    # (section 2.2); baselines wait for the load too.
+                    continue
+                if q[0].arrival_ms < best_arrival:
                     best, best_arrival = sid, q[0].arrival_ms
             return best
         # Cycle pacing: round robin, but a session only runs again once its
@@ -440,9 +459,8 @@ class Backend:
         return due_time + exec_ms > head.deadline_ms - 1e-6
 
     def _advance_cycle(self, executed_sid: str) -> None:
-        try:
-            idx = self._order.index(executed_sid)
-        except ValueError:
+        idx = self._index.get(executed_sid)
+        if idx is None:
             return
         self._cycle_pos = (idx + 1) % len(self._order)
 

@@ -145,12 +145,35 @@ class PrefixBatchedProfile(BatchingProfile):
         )
         self.memory_per_input_bytes = self.prefix.memory_per_input_bytes
 
-    def latency(self, batch: int) -> float:
+    def split_batch(self, batch: int) -> list[int]:
+        """Partition ``batch`` inputs across the suffixes by weight.
+
+        Largest-remainder (Hamilton) apportionment: floors first, then the
+        leftover inputs go to the largest fractional remainders (ties
+        broken by suffix order, so the split is deterministic).  The
+        sub-batches always sum to exactly ``batch`` — a per-suffix
+        ``ceil`` would over-count by up to ``len(suffixes) - 1`` inputs.
+        """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
+        total_w = sum(self.weights)
+        if total_w <= 0:
+            raise ValueError("weights must sum to a positive value")
+        shares = [w * batch / total_w for w in self.weights]
+        subs = [math.floor(s) for s in shares]
+        leftover = batch - sum(subs)
+        if leftover:
+            by_remainder = sorted(
+                range(len(shares)),
+                key=lambda i: (subs[i] - shares[i], i),
+            )
+            for i in by_remainder[:leftover]:
+                subs[i] += 1
+        return subs
+
+    def latency(self, batch: int) -> float:
         total = self.prefix.latency(batch)
-        for weight, suffix in zip(self.weights, self.suffixes):
-            sub = math.ceil(weight * batch)
+        for sub, suffix in zip(self.split_batch(batch), self.suffixes):
             if sub >= 1:
                 total += suffix.latency(min(sub, suffix.max_batch))
         return total

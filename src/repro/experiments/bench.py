@@ -1,0 +1,238 @@
+"""Performance benchmarks: the repo's wall-clock baseline.
+
+``python -m repro bench`` times the three hot paths every experiment sits
+on -- the discrete-event loop, the single-GPU dispatch simulation, and a
+full cluster run -- plus a serial-vs-parallel cluster rate sweep through
+the process-pool runner, and writes the measurements to
+``BENCH_simulator.json`` so future changes have a trajectory to compare
+against (``benchmarks/perf/`` wraps the same functions in
+pytest-benchmark for statistical runs).
+
+All simulated work is seeded and deterministic; only the wall-clock
+readings vary between invocations.  The parallel sweep records the
+*measured* speedup alongside ``cpu_count`` -- on a single-core container
+the speedup is honestly ~1x regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+
+from ..core.drop import EarlyDropPolicy, simulate_dispatch
+from ..core.profile import LinearProfile
+from ..simulation.simulator import Simulator
+from ..workloads.arrivals import poisson_arrivals
+from .common import parallel_map
+
+__all__ = ["run_bench", "DEFAULT_OUT", "format_bench"]
+
+DEFAULT_OUT = "BENCH_simulator.json"
+SCHEMA = "repro-bench/1"
+
+
+# ------------------------------------------------------------ micro benches
+
+def bench_event_loop(num_events: int, seed: int = 0) -> dict:
+    """Deep-heap event-loop throughput: pre-schedule ``num_events`` at
+    seeded random times, then drain.  Exercises heap ordering, the
+    slotted-event allocation, and the run loop itself."""
+    sim = Simulator()
+    rng = random.Random(seed)
+
+    def _noop() -> None:
+        pass
+
+    t0 = time.perf_counter()
+    for _ in range(num_events):
+        sim.schedule(rng.random() * 1000.0, _noop)
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": num_events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(num_events / wall),
+    }
+
+
+def _dispatch_profile() -> LinearProfile:
+    # Figure 5/9 parameterization at alpha=1.0 (beta-heavy: big queues).
+    return LinearProfile(name="bench", alpha=1.0, beta=25.0, max_batch=64)
+
+
+def bench_dispatch(duration_ms: float, rate_rps: float = 900.0,
+                   seed: int = 3) -> dict:
+    """``simulate_dispatch`` under overload (1.8x the optimal rate), where
+    queues grow long and per-batch queue maintenance dominates."""
+    arrivals = poisson_arrivals(rate_rps, duration_ms, seed=seed)
+    t0 = time.perf_counter()
+    stats = simulate_dispatch(arrivals, _dispatch_profile(), 100.0,
+                              EarlyDropPolicy(25))
+    wall = time.perf_counter() - t0
+    return {
+        "requests": len(arrivals),
+        "wall_s": round(wall, 4),
+        "requests_per_s": round(len(arrivals) / wall),
+        "bad_rate": round(stats.bad_rate, 4),
+    }
+
+
+# --------------------------------------------------------- cluster benches
+
+def _make_cluster(rate_rps: float, seed: int):
+    from ..cluster.nexus import ClusterConfig, NexusCluster
+    from ..workloads.apps import all_apps
+
+    config = ClusterConfig(device="gtx1080ti", expand_to_cluster=False,
+                           seed=seed)
+    cluster = NexusCluster(config)
+    queries = all_apps("gtx1080ti", num_games=4)
+    for query in queries:
+        cluster.add_query(query, rate_rps=rate_rps / len(queries))
+    return cluster
+
+
+def bench_cluster(duration_ms: float, rate_rps: float = 800.0,
+                  seed: int = 0) -> dict:
+    """The headline cluster run: the full application mix on one
+    scheduler-planned deployment (the utilization study's setup)."""
+    cluster = _make_cluster(rate_rps, seed)
+    t0 = time.perf_counter()
+    result = cluster.run(duration_ms, warmup_ms=duration_ms / 10)
+    wall = time.perf_counter() - t0
+    return {
+        "sim_duration_ms": duration_ms,
+        "wall_s": round(wall, 4),
+        "sim_ms_per_wall_s": round(duration_ms / wall),
+        "good_rate": round(result.good_rate, 4),
+        "gpus_used": result.gpus_used,
+    }
+
+
+def _cluster_point(args: tuple[float, float, int]) -> tuple[float, float]:
+    """One rate-sweep point: a full cluster run at the given offered rate.
+
+    Module-level (picklable) and seeded through its arguments, so sweep
+    points can fan across the process pool and still reproduce serial
+    results exactly.
+    """
+    rate_rps, duration_ms, seed = args
+    cluster = _make_cluster(rate_rps, seed)
+    result = cluster.run(duration_ms, warmup_ms=duration_ms / 10)
+    return (rate_rps, round(result.good_rate, 6))
+
+
+def bench_parallel_sweep(duration_ms: float, workers: int,
+                         points: int = 6, seed: int = 0) -> dict:
+    """Serial vs parallel wall clock for a cluster rate sweep.
+
+    The sweep is the shape every figure search has (independent cluster
+    runs at different offered rates); the measured speedup is what
+    ``report --workers`` / figure sweeps actually gain on this machine.
+    """
+    rates = [400.0 + 150.0 * i for i in range(points)]
+    tasks = [(rate, duration_ms, seed) for rate in rates]
+
+    t0 = time.perf_counter()
+    serial = parallel_map(_cluster_point, tasks, workers=1)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = parallel_map(_cluster_point, tasks, workers=workers)
+    parallel_wall = time.perf_counter() - t0
+
+    return {
+        "workers": workers,
+        "points": points,
+        "sim_duration_ms": duration_ms,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "identical_results": serial == parallel,
+    }
+
+
+# ----------------------------------------------------------------- harness
+
+def run_bench(quick: bool = False, workers: int = 4,
+              out_path: str | None = DEFAULT_OUT, repeats: int = 3,
+              sweep_points: int | None = None) -> dict:
+    """Run the perf suite and (optionally) write the JSON baseline.
+
+    ``quick`` scales the workloads down ~10x for CI smoke runs; the JSON
+    records which mode produced it so baselines are never cross-compared.
+    Micro-benches keep the best of ``repeats`` runs (least-noise
+    estimator); the cluster benches run once, they are long enough to be
+    stable.
+    """
+    if quick:
+        events, dispatch_ms, cluster_ms, points = 50_000, 20_000.0, 4_000.0, 4
+    else:
+        events, dispatch_ms, cluster_ms, points = 200_000, 60_000.0, 20_000.0, 6
+    if sweep_points is not None:
+        points = sweep_points
+    repeats = max(1, repeats)
+
+    event_loop = min(
+        (bench_event_loop(events, seed=i) for i in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    dispatch = min(
+        (bench_dispatch(dispatch_ms) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    cluster = bench_cluster(cluster_ms)
+    sweep = bench_parallel_sweep(cluster_ms / 2, workers=workers,
+                                 points=points)
+
+    payload = {
+        "schema": SCHEMA,
+        "created_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "benchmarks": {
+            "simulator_event_loop": event_loop,
+            "simulate_dispatch": dispatch,
+            "cluster_headline": cluster,
+            "parallel_cluster_sweep": sweep,
+        },
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return payload
+
+
+def format_bench(payload: dict) -> str:
+    """Render the bench payload as the table the CLI prints."""
+    from .common import format_table
+
+    b = payload["benchmarks"]
+    rows = [
+        ["event_loop", f"{b['simulator_event_loop']['events_per_s']:,} events/s",
+         b["simulator_event_loop"]["wall_s"]],
+        ["simulate_dispatch",
+         f"{b['simulate_dispatch']['requests_per_s']:,} reqs/s",
+         b["simulate_dispatch"]["wall_s"]],
+        ["cluster_headline",
+         f"{b['cluster_headline']['sim_ms_per_wall_s']:,} sim-ms/s",
+         b["cluster_headline"]["wall_s"]],
+        ["parallel_sweep",
+         f"{b['parallel_cluster_sweep']['speedup']}x with "
+         f"{b['parallel_cluster_sweep']['workers']} workers",
+         b["parallel_cluster_sweep"]["parallel_wall_s"]],
+    ]
+    notes = (f"python {payload['python']}, {payload['cpu_count']} cpu(s), "
+             f"quick={payload['quick']}")
+    return format_table("perf baseline", ["benchmark", "throughput", "wall_s"],
+                        rows, notes)
+
+
+if __name__ == "__main__":
+    print(format_bench(run_bench()))

@@ -3,16 +3,38 @@
 Every experiment module exposes a ``run(...)`` returning an
 :class:`ExperimentResult` whose rows mirror the paper's table or figure
 series, so the benchmarks can both regenerate and sanity-check them.
+
+The module also hosts the **parallel experiment runner**: every figure
+run is an independent, fully seeded function call, so a sweep of them
+fans out across a process pool with no shared state.  Results come back
+in submission order and each worker re-seeds from its own kwargs, which
+makes parallel output identical to serial output (the serial-vs-parallel
+identity test pins this).
 """
 
 from __future__ import annotations
 
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
 
 from ..cluster.nexus import ClusterConfig, NexusCluster
 from ..core.query import Query
 
-__all__ = ["ExperimentResult", "max_rate_search", "format_table"]
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRun",
+    "max_rate_search",
+    "format_table",
+    "run_experiment",
+    "run_experiments",
+    "parallel_map",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 @dataclass
@@ -68,6 +90,80 @@ def format_table(name: str, columns: list[str], rows: list[list],
     if notes:
         lines.append(f"({notes})")
     return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment execution (serial or pooled worker)."""
+
+    name: str
+    result: ExperimentResult
+    #: wall-clock seconds inside the worker (measurement, not content:
+    #: excluded from identity comparisons).
+    elapsed_s: float
+    #: Algorithm-1 plans validated while producing this figure; summed by
+    #: the report so the footer count is identical serial vs parallel.
+    plans_checked: int
+
+
+def run_experiment(name: str, kwargs: dict) -> ExperimentRun:
+    """Import and run one experiment module; the process-pool work unit.
+
+    Every experiment's ``run()`` draws all randomness from the seed in its
+    own kwargs (or its seeded default), so the result is a pure function
+    of ``(name, kwargs)`` -- the property that makes fanning runs across
+    processes safe.
+    """
+    from ..analysis.plan_check import plans_checked
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    before = plans_checked()
+    t0 = time.perf_counter()
+    result = module.run(**kwargs)
+    elapsed = time.perf_counter() - t0
+    if isinstance(result, tuple):  # fig13-style (table, extras)
+        result = result[0]
+    if not isinstance(result, ExperimentResult):
+        raise TypeError(f"{name}.run() returned {type(result).__name__}")
+    return ExperimentRun(name, result, elapsed, plans_checked() - before)
+
+
+def run_experiments(
+    experiments: list[tuple[str, dict]], workers: int | None = None
+) -> list[ExperimentRun]:
+    """Run ``(name, kwargs)`` experiments, optionally across a process pool.
+
+    ``workers`` <= 1 (or None) runs serially in this process.  With more
+    workers the runs fan out over a ``ProcessPoolExecutor``; results are
+    collected in *submission* order regardless of completion order, so the
+    output is deterministic and identical to the serial path.
+    """
+    if workers is None or workers <= 1 or len(experiments) <= 1:
+        return [run_experiment(name, kwargs) for name, kwargs in experiments]
+    with ProcessPoolExecutor(max_workers=min(workers, len(experiments))) as pool:
+        futures = [
+            pool.submit(run_experiment, name, kwargs)
+            for name, kwargs in experiments
+        ]
+        return [f.result() for f in futures]
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], workers: int | None = None
+) -> list[_R]:
+    """Order-preserving map, optionally across a process pool.
+
+    For fanning independent sweep points (offered rates, alphas, seeds)
+    of one experiment across workers.  ``fn`` must be a module-level
+    callable (picklable) and each item must carry its own seed; with
+    those two properties the parallel result is element-for-element
+    identical to the serial one.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def max_rate_search(

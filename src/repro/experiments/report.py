@@ -4,16 +4,20 @@
 (everything that runs in seconds) into a single markdown report — the
 quick way to sanity-check a fresh checkout or a substrate change without
 the multi-minute cluster searches.
+
+Pass ``--workers N`` to fan the independent figure runs across a process
+pool (see :func:`repro.experiments.common.run_experiments`): each run is
+a pure function of its name and seeded kwargs, so the parallel report is
+identical to the serial one apart from the per-figure wall-clock timings
+(suppress those with ``--no-timing`` for byte-identical output).
 """
 
 from __future__ import annotations
 
-import importlib
 import io
-import time
 
-from ..analysis.plan_check import PlanCheckError, plans_checked
-from .common import ExperimentResult
+from ..analysis.plan_check import PlanCheckError
+from .common import run_experiments
 
 __all__ = ["FAST_EXPERIMENTS", "generate_report"]
 
@@ -35,50 +39,73 @@ FAST_EXPERIMENTS: list[tuple[str, dict]] = [
 def generate_report(
     experiments: list[tuple[str, dict]] | None = None,
     trace_dir: str | None = None,
+    workers: int | None = None,
+    include_timing: bool = True,
 ) -> str:
     """Run the listed experiments and render a markdown report.
 
-    With ``trace_dir``, every experiment's cluster runs are traced and
-    each figure's underlying event stream is exported next to the report:
-    ``<trace_dir>/<name>.trace.json`` (Chrome trace_event) and
-    ``<trace_dir>/<name>.metrics.txt`` (Prometheus snapshot).
+    Args:
+        experiments: ``(name, kwargs)`` pairs; default the fast subset.
+        trace_dir: with a directory, every experiment's cluster runs are
+            traced and each figure's underlying event stream is exported
+            next to the report: ``<trace_dir>/<name>.trace.json`` (Chrome
+            trace_event) and ``<trace_dir>/<name>.metrics.txt``
+            (Prometheus snapshot).  Tracing captures an in-process event
+            buffer, so it forces the serial path.
+        workers: fan independent figure runs across this many worker
+            processes (None/<=1 = serial).  Output is identical to the
+            serial report on the same seeds.
+        include_timing: include per-figure wall-clock seconds in the
+            section headers.  Disable for byte-comparable reports
+            (timings are measurements of the harness, not content).
     """
-    if trace_dir is not None:
-        import os
-
-        from ..observability import (
-            capture_trace,
-            write_chrome_trace,
-            write_prometheus_snapshot,
+    experiments = experiments or FAST_EXPERIMENTS
+    if trace_dir is not None and workers is not None and workers > 1:
+        raise ValueError(
+            "trace_dir captures an in-process event buffer; tracing and "
+            "workers > 1 are mutually exclusive"
         )
-
-        os.makedirs(trace_dir, exist_ok=True)
     out = io.StringIO()
     out.write("# Reproduction report\n\n")
     out.write("Regenerated tables/figures (fast subset; see EXPERIMENTS.md "
               "for the headline runs and paper-vs-measured analysis).\n")
-    for name, kwargs in experiments or FAST_EXPERIMENTS:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        t0 = time.perf_counter()
-        if trace_dir is not None:
-            with capture_trace() as buffer:
-                result = module.run(**kwargs)
-            base = f"{trace_dir}/{name}"
-            write_chrome_trace(buffer.events, f"{base}.trace.json")
-            write_prometheus_snapshot(buffer.events, f"{base}.metrics.txt")
-        else:
-            result = module.run(**kwargs)
-        elapsed = time.perf_counter() - t0
-        if isinstance(result, tuple):  # fig13-style (table, extras)
-            result = result[0]
-        assert isinstance(result, ExperimentResult)
-        out.write(f"\n## {name} ({elapsed:.1f}s)\n\n```\n{result}\n```\n")
+    if trace_dir is not None:
+        runs = _run_traced(experiments, trace_dir)
+    else:
+        runs = run_experiments(experiments, workers=workers)
+    for run in runs:
+        timing = f" ({run.elapsed_s:.1f}s)" if include_timing else ""
+        out.write(f"\n## {run.name}{timing}\n\n```\n{run.result}\n```\n")
+    total_plans = sum(run.plans_checked for run in runs)
     out.write(
-        f"\n---\n{plans_checked()} GPU plans validated against the "
+        f"\n---\n{total_plans} GPU plans validated against the "
         "Algorithm-1 invariants while producing this report "
         "(repro.analysis.plan_check).\n"
     )
     return out.getvalue()
+
+
+def _run_traced(experiments: list[tuple[str, dict]], trace_dir: str) -> list:
+    """Serial path with per-figure event-trace export."""
+    import os
+
+    from ..observability import (
+        capture_trace,
+        write_chrome_trace,
+        write_prometheus_snapshot,
+    )
+    from .common import run_experiment
+
+    os.makedirs(trace_dir, exist_ok=True)
+    runs = []
+    for name, kwargs in experiments:
+        with capture_trace() as buffer:
+            run = run_experiment(name, kwargs)
+        base = f"{trace_dir}/{name}"
+        write_chrome_trace(buffer.events, f"{base}.trace.json")
+        write_prometheus_snapshot(buffer.events, f"{base}.metrics.txt")
+        runs.append(run)
+    return runs
 
 
 if __name__ == "__main__":
@@ -91,10 +118,23 @@ if __name__ == "__main__":
     _parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
         help="also export each figure's event trace (Chrome JSON) and "
-             "metrics snapshot into DIR",
+             "metrics snapshot into DIR (forces the serial path)",
     )
+    _parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan independent figure runs across N worker processes",
+    )
+    _parser.add_argument(
+        "--no-timing", action="store_true",
+        help="omit per-figure wall-clock timings (byte-comparable output)",
+    )
+    _args = _parser.parse_args()
     try:
-        print(generate_report(trace_dir=_parser.parse_args().trace_dir))
+        print(generate_report(
+            trace_dir=_args.trace_dir,
+            workers=_args.workers,
+            include_timing=not _args.no_timing,
+        ))
     except PlanCheckError as exc:
         # A figure was about to be produced from an invariant-violating
         # plan: fail loudly so CI (and readers) cannot miss it.

@@ -9,22 +9,29 @@ the repo is reproducible from its seed.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-import math
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
 
 __all__ = ["Simulator", "EventHandle"]
 
 
-@dataclass(order=True)
 class _Event:
-    time_ms: float
-    priority: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One scheduled callback.
+
+    Slotted and kept *out* of the heap ordering: the heap holds
+    ``(time_ms, priority, seq, event)`` tuples whose comparison never
+    reaches the event (``seq`` is unique), so tie-breaking is plain tuple
+    comparison instead of a generated dataclass ``__lt__`` with attribute
+    loads -- the event loop is the hottest path in every experiment.
+    """
+
+    __slots__ = ("time_ms", "fn", "cancelled")
+
+    def __init__(self, time_ms: float, fn: Callable[[], None]) -> None:
+        self.time_ms = time_ms
+        self.fn = fn
+        self.cancelled = False
 
 
 class EventHandle:
@@ -59,7 +66,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, int, _Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         #: optional observability tracer (``repro.observability.Tracer``);
@@ -96,21 +103,24 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time_ms} < now {self._now}"
             )
-        event = _Event(time_ms, priority, next(self._seq), fn)
-        heapq.heappush(self._heap, event)
+        event = _Event(time_ms, fn)
+        heappush(self._heap, (time_ms, priority, next(self._seq), event))
         return EventHandle(event)
 
     def run_until(self, end_ms: float) -> None:
         """Process events up to and including ``end_ms``."""
         start_ms = self._now
         start_count = self._events_processed
-        while self._heap and self._heap[0].time_ms <= end_ms:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        processed = 0
+        while heap and heap[0][0] <= end_ms:
+            time_ms, _, _, event = heappop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time_ms
-            self._events_processed += 1
+            self._now = time_ms
+            processed += 1
             event.fn()
+        self._events_processed += processed
         self._now = max(self._now, end_ms)
         self._trace_window(start_ms, start_count)
 
@@ -118,13 +128,16 @@ class Simulator:
         """Process every pending event (callers must ensure termination)."""
         start_ms = self._now
         start_count = self._events_processed
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        processed = 0
+        while heap:
+            time_ms, _, _, event = heappop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time_ms
-            self._events_processed += 1
+            self._now = time_ms
+            processed += 1
             event.fn()
+        self._events_processed += processed
         self._trace_window(start_ms, start_count)
 
     def _trace_window(self, start_ms: float, start_count: int) -> None:
@@ -135,6 +148,6 @@ class Simulator:
             )
 
     def peek_next_time(self) -> float | None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_ms if self._heap else None
+        while self._heap and self._heap[0][3].cancelled:
+            heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -349,3 +349,29 @@ class TestModelLoading:
             submit(sim, backend, "a", t, slo=1000.0)
         sim.run()
         assert min(r.completion_ms for r in coll.records) >= 300.0
+
+    def test_schedule_update_preserves_pending_load(self):
+        """Regression: a schedule update must not reset a still-loading
+        session's ready time -- the carried-over state used to keep the
+        default -inf, letting batches run mid-PCIe-transfer."""
+        sim, coll, backend = make_backend()
+        s = spec("a", duty=0.0)
+        s.load_ms = 200.0
+        backend.set_schedule([s])
+        submit(sim, backend, "a", 0.0, slo=500.0)
+        # Re-install the same schedule while the model is still streaming.
+        sim.schedule_at(50.0, lambda: backend.set_schedule([spec("a", duty=0.0)]))
+        sim.run()
+        assert coll.records[0].completion_ms >= 200.0
+
+    def test_greedy_pacing_waits_for_load(self):
+        """Regression: greedy (Clipper/TF-Serving) pacing must also wait
+        for the model load; it used to execute on unloaded models."""
+        sim, coll, backend = make_backend(pacing="greedy")
+        s = spec("a", duty=0.0)
+        s.load_ms = 200.0
+        backend.set_schedule([s])
+        submit(sim, backend, "a", 0.0, slo=500.0)
+        sim.run()
+        assert len(coll.records) == 1
+        assert coll.records[0].completion_ms >= 200.0

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.drop import (
+    DropPolicy,
     EarlyDropPolicy,
     LazyDropPolicy,
     QueuedRequest,
@@ -208,3 +209,70 @@ class TestFigure5And9Shapes:
         assert unconstrained > 10.0
         assert clipped > 10.0
         assert clipped >= unconstrained * 0.5
+
+
+class _ShedThenServePolicy(DropPolicy):
+    """A contract-exercising wrapper: shed expired heads in one ``select``
+    invocation, serve survivors on the next.
+
+    Real dispatchers (and the DropPolicy contract's "empty batch with
+    drops = progress" case) may separate shedding from serving; the
+    simulate_dispatch loop must re-invoke the policy after such a call
+    rather than draining the still-servable queue.
+    """
+
+    def __init__(self, inner: DropPolicy) -> None:
+        self.inner = inner
+
+    def select(self, queue, now_ms, profile):
+        batch, dropped = self.inner.select(queue, now_ms, profile)
+        if dropped:
+            return [], dropped
+        return batch, dropped
+
+
+class TestTailOfTraceDrain:
+    """Regression: the end-of-trace path used to drain still-servable
+    requests as dropped whenever a select() returned an empty batch,
+    even though the policy had just made progress by shedding expired
+    heads and would have served the survivors on the next call."""
+
+    def make_profile(self):
+        return LinearProfile(name="tail", alpha=1.0, beta=0.0, max_batch=64)
+
+    def test_lazy_tail_survivors_served(self):
+        # Ten arrivals at t=0 fill a 10-wide batch that completes at t=10,
+        # by which point the t=0.5 arrival (deadline 10.5) has expired but
+        # the t=7 arrival (deadline 17) is still servable.
+        arrivals = [0.0] * 10 + [0.5, 7.0]
+        stats = simulate_dispatch(
+            arrivals, self.make_profile(), 10.0,
+            _ShedThenServePolicy(LazyDropPolicy()),
+        )
+        assert stats.dropped == 1
+        assert stats.served_ok == 11
+
+    def test_early_tail_survivors_served(self):
+        # Twelve t=0 arrivals back the queue up past t=8, at which point
+        # the early-drop window must shed four stale heads to fit the two
+        # fresh tail requests (deadlines 11 and 17) -- which are then
+        # servable, not drainable.
+        arrivals = [0.0] * 12 + [1.0, 7.0]
+        stats = simulate_dispatch(
+            arrivals, self.make_profile(), 10.0,
+            _ShedThenServePolicy(EarlyDropPolicy(4)),
+        )
+        assert stats.dropped == 4
+        assert stats.served_ok == 10
+        assert stats.total == 14
+
+    def test_builtin_policies_never_drain_servable_tail(self):
+        # The built-in policies always serve-or-drop in one call, so the
+        # whole trace is accounted for and anything servable at the final
+        # dispatch instant is served.
+        for policy in (LazyDropPolicy(), EarlyDropPolicy(8)):
+            stats = simulate_dispatch(
+                [0.0] * 8 + [1.0, 7.0], self.make_profile(), 10.0, policy
+            )
+            assert stats.total == 10
+            assert stats.served_ok >= 1

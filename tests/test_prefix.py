@@ -1,6 +1,8 @@
 """Tests for prefix batching (core/prefix.py + models/specialize.py)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.prefix import (
     PrefixBatchedProfile,
@@ -149,6 +151,69 @@ class TestPrefixBatchedProfile:
             g.combined_profile([-1.0, 2.0])
         with pytest.raises(ValueError):
             g.combined_profile([0.0, 0.0])
+
+
+class TestSplitBatch:
+    """Regression + property coverage for the largest-remainder suffix
+    allocation: per-suffix ``ceil(weight * batch)`` could sum to more
+    than the combined batch, over-counting suffix work."""
+
+    def _profile(self, n, weights=None):
+        prefix = LinearProfile(name="pre", alpha=1.0, beta=10.0)
+        suffixes = [
+            LinearProfile(name=f"suf{i}", alpha=0.5, beta=2.0)
+            for i in range(n)
+        ]
+        return PrefixBatchedProfile(
+            name="fused", prefix=prefix,
+            suffixes=suffixes,
+            weights=weights or [1.0 / n] * n,
+        )
+
+    def test_uneven_split_does_not_overcount(self):
+        # Three even suffixes, batch 4: ceil(4/3) = 2 each summed to 6
+        # inputs of suffix work for a 4-input batch.  Largest remainder
+        # allocates [2, 1, 1].
+        prof = self._profile(3)
+        assert prof.split_batch(4) == [2, 1, 1]
+        expected = (1.0 * 4 + 10.0) + (0.5 * 2 + 2.0) + 2 * (0.5 * 1 + 2.0)
+        assert prof.latency(4) == pytest.approx(expected)
+
+    def test_zero_weight_suffix_gets_nothing(self):
+        prof = self._profile(2, weights=[1.0, 0.0])
+        assert prof.split_batch(5) == [5, 0]
+        # A zero sub-batch contributes no suffix latency.
+        assert prof.latency(5) == pytest.approx((1.0 * 5 + 10.0) + (0.5 * 5 + 2.0))
+
+    def test_unnormalized_weights_allocate_by_share(self):
+        prof = self._profile(2, weights=[3.0, 1.0])
+        assert prof.split_batch(8) == [6, 2]
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            self._profile(2).split_batch(0)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=200),
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1, max_size=6,
+        ).filter(lambda ws: sum(ws) > 0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sub_batches_sum_to_combined_batch(self, batch, weights):
+        prefix = LinearProfile(name="pre", alpha=1.0, beta=1.0)
+        suffixes = [
+            LinearProfile(name=f"s{i}", alpha=0.1, beta=0.1)
+            for i in range(len(weights))
+        ]
+        prof = PrefixBatchedProfile(
+            name="fused", prefix=prefix, suffixes=suffixes, weights=weights
+        )
+        subs = prof.split_batch(batch)
+        assert sum(subs) == batch
+        assert all(s >= 0 for s in subs)
+        assert prof.latency(batch) > 0.0
 
 
 class TestPrefixSuffixProfiles:
