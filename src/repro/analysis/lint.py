@@ -43,6 +43,15 @@ Observability contract (``cluster/`` only):
                           retry or terminal drop happens, keeping exactly
                           one outcome event per logical request.
 
+Performance contract (``core/`` only):
+
+- ``unmemoized-profile-scan``  ``for``-loops over ``range(...max_batch...)``
+                          whose body calls ``.latency()`` per batch size:
+                          an O(max_batch) scan on the planning hot path.
+                          Bisect the precomputed lookup tables instead
+                          (``profile.max_batch_with_latency`` /
+                          ``max_batch_residual`` or ``profile.tables()``).
+
 Suppression: append ``# nexuslint: disable=<rule>[,<rule>...]`` to the
 offending line, or ``# nexuslint: disable-file=<rule>`` anywhere in the
 file for a file-wide waiver.  ``disable=all`` waives every rule.
@@ -81,12 +90,18 @@ RULES: dict[str, str] = {
     "float-equality": "== / != on float quantities; use repro.core.floatcmp",
     "mixed-units": "adding/comparing operands with different unit suffixes",
     "untraced-mutation": "request-state mutation without a TraceEvent emit",
+    "unmemoized-profile-scan":
+        "linear profile.latency() scan over batch sizes; use the "
+        "precomputed profile.tables() lookups",
 }
 
 #: path components that mark deterministic planning code.
 _PLANNING_PARTS = frozenset({"core", "cluster", "simulation"})
 #: path components whose code owns request lifecycle state.
 _LIFECYCLE_PARTS = frozenset({"cluster"})
+#: path components where batch-size scans must go through the
+#: precomputed lookup tables (the planning hot path).
+_PROFILE_SCAN_PARTS = frozenset({"core"})
 
 # wall-clock: dotted callables that read host time.
 _CLOCK_CALLS = frozenset({
@@ -265,6 +280,16 @@ def _is_unordered_iterable(node: ast.expr) -> bool:
     return False
 
 
+def _mentions_max_batch(node: ast.expr) -> bool:
+    """True when any name in the expression is (or ends in) max_batch."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == "max_batch":
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == "max_batch":
+            return True
+    return False
+
+
 def _is_dict_view_or_set(node: ast.expr) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -282,10 +307,12 @@ def _is_dict_view_or_set(node: ast.expr) -> bool:
 class _Linter(ast.NodeVisitor):
     """Single-pass visitor evaluating every applicable rule."""
 
-    def __init__(self, path: str, planning: bool, lifecycle: bool):
+    def __init__(self, path: str, planning: bool, lifecycle: bool,
+                 profile_scan: bool = False):
         self.path = path
         self.planning = planning
         self.lifecycle = lifecycle
+        self.profile_scan = profile_scan
         self.findings: list[Finding] = []
 
     # ------------------------------------------------------------ plumbing
@@ -357,7 +384,36 @@ class _Linter(ast.NodeVisitor):
     def visit_For(self, node: ast.For) -> None:
         if self.planning:
             self._check_unordered_iteration(node.iter)
+        if self.profile_scan:
+            self._check_profile_scan(node)
         self.generic_visit(node)
+
+    def _check_profile_scan(self, node: ast.For) -> None:
+        """``for b in range(..., max_batch...): ... .latency(b) ...`` is a
+        linear scan the precomputed lookup tables replace."""
+        it = _iter_target(node.iter)
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        ):
+            return
+        if not any(_mentions_max_batch(arg) for arg in it.args):
+            return
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "latency"
+            ):
+                self._report(
+                    node, "unmemoized-profile-scan",
+                    "O(max_batch) latency() scan in planning code; bisect "
+                    "the precomputed tables instead "
+                    "(profile.max_batch_with_latency / max_batch_residual "
+                    "or profile.tables())",
+                )
+                return
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
         if self.planning:
@@ -482,9 +538,13 @@ class _Linter(ast.NodeVisitor):
 # --------------------------------------------------------------- front end
 
 
-def _scopes_for(rel_path: Path) -> tuple[bool, bool]:
+def _scopes_for(rel_path: Path) -> tuple[bool, bool, bool]:
     parts = set(rel_path.parts[:-1])
-    return bool(parts & _PLANNING_PARTS), bool(parts & _LIFECYCLE_PARTS)
+    return (
+        bool(parts & _PLANNING_PARTS),
+        bool(parts & _LIFECYCLE_PARTS),
+        bool(parts & _PROFILE_SCAN_PARTS),
+    )
 
 
 def lint_source(
@@ -495,10 +555,11 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one unit of Python source; returns findings (never raises on
     rule matches, raises ``SyntaxError`` on unparsable input)."""
-    planning, lifecycle = _scopes_for(rel_path or Path(path))
+    planning, lifecycle, profile_scan = _scopes_for(rel_path or Path(path))
     per_line, file_wide = _parse_suppressions(source)
     tree = ast.parse(source, filename=path)
-    visitor = _Linter(path, planning=planning, lifecycle=lifecycle)
+    visitor = _Linter(path, planning=planning, lifecycle=lifecycle,
+                      profile_scan=profile_scan)
     visitor.visit(tree)
     findings = [
         f for f in visitor.findings

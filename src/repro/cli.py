@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output JSON path (default: "
                             "BENCH_simulator.json in the current "
                             "directory; '-' to skip writing)")
+    bench.add_argument("--check-against", default=None, metavar="PATH",
+                       dest="check_against",
+                       help="compare rate metrics against a committed "
+                            "baseline JSON; exit 1 on a >30%% "
+                            "regression, exit 0 with a notice when the "
+                            "hardware fingerprint differs")
 
     return parser
 
@@ -295,8 +301,13 @@ def _cmd_lint(paths: list[str], rules: str | None, fmt: str,
 
 
 def _cmd_bench(quick: bool, workers: int, repeats: int,
-               out: str | None) -> int:
-    from .experiments.bench import DEFAULT_OUT, format_bench, run_bench
+               out: str | None, check_against: str | None = None) -> int:
+    from .experiments.bench import (
+        DEFAULT_OUT,
+        check_regression,
+        format_bench,
+        run_bench,
+    )
 
     out_path = DEFAULT_OUT if out is None else (None if out == "-" else out)
     payload = run_bench(quick=quick, workers=workers, out_path=out_path,
@@ -304,6 +315,12 @@ def _cmd_bench(quick: bool, workers: int, repeats: int,
     print(format_bench(payload))
     if out_path:
         print(f"baseline -> {out_path}", file=sys.stderr)
+    if check_against:
+        status, lines = check_regression(payload, check_against)
+        print(f"regression gate vs {check_against}: {status}")
+        for line in lines:
+            print(f"  {line}")
+        return 1 if status == "fail" else 0
     return 0
 
 
@@ -325,7 +342,8 @@ def _dispatch(args) -> int:
         return _cmd_lint(args.paths, args.rules, args.lint_format,
                          args.list_rules)
     if args.command == "bench":
-        return _cmd_bench(args.quick, args.workers, args.repeats, args.out)
+        return _cmd_bench(args.quick, args.workers, args.repeats, args.out,
+                          args.check_against)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -153,6 +153,8 @@ class Backend:
         self._cycle_pos = 0
         self._busy = False
         self._wake: EventHandle | None = None
+        #: absolute time the armed wake fires (meaningful iff _wake set).
+        self._wake_at = math.inf
         #: False once :meth:`fail` fires; a dead backend executes nothing
         #: and fails every request handed to it until :meth:`recover`.
         self.alive = True
@@ -296,10 +298,11 @@ class Backend:
                           request.deadline_ms)
         )
         state.requests[request.request_id] = request
-        self.tracer.request_admitted(
-            self.sim.now, request.session_id, request.request_id,
-            request.deadline_ms, gpu_id=self.gpu_id,
-        )
+        if self.tracer.recording:  # one-predicate gate on the hot path
+            self.tracer.request_admitted(
+                self.sim.now, request.session_id, request.request_id,
+                request.deadline_ms, gpu_id=self.gpu_id,
+            )
         self._kick()
 
     # ------------------------------------------------------------ execution
@@ -388,14 +391,18 @@ class Backend:
         # Cycle pacing: round robin, but a session only runs again once its
         # duty cycle has elapsed -- unless its queue already holds a full
         # batch (burst catch-up).
+        order = self._order
+        sessions = self._sessions
+        pos = self._cycle_pos
         for i in range(n):
-            sid = self._order[(self._cycle_pos + i) % n]
-            state = self._sessions[sid]
-            if not state.queue or now < state.ready_ms:
+            sid = order[(pos + i) % n]
+            state = sessions[sid]
+            queue = state.queue
+            if not queue or now < state.ready_ms:
                 continue
-            due = now - state.last_start_ms >= state.spec.duty_cycle_ms - 1e-9
-            full = len(state.queue) >= state.spec.target_batch
-            if due or full:
+            spec = state.spec
+            if (now - state.last_start_ms >= spec.duty_cycle_ms - 1e-9
+                    or len(queue) >= spec.target_batch):
                 return sid
         # Deadline rescue: a head request that cannot survive waiting for
         # its session's next duty slot runs now (the GPU is idle anyway).
@@ -453,10 +460,15 @@ class Backend:
         self, state: _SessionState, head: QueuedRequest, now: float
     ) -> bool:
         """Would waiting for the next duty slot make ``head`` miss?"""
-        due_time = max(now, state.last_start_ms + state.spec.duty_cycle_ms)
-        batch = min(len(state.queue), state.spec.target_batch)
-        exec_ms = state.spec.profile.latency(max(1, batch))
-        return due_time + exec_ms > head.deadline_ms - 1e-6
+        spec = state.spec
+        due_time = state.last_start_ms + spec.duty_cycle_ms
+        if due_time < now:
+            due_time = now
+        # Queue is non-empty and target_batch >= 1, so batch >= 1.
+        batch = len(state.queue)
+        if batch > spec.target_batch:
+            batch = spec.target_batch
+        return due_time + spec.profile.latency(batch) > head.deadline_ms - 1e-6
 
     def _advance_cycle(self, executed_sid: str) -> None:
         idx = self._index.get(executed_sid)
@@ -468,37 +480,49 @@ class Backend:
         """Nothing runnable now: wake at the next dueness or rescue point."""
         next_wake = math.inf
         for state in self._sessions.values():
-            if not state.queue:
+            queue = state.queue
+            if not queue:
                 continue
-            due_time = state.last_start_ms + state.spec.duty_cycle_ms
-            head = state.queue[0]
-            batch = min(len(state.queue), state.spec.target_batch)
-            rescue_time = head.deadline_ms - state.spec.profile.latency(
-                max(1, batch)
-            )
-            next_wake = min(next_wake,
-                            max(min(due_time, rescue_time), state.ready_ms))
+            spec = state.spec
+            due_time = state.last_start_ms + spec.duty_cycle_ms
+            # Queue is non-empty and target_batch >= 1, so batch >= 1.
+            batch = len(queue)
+            if batch > spec.target_batch:
+                batch = spec.target_batch
+            rescue_time = queue[0].deadline_ms - spec.profile.latency(batch)
+            wake = due_time if due_time < rescue_time else rescue_time
+            if wake < state.ready_ms:
+                wake = state.ready_ms
+            if wake < next_wake:
+                next_wake = wake
         if self.defer_missed and not math.isfinite(next_wake):
             if any(s.deferred for s in self._sessions.values()):
                 next_wake = now
         if math.isfinite(next_wake):
             delay = max(0.0, next_wake - now)
             self._wake = self.sim.schedule(delay, self._kick)
+            self._wake_at = now + delay
 
     def _on_batch_done(
         self, state: _SessionState, batch: list[QueuedRequest], completion: float
     ) -> None:
         self._busy = False
         self._inflight = None
+        tracer = self.tracer
+        emit = tracer.enabled  # hoisted one-predicate gate
+        session_id = state.spec.session_id
+        gpu_id = self.gpu_id
+        requests = state.requests
         for q in batch:
-            request = state.requests.pop(q.request_id, None)
+            request = requests.pop(q.request_id, None)
             if request is None:
                 continue
             ok = completion <= q.deadline_ms
-            self.tracer.request_completed(
-                completion, state.spec.session_id, q.request_id,
-                q.arrival_ms, q.deadline_ms, ok, gpu_id=self.gpu_id,
-            )
+            if emit:
+                tracer.request_completed(
+                    completion, session_id, q.request_id,
+                    q.arrival_ms, q.deadline_ms, ok, gpu_id=gpu_id,
+                )
             if request.on_complete is not None:
                 request.on_complete(request, completion, ok)
         self._kick()
@@ -512,11 +536,12 @@ class Backend:
 
     def _record_drop(self, request: Request, now: float,
                      reason: str = DROP_EARLY) -> None:
-        self.tracer.request_dropped(
-            now, request.session_id, request.request_id,
-            request.arrival_ms, request.deadline_ms, reason,
-            gpu_id=self.gpu_id,
-        )
+        if self.tracer.enabled:  # one-predicate gate on the hot path
+            self.tracer.request_dropped(
+                now, request.session_id, request.request_id,
+                request.arrival_ms, request.deadline_ms, reason,
+                gpu_id=self.gpu_id,
+            )
         if request.on_drop is not None:
             request.on_drop(request, now)
 

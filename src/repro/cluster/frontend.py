@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, cast
 
 import numpy as np
 
@@ -54,7 +54,7 @@ class RetryPolicy:
         return self.backoff_ms * self.multiplier ** max(0, attempt - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Route:
     backend: Backend
     weight: float
@@ -93,15 +93,30 @@ class RoutingTable:
         window only requests already routed (or racing the failure) land
         on the corpse and need the retry path.
         """
-        routes = self._routes.get(self.resolve(session_id))
+        return self.pick_resolved(session_id)[0]
+
+    def pick_resolved(self, session_id: str) -> tuple[Backend | None, str]:
+        """:meth:`pick` plus the resolved session id (one alias lookup)."""
+        resolved = self._alias.get(session_id, session_id)
+        routes = self._routes.get(resolved)
         if not routes:
-            return None
-        live = [r for r in routes if r.backend.alive]
-        if not live:
-            return None
-        best = min(live, key=lambda r: (r.served / r.weight, r.index))
+            return None, resolved
+        # Single pass, no intermediate list: routes are stored in index
+        # order, so keeping the first strict minimum of served/weight
+        # reproduces the (served/weight, index) tie-break exactly.
+        best: _Route | None = None
+        best_key = 0.0
+        for route in routes:
+            if not route.backend.alive:
+                continue
+            key = route.served / route.weight
+            if best is None or key < best_key:
+                best = route
+                best_key = key
+        if best is None:
+            return None, resolved
         best.served += 1
-        return best.backend
+        return best.backend, resolved
 
     def sessions(self) -> list[str]:
         return list(self._routes)
@@ -129,6 +144,7 @@ class QueryInstance:
         self.failed = False
         self.finished = False
         self.completion_ms = arrival_ms
+        self._budgets: dict[str, float] | None = None
 
     def spawn(self, stage: QueryStage, count: int) -> None:
         self.outstanding += count
@@ -137,7 +153,8 @@ class QueryInstance:
 
     def stage_done(self, stage: QueryStage, completion_ms: float, ok: bool) -> None:
         self.outstanding -= 1
-        self.completion_ms = max(self.completion_ms, completion_ms)
+        if completion_ms > self.completion_ms:
+            self.completion_ms = completion_ms
         if not ok:
             self.failed = True
         else:
@@ -202,6 +219,9 @@ class Frontend:
         #: observed per-query arrival counters (whole queries, counted at
         #: submission -- robust to source-stage roots that never dispatch).
         self.query_counters: dict[str, int] = {}
+        #: interned "<query>/<stage>" ids, built once per (query, stage)
+        #: instead of formatting a fresh string per dispatched request.
+        self._session_ids: dict[tuple[str, str], str] = {}
 
     # ------------------------------------------------------ single requests
 
@@ -215,9 +235,9 @@ class Frontend:
         self.session_counters[session_id] = (
             self.session_counters.get(session_id, 0) + 1
         )
-        backend = self.routing.pick(session_id)
+        backend, resolved = self.routing.pick_resolved(session_id)
         request = Request(
-            session_id=self.routing.resolve(session_id),
+            session_id=resolved,
             arrival_ms=now,
             deadline_ms=now + slo_ms,
             on_complete=on_complete,
@@ -241,24 +261,32 @@ class Frontend:
         """Start a query; per-stage SLOs come from ``budgets_ms`` (the
         latency split) or default to the whole remaining query budget."""
         instance = QueryInstance(self, query, self.sim.now)
-        instance._budgets = budgets_ms  # type: ignore[attr-defined]
+        instance._budgets = budgets_ms
         self.query_counters[query.name] = (
             self.query_counters.get(query.name, 0) + 1
         )
-        self.tracer.query_submitted(
-            instance.arrival_ms, query.name, instance.query_id,
-            instance.deadline_ms,
-        )
+        if self.tracer.recording:  # one-predicate gate on the hot path
+            self.tracer.query_submitted(
+                instance.arrival_ms, query.name, instance.query_id,
+                instance.deadline_ms,
+            )
         instance.spawn(query.root, max(1, self._sample_fanout(query.root.gamma)))
         return instance
 
     def _stage_session_id(self, instance: QueryInstance, stage: QueryStage) -> str:
-        return f"{instance.query.name}/{stage.name}"
+        key = (instance.query.name, stage.name)
+        sid = self._session_ids.get(key)
+        if sid is None:
+            sid = f"{instance.query.name}/{stage.name}"
+            self._session_ids[key] = sid
+        return sid
 
     def _stage_budget(self, instance: QueryInstance, stage: QueryStage) -> float:
-        budgets = getattr(instance, "_budgets", None)
-        if budgets and stage.name in budgets:
-            return budgets[stage.name]
+        budgets = instance._budgets
+        if budgets is not None:
+            budget = budgets.get(stage.name)
+            if budget is not None:
+                return budget
         return instance.deadline_ms - self.sim.now
 
     def _dispatch_stage(self, instance: QueryInstance, stage: QueryStage) -> None:
@@ -268,22 +296,23 @@ class Frontend:
             instance.stage_done(stage, now, True)
             return
         session_id = self._stage_session_id(instance, stage)
-        self.session_counters[session_id] = (
-            self.session_counters.get(session_id, 0) + 1
-        )
-        backend = self.routing.pick(session_id)
+        counters = self.session_counters
+        counters[session_id] = counters.get(session_id, 0) + 1
+        backend, resolved = self.routing.pick_resolved(session_id)
         budget = self._stage_budget(instance, stage)
         # The stage's own deadline: its latency split, but never beyond the
         # whole-query deadline.
-        deadline = min(now + budget, instance.deadline_ms)
+        deadline = now + budget
+        if deadline > instance.deadline_ms:
+            deadline = instance.deadline_ms
+        # Shared bound-method callbacks with the (instance, stage) pair in
+        # ``context`` -- two closure allocations per request saved.
+        # Positional construction (field order of Request); this runs once
+        # per dispatched stage invocation.
         request = Request(
-            session_id=self.routing.resolve(session_id),
-            arrival_ms=now,
-            deadline_ms=deadline,
-            on_complete=lambda req, t, ok, s=stage: instance.stage_done(s, t, ok),
-            on_drop=lambda req, t, s=stage: instance.stage_dropped(s, t),
-            on_fail=self._handle_backend_failure,
-            context=instance,
+            resolved, now, deadline, new_request_id(),
+            self._stage_complete, self._stage_drop,
+            self._handle_backend_failure, 0, (instance, stage),
         )
         if backend is None:
             self.routing_failures += 1
@@ -292,6 +321,18 @@ class Frontend:
             return
         self.dispatched += 1
         backend.enqueue(request)
+
+    def _stage_complete(self, request: Request, t: float, ok: bool) -> None:
+        instance, stage = cast(
+            "tuple[QueryInstance, QueryStage]", request.context
+        )
+        instance.stage_done(stage, t, ok)
+
+    def _stage_drop(self, request: Request, t: float) -> None:
+        instance, stage = cast(
+            "tuple[QueryInstance, QueryStage]", request.context
+        )
+        instance.stage_dropped(stage, t)
 
     # ---------------------------------------------------- failure handling
 

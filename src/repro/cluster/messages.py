@@ -15,7 +15,7 @@ def new_request_id() -> int:
     return next(_request_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One model invocation in flight.
 

@@ -46,6 +46,11 @@ class EpochUpdate:
     gpus_after: int
     sessions_moved: int
     triggered: bool
+    #: plan nodes carried over *unchanged* from the previous epoch (the
+    #: incremental fast path reused the GpuPlan object instead of
+    #: rebuilding it).  Zero when the GPU cap forced a proportional
+    #: repack of every node.
+    nodes_reused: int = 0
 
     @property
     def gpus_added(self) -> int:
@@ -134,6 +139,8 @@ class EpochScheduler:
             from ..analysis.plan_check import assert_valid_plan
 
             assert_valid_plan(new_plan, memory_capacity=self.memory_capacity)
+        prev_nodes = {id(n) for n in self.plan.gpus}
+        reused = sum(1 for n in new_plan.gpus if id(n) in prev_nodes)
         self.plan = new_plan
 
         moved = self._count_moves(before_assignment, self._assignment())
@@ -147,6 +154,7 @@ class EpochScheduler:
             gpus_after=self.plan.num_gpus,
             sessions_moved=moved,
             triggered=True,
+            nodes_reused=reused,
         )
         self.updates.append(update)
         return update
@@ -166,6 +174,46 @@ class EpochScheduler:
         for node in sorted(
             self.plan.gpus, key=lambda n: (-n.occupancy, n.node_id)
         ):
+            # Fast path: when every allocation on this node would take
+            # exactly its current rate again, the rebuild below reproduces
+            # the node verbatim (same loads, batches, duty cycle), so the
+            # existing GpuPlan object can be reused without reconstructing
+            # allocations or re-running the eviction loop.  This is the
+            # common case between epochs: most sessions' rates are
+            # unchanged and only a few nodes need repacking.
+            reuse = bool(node.allocations)
+            taken: dict[str, float] = {}
+            for alloc in node.allocations:
+                sid = alloc.session_id
+                load = alloc.load
+                cur = by_id.get(sid)
+                remaining = taken.get(sid, demand.get(sid, 0.0))
+                if cur is None or remaining <= 1e-9:
+                    reuse = False
+                    break
+                supplied = alloc.batch / max(node.duty_cycle_ms, 1e-9) * 1000.0
+                take = remaining if remaining < supplied else supplied
+                # Exact float equality is deliberate: the rebuilt
+                # allocation would carry precisely ``take`` as its rate,
+                # so any difference -- however small -- means the node's
+                # contents would change and it must be rebuilt.
+                if (
+                    take != load.rate_rps
+                    or cur.profile is not load.profile
+                    or cur.session != load.session
+                ):
+                    reuse = False
+                    break
+                taken[sid] = remaining - take
+            # One validate() call guards the reuse (identical to the first
+            # iteration of the slow path's eviction check, since the node
+            # contents match what the rebuild would produce); the savings
+            # come from skipping the allocation/GpuPlan reconstruction.
+            if reuse and not node.validate(self.memory_capacity):
+                demand.update(taken)
+                kept.append(node)
+                continue
+
             new_allocs: list[Allocation] = []
             for alloc in node.allocations:
                 sid = alloc.session_id

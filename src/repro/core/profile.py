@@ -26,8 +26,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .profile_tables import ProfileTables
+
 __all__ = ["BatchingProfile", "LinearProfile", "TabulatedProfile",
-           "EffectiveProfile"]
+           "EffectiveProfile", "ProfileTables"]
 
 #: Default ceiling on batch size: profiles refuse batches above this even
 #: when memory permits (real frameworks cap batch dimensions too).
@@ -62,12 +64,36 @@ class BatchingProfile:
     cpu_workers: int = 1
     memory_model_bytes: int = 0
     memory_per_input_bytes: int = 0
+    #: Lazily built lookup tables (:meth:`tables`); cached per instance,
+    #: deliberately *not* a dataclass field in the subclasses.
+    _cached_tables: ProfileTables | None = None
 
     # ------------------------------------------------------------ primitives
 
     def latency(self, batch: int) -> float:
         """GPU execution latency (ms) of one batch of the given size."""
         raise NotImplementedError
+
+    def _scan_latency(self, batch: int) -> float:
+        """``latency()`` computed without consulting the lookup tables.
+
+        The :class:`ProfileTables` builder calls this; subclasses whose
+        ``latency`` reads the tables (:class:`EffectiveProfile`) override
+        it with the raw computation so the build cannot recurse.
+        """
+        return self.latency(batch)
+
+    def tables(self) -> ProfileTables:
+        """Precomputed monotone lookup tables for this profile.
+
+        Built on first use and cached on the instance; profiles are
+        treated as immutable once the scheduler has consumed them.
+        """
+        tab = self._cached_tables
+        if tab is None:
+            tab = ProfileTables(self)
+            self._cached_tables = tab
+        return tab
 
     def cpu_time(self, batch: int, pooled: bool = True) -> float:
         """CPU time (ms) to pre+post-process one batch.
@@ -105,17 +131,12 @@ class BatchingProfile:
         return batch / lat * 1000.0
 
     def max_batch_with_latency(self, budget_ms: float) -> int:
-        """Largest batch whose *execution latency* fits the budget (0 if none)."""
-        if self.latency(1) > budget_ms:
-            return 0
-        lo, hi = 1, self.max_batch
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self.latency(mid) <= budget_ms:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo
+        """Largest batch whose *execution latency* fits the budget (0 if none).
+
+        Bisects the precomputed latency table with the same probe sequence
+        a direct binary search over ``latency()`` would take.
+        """
+        return self.tables().max_batch_with_latency(budget_ms)
 
     def max_batch_under_slo(self, slo_ms: float) -> int:
         """Largest batch B with ``2 * latency(B) <= slo``.
@@ -123,9 +144,17 @@ class BatchingProfile:
         Section 4.1: a request that just misses a batch waits for the whole
         next batch, so worst-case latency is twice the batch execution
         cost; this bounds the batch usable by a GPU saturated with one
-        session.
+        session.  Memoized per SLO: ``schedule_saturate`` asks the same
+        question for the same session every epoch.
         """
-        return self.max_batch_with_latency(slo_ms / 2.0)
+        memo = self.tables().slo_memo
+        hit = memo.get(slo_ms)
+        if hit is None:
+            # Route through the (possibly overridden) budget search so
+            # e.g. LinearProfile's closed form keeps answering.
+            hit = self.max_batch_with_latency(slo_ms / 2.0)
+            memo[slo_ms] = hit
+        return hit
 
     def peak_throughput_under_slo(self, slo_ms: float) -> float:
         """Best requests/second a dedicated GPU can serve within the SLO."""
@@ -143,17 +172,12 @@ class BatchingProfile:
         one executes on arrival and needs no gathering).  This keeps
         low-rate sessions with tight SLOs feasible, matching a runtime
         that dispatches as soon as the target batch fills.
+
+        Gather time is strictly increasing and latency non-decreasing, so
+        the feasibility predicate bisects over the precomputed curve;
+        results are memoized per ``(rate, slo)`` for epoch replanning.
         """
-        if rate_rps <= 0:
-            return 0
-        best = 0
-        for b in range(1, self.max_batch + 1):
-            gather_ms = (b - 1) / rate_rps * 1000.0
-            if gather_ms + self.latency(b) <= slo_ms:
-                best = b
-            elif self.latency(b) > slo_ms:
-                break
-        return best
+        return self.tables().max_batch_residual(rate_rps, slo_ms)
 
     def memory_bytes(self, batch: int) -> int:
         """Resident GPU memory with the model loaded at this batch size."""
@@ -317,6 +341,26 @@ class EffectiveProfile(BatchingProfile):
         self.cpu_workers = 1
         self.memory_model_bytes = self.base.memory_model_bytes
         self.memory_per_input_bytes = self.base.memory_per_input_bytes
+        # Direct handle on the latency array: latency() sits on the
+        # dispatch hot path and base occupancy (esp. prefix-batched
+        # bases) is expensive to recompute per call.
+        self._latency_table: tuple[float, ...] | None = None
+
+    def _scan_latency(self, batch: int) -> float:
+        # Raw computation for the table builder (no table reads).
+        return self.base.occupancy_time(batch, overlap=self.overlap)
 
     def latency(self, batch: int) -> float:
+        table = self._latency_table
+        if table is None:
+            table = self.tables().latency_ms
+            self._latency_table = table
+        if 1 <= batch <= len(table):
+            return table[batch - 1]
+        # Out-of-range batches keep the base profile's exact error.
         return self.base.occupancy_time(batch, overlap=self.overlap)
+
+    def occupancy_time(self, batch: int, overlap: bool = True) -> float:
+        # pre_ms/post_ms are folded into latency (both zero here), so the
+        # slot time equals latency whichever way the flag points.
+        return self.latency(batch)

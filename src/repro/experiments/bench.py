@@ -28,7 +28,7 @@ from ..simulation.simulator import Simulator
 from ..workloads.arrivals import poisson_arrivals
 from .common import parallel_map
 
-__all__ = ["run_bench", "DEFAULT_OUT", "format_bench"]
+__all__ = ["run_bench", "DEFAULT_OUT", "format_bench", "check_regression"]
 
 DEFAULT_OUT = "BENCH_simulator.json"
 SCHEMA = "repro-bench/1"
@@ -136,22 +136,75 @@ def bench_parallel_sweep(duration_ms: float, workers: int,
     rates = [400.0 + 150.0 * i for i in range(points)]
     tasks = [(rate, duration_ms, seed) for rate in rates]
 
+    # More workers than cores only adds process-spawn overhead and makes
+    # the "speedup" misleading, so clamp to the machine and record both
+    # the requested and the effective count.
+    effective = max(1, min(workers, os.cpu_count() or 1))
+
     t0 = time.perf_counter()
     serial = parallel_map(_cluster_point, tasks, workers=1)
     serial_wall = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    parallel = parallel_map(_cluster_point, tasks, workers=workers)
+    parallel = parallel_map(_cluster_point, tasks, workers=effective)
     parallel_wall = time.perf_counter() - t0
 
     return {
-        "workers": workers,
+        "workers": effective,
+        "workers_requested": workers,
         "points": points,
         "sim_duration_ms": duration_ms,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3),
         "identical_results": serial == parallel,
+    }
+
+
+def bench_epoch_schedule(epochs: int = 200, sessions: int = 40,
+                         seed: int = 0) -> dict:
+    """Epoch-scheduler throughput under a mostly-stable workload.
+
+    Each simulated epoch perturbs a few sessions' rates and leaves the
+    rest untouched -- the steady-state shape the incremental replanner is
+    built for.  ``reuse_fraction`` reports how many plan nodes per epoch
+    were carried over unchanged instead of repacked.
+    """
+    from ..core.epoch import EpochScheduler
+    from ..core.session import Session, SessionLoad
+
+    rng = random.Random(seed)
+    loads = []
+    for i in range(sessions):
+        profile = LinearProfile(
+            name=f"m{i}", alpha=1.0 + (i % 5) * 0.5,
+            beta=10.0 + (i % 7) * 5.0, max_batch=64,
+        )
+        slo_ms = 100.0 + 25.0 * (i % 8)
+        loads.append(
+            SessionLoad(Session(f"m{i}", slo_ms), 50.0 + 10.0 * (i % 11),
+                        profile)
+        )
+
+    sched = EpochScheduler()
+    sched.update(0.0, loads)  # initial full pack, outside the timer
+    reused = 0
+    total_nodes = 0
+    t0 = time.perf_counter()
+    for epoch in range(1, epochs + 1):
+        for idx in rng.sample(range(sessions), 3):
+            loads[idx] = loads[idx].with_rate(20.0 + rng.random() * 200.0)
+        up = sched.update(epoch * 30_000.0, loads)
+        reused += up.nodes_reused
+        total_nodes += up.gpus_after
+    wall = time.perf_counter() - t0
+    return {
+        "epochs": epochs,
+        "sessions": sessions,
+        "wall_s": round(wall, 4),
+        "epochs_per_s": round(epochs / wall),
+        "reuse_fraction": round(reused / max(total_nodes, 1), 4),
+        "gpus_final": sched.num_gpus,
     }
 
 
@@ -164,14 +217,17 @@ def run_bench(quick: bool = False, workers: int = 4,
 
     ``quick`` scales the workloads down ~10x for CI smoke runs; the JSON
     records which mode produced it so baselines are never cross-compared.
-    Micro-benches keep the best of ``repeats`` runs (least-noise
-    estimator); the cluster benches run once, they are long enough to be
-    stable.
+    The single-run benches keep the best of ``repeats`` runs (least-noise
+    estimator -- single-core CI containers jitter 10-20% run to run); the
+    parallel sweep runs once, its serial/parallel ratio is
+    self-normalizing.
     """
     if quick:
         events, dispatch_ms, cluster_ms, points = 50_000, 20_000.0, 4_000.0, 4
+        epochs = 60
     else:
         events, dispatch_ms, cluster_ms, points = 200_000, 60_000.0, 20_000.0, 6
+        epochs = 200
     if sweep_points is not None:
         points = sweep_points
     repeats = max(1, repeats)
@@ -184,7 +240,14 @@ def run_bench(quick: bool = False, workers: int = 4,
         (bench_dispatch(dispatch_ms) for _ in range(repeats)),
         key=lambda r: r["wall_s"],
     )
-    cluster = bench_cluster(cluster_ms)
+    epoch_sched = min(
+        (bench_epoch_schedule(epochs) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    cluster = min(
+        (bench_cluster(cluster_ms) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
     sweep = bench_parallel_sweep(cluster_ms / 2, workers=workers,
                                  points=points)
 
@@ -198,6 +261,7 @@ def run_bench(quick: bool = False, workers: int = 4,
         "benchmarks": {
             "simulator_event_loop": event_loop,
             "simulate_dispatch": dispatch,
+            "epoch_schedule": epoch_sched,
             "cluster_headline": cluster,
             "parallel_cluster_sweep": sweep,
         },
@@ -207,6 +271,65 @@ def run_bench(quick: bool = False, workers: int = 4,
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return payload
+
+
+#: Rate metrics the regression gate compares (higher is better).  Only
+#: workload-size-independent rates are listed: wall_s depends on the
+#: configured workload, so quick and full runs stay comparable here.
+_GATE_METRICS = (
+    ("simulator_event_loop", "events_per_s"),
+    ("simulate_dispatch", "requests_per_s"),
+    ("epoch_schedule", "epochs_per_s"),
+    ("cluster_headline", "sim_ms_per_wall_s"),
+)
+
+
+def check_regression(payload: dict, baseline_path: str,
+                     threshold: float = 0.30) -> tuple[str, list[str]]:
+    """Gate a fresh bench payload against a committed baseline.
+
+    Returns ``(status, lines)`` where status is ``"ok"`` (all rate
+    metrics within ``threshold`` of the baseline), ``"fail"`` (some rate
+    dropped more than ``threshold``), or ``"skip"`` (the baseline was
+    produced on different hardware -- platform string or CPU count
+    differ -- or cannot be read, so a wall-clock comparison would be
+    meaningless).  Rates are compared, never wall seconds, so a quick
+    run can be gated against a full-mode baseline.
+    """
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return "skip", [f"baseline {baseline_path} unreadable: {exc}"]
+
+    for key in ("platform", "cpu_count"):
+        if baseline.get(key) != payload.get(key):
+            return "skip", [
+                "hardware fingerprint mismatch "
+                f"({key}: baseline {baseline.get(key)!r}, "
+                f"current {payload.get(key)!r}); not comparable"
+            ]
+
+    status = "ok"
+    lines = []
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = payload.get("benchmarks", {})
+    for bench, metric in _GATE_METRICS:
+        old = base_benches.get(bench, {}).get(metric)
+        new = cur_benches.get(bench, {}).get(metric)
+        if not old or not new:
+            lines.append(f"{bench}.{metric}: missing from baseline or "
+                         "current run; not compared")
+            continue
+        change = (new - old) / old
+        verdict = "ok"
+        if change < -threshold:
+            status = "fail"
+            verdict = f"REGRESSION (>{threshold:.0%} drop)"
+        lines.append(
+            f"{bench}.{metric}: {old:,} -> {new:,} ({change:+.1%}) {verdict}"
+        )
+    return status, lines
 
 
 def format_bench(payload: dict) -> str:
@@ -220,6 +343,10 @@ def format_bench(payload: dict) -> str:
         ["simulate_dispatch",
          f"{b['simulate_dispatch']['requests_per_s']:,} reqs/s",
          b["simulate_dispatch"]["wall_s"]],
+        ["epoch_schedule",
+         f"{b['epoch_schedule']['epochs_per_s']:,} epochs/s "
+         f"({b['epoch_schedule']['reuse_fraction']:.0%} reused)",
+         b["epoch_schedule"]["wall_s"]],
         ["cluster_headline",
          f"{b['cluster_headline']['sim_ms_per_wall_s']:,} sim-ms/s",
          b["cluster_headline"]["wall_s"]],

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 __all__ = ["RequestRecord", "MetricsCollector", "TimeSeries"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Outcome of one request (or one whole query)."""
 

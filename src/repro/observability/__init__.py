@@ -53,6 +53,7 @@ from .exporters import (
 from .tracer import (
     NULL_TRACER,
     MetricsSink,
+    NullTracer,
     TraceBuffer,
     Tracer,
     active_trace_buffer,
@@ -70,7 +71,7 @@ __all__ = [
     "SESSION_RELOCATED", "SESSION_REMOVED", "SIM_WINDOW",
     "OUTCOME_KINDS", "LIFECYCLE_KINDS",
     # tracer
-    "Tracer", "TraceBuffer", "MetricsSink", "NULL_TRACER",
+    "Tracer", "NullTracer", "TraceBuffer", "MetricsSink", "NULL_TRACER",
     "tracer_for_collector", "capture_trace", "active_trace_buffer",
     "set_active_trace_buffer",
     # exporters

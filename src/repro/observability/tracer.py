@@ -52,6 +52,7 @@ from .events import (
 
 __all__ = [
     "Tracer",
+    "NullTracer",
     "TraceBuffer",
     "MetricsSink",
     "NULL_TRACER",
@@ -140,11 +141,11 @@ class MetricsSink:
         arrival_ms: float, deadline_ms: float, ok: bool,
         gpu_id: int | None,
     ) -> None:
+        # Positional RequestRecord construction: these two run once per
+        # simulated request.
         if self.invocation is not None:
-            self.invocation.record(RequestRecord(
-                request_id=request_id, session_id=session_id,
-                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
-                completion_ms=ts_ms, dropped=False,
+            self.invocation.records.append(RequestRecord(
+                request_id, session_id, arrival_ms, deadline_ms, ts_ms, False,
             ))
 
     def fast_request_dropped(
@@ -153,10 +154,8 @@ class MetricsSink:
         gpu_id: int | None,
     ) -> None:
         if self.invocation is not None:
-            self.invocation.record(RequestRecord(
-                request_id=request_id, session_id=session_id,
-                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
-                completion_ms=None, dropped=True,
+            self.invocation.records.append(RequestRecord(
+                request_id, session_id, arrival_ms, deadline_ms, None, True,
             ))
 
     def fast_batch_executed(
@@ -171,10 +170,9 @@ class MetricsSink:
         arrival_ms: float, deadline_ms: float, ok: bool,
     ) -> None:
         if self.query is not None:
-            self.query.record(RequestRecord(
-                request_id=query_id, session_id=query_name,
-                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
-                completion_ms=ts_ms if ok else None, dropped=not ok,
+            self.query.records.append(RequestRecord(
+                query_id, query_name, arrival_ms, deadline_ms,
+                ts_ms if ok else None, not ok,
             ))
 
     def fast_plan_applied(self, ts_ms: float, gpus: int) -> None:
@@ -183,9 +181,15 @@ class MetricsSink:
 
 
 class Tracer:
-    """Dispatches typed events to sinks; a no-op without sinks."""
+    """Dispatches typed events to sinks; a no-op without sinks.
 
-    __slots__ = ("_sinks", "_lifecycle", "_fast", "_frozen")
+    ``enabled`` ("any sink listening?") and ``recording`` ("does anything
+    want the lifecycle stream?") are plain attributes, not properties:
+    hot call sites in ``Backend``/``Frontend`` gate per-request emits on
+    them so a disabled tracer costs one attribute load + one branch.
+    """
+
+    __slots__ = ("_sinks", "enabled", "recording", "_fast", "_frozen")
 
     def __init__(
         self, sinks: list[object] | tuple[object, ...] = (),
@@ -196,26 +200,19 @@ class Tracer:
         self._refresh()
 
     def _refresh(self) -> None:
-        self._lifecycle = any(
+        #: any sink listening at all?
+        self.enabled = bool(self._sinks)
+        #: is the full (lifecycle-inclusive) stream being consumed?
+        self.recording = any(
             getattr(s, "wants_lifecycle", True) for s in self._sinks
         )
         # Outcome events skip TraceEvent allocation entirely when nothing
         # records lifecycle and every sink speaks the typed fast protocol.
-        self._fast = bool(self._sinks) and not self._lifecycle and all(
+        self._fast = self.enabled and not self.recording and all(
             hasattr(s, "fast_request_completed") for s in self._sinks
         )
 
     # ---------------------------------------------------------- management
-
-    @property
-    def enabled(self) -> bool:
-        """Any sink listening at all?"""
-        return bool(self._sinks)
-
-    @property
-    def recording(self) -> bool:
-        """Is the full (lifecycle-inclusive) stream being consumed?"""
-        return self._lifecycle
 
     def add_sink(self, sink: object) -> None:
         if self._frozen:
@@ -326,7 +323,7 @@ class Tracer:
         self, ts_ms: float, session_id: str, request_id: int,
         deadline_ms: float, gpu_id: int | None = None,
     ) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, REQUEST_ADMITTED, gpu_id=gpu_id, session_id=session_id,
@@ -337,7 +334,7 @@ class Tracer:
         self, ts_ms: float, query_name: str, query_id: int,
         deadline_ms: float,
     ) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, QUERY_SUBMITTED, session_id=query_name,
@@ -345,13 +342,13 @@ class Tracer:
         ))
 
     def route_failed(self, ts_ms: float, session_id: str) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(ts_ms, ROUTE_FAILED, session_id=session_id))
 
     def session_placed(self, ts_ms: float, gpu_id: int, session_id: str,
                        load_ms: float = 0.0) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, SESSION_PLACED, gpu_id=gpu_id, session_id=session_id,
@@ -360,7 +357,7 @@ class Tracer:
 
     def session_removed(self, ts_ms: float, gpu_id: int,
                         session_id: str) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, SESSION_REMOVED, gpu_id=gpu_id, session_id=session_id,
@@ -368,7 +365,7 @@ class Tracer:
 
     def session_relocated(self, ts_ms: float, gpu_id: int, session_id: str,
                           from_gpu: int) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, SESSION_RELOCATED, gpu_id=gpu_id, session_id=session_id,
@@ -379,7 +376,7 @@ class Tracer:
                        cause: str = "crash") -> None:
         """A backend died (``cause="crash"``) or the global scheduler's
         lease on it expired (``cause="lease_expired"``)."""
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, BACKEND_FAILED, gpu_id=gpu_id, detail={"cause": cause},
@@ -387,7 +384,7 @@ class Tracer:
 
     def backend_recovered(self, ts_ms: float, gpu_id: int,
                           cause: str = "restart") -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, BACKEND_RECOVERED, gpu_id=gpu_id, detail={"cause": cause},
@@ -395,7 +392,7 @@ class Tracer:
 
     def backend_slowdown(self, ts_ms: float, gpu_id: int,
                          factor: float) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, BACKEND_SLOWDOWN, gpu_id=gpu_id,
@@ -404,7 +401,7 @@ class Tracer:
 
     def request_retried(self, ts_ms: float, session_id: str, request_id: int,
                         attempt: int, backoff_ms: float = 0.0) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             ts_ms, REQUEST_RETRIED, session_id=session_id,
@@ -414,7 +411,7 @@ class Tracer:
 
     def epoch_planned(self, ts_ms: float, epoch: int, gpus: int,
                       rates: dict[str, float] | None = None) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         detail: dict[str, object] = {"epoch": epoch, "gpus": gpus}
         if rates:
@@ -423,7 +420,7 @@ class Tracer:
 
     def sim_window(self, start_ms: float, end_ms: float,
                    events_processed: int) -> None:
-        if not self._lifecycle:
+        if not self.recording:
             return
         self.emit(TraceEvent(
             start_ms, SIM_WINDOW, dur_ms=max(0.0, end_ms - start_ms),
@@ -431,8 +428,64 @@ class Tracer:
         ))
 
 
+class NullTracer(Tracer):
+    """A tracer that is statically known to do nothing.
+
+    The base class with no sinks already returns after one predicate; this
+    subclass additionally stubs the per-request outcome emits
+    (``request_completed``, ``request_dropped``, ``batch_executed``,
+    ``query_completed``) so the hottest calls skip even the gate logic,
+    and documents intent at construction sites: pass ``NullTracer()`` (or
+    the shared :data:`NULL_TRACER`) to run a cluster with tracing
+    compiled out -- identical outcomes, zero :class:`TraceEvent`\\ s.
+
+    Sinks can never be attached (``add_sink`` raises), so ``enabled`` /
+    ``recording`` stay ``False`` for the object's lifetime and call-site
+    gates may be hoisted out of loops.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(frozen=True)
+
+    def add_sink(self, sink: object) -> None:
+        raise RuntimeError(
+            "cannot attach sinks to a NullTracer; construct a Tracer instead"
+        )
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def request_completed(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+        gpu_id: int | None = None,
+    ) -> None:
+        pass
+
+    def request_dropped(
+        self, ts_ms: float, session_id: str, request_id: int,
+        arrival_ms: float, deadline_ms: float, reason: str,
+        gpu_id: int | None = None,
+    ) -> None:
+        pass
+
+    def batch_executed(
+        self, start_ms: float, dur_ms: float, gpu_id: int, session_id: str,
+        batch: int, deferred: bool = False,
+    ) -> None:
+        pass
+
+    def query_completed(
+        self, ts_ms: float, query_name: str, query_id: int,
+        arrival_ms: float, deadline_ms: float, ok: bool,
+    ) -> None:
+        pass
+
+
 #: the shared do-nothing tracer: default for standalone components.
-NULL_TRACER = Tracer(frozen=True)
+NULL_TRACER: Tracer = NullTracer()
 
 
 def tracer_for_collector(

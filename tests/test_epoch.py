@@ -137,6 +137,99 @@ class TestIncrementalUpdates:
         assert up2.gpus_released == up1.gpus_after - up2.gpus_after
 
 
+class TestNodeReuse:
+    def test_first_update_reuses_nothing(self):
+        s = EpochScheduler()
+        up = s.update(0.0, [load("a", 200.0, 100.0)])
+        assert up.nodes_reused == 0
+
+    def test_steady_state_reuses_node_objects(self):
+        """Unchanged rates reuse the existing GpuPlan objects verbatim
+        instead of rebuilding content-identical copies."""
+        s = EpochScheduler()
+        loads = [load("a", 200.0, 100.0), load("b", 300.0, 60.0)]
+        s.update(0.0, loads)
+        before = {id(n) for n in s.plan.gpus}
+        assert before
+        up = s.update(30_000.0, loads)
+        assert {id(n) for n in s.plan.gpus} == before
+        assert up.nodes_reused == len(s.plan.gpus)
+        assert up.sessions_moved == 0
+
+    def test_rate_change_rebuilds_only_affected_nodes(self):
+        """A rate change repacks the nodes hosting that session; nodes
+        dedicated to unchanged sessions carry over as the same objects."""
+        s = EpochScheduler()
+        la, lb = load("a", 200.0, 3000.0), load("b", 300.0, 30.0)
+        s.update(0.0, [la, lb])
+        full_a = {
+            id(n) for n in s.plan.gpus
+            if all(al.session_id == "a@200ms" for al in n.allocations)
+            and n.saturated
+        }
+        assert full_a, "setup: expected saturated a-only nodes"
+        up = s.update(30_000.0, [la, lb.with_rate(60.0)])
+        after = {id(n) for n in s.plan.gpus}
+        assert full_a <= after
+        assert up.nodes_reused >= len(full_a)
+        assert s.capacity_rps("b@300ms") >= 60.0 - 1e-6
+        assert not s.plan.validate()
+
+    def test_reused_plan_matches_rebuilt_plan(self):
+        """The fast path must be a pure optimization: reusing nodes
+        yields exactly the plan a full incremental rebuild would."""
+        loads = [load("a", 200.0, 700.0), load("b", 300.0, 400.0),
+                 load("c", 150.0, 90.0)]
+        fast = EpochScheduler()
+        fast.update(0.0, loads)
+        # Same starting plan, but force the slow path by cloning nodes
+        # through a rate perturbation round-trip is fragile; instead
+        # compare against a scheduler whose second epoch sees fresh
+        # (equal-valued) load objects, exercising the profile-identity
+        # guard: equal content but different profile objects must fall
+        # back to the rebuild and still produce an identical plan.
+        fresh = [load("a", 200.0, 700.0), load("b", 300.0, 400.0),
+                 load("c", 150.0, 90.0)]
+        up = fast.update(30_000.0, fresh)
+        assert up.nodes_reused == 0  # new profile objects: no reuse
+        reused = EpochScheduler()
+        reused.update(0.0, loads)
+        up2 = reused.update(30_000.0, loads)
+        assert up2.nodes_reused == len(reused.plan.gpus)
+        # node_id is a process-global counter, so compare node *content*.
+        def content(plan):
+            return sorted(
+                (
+                    n.duty_cycle_ms, n.saturated,
+                    tuple(
+                        (a.session_id, a.load.rate_rps, a.batch)
+                        for a in n.allocations
+                    ),
+                )
+                for n in plan.gpus
+            )
+
+        assert content(fast.plan) == content(reused.plan)
+
+    def test_retired_session_node_not_reused(self):
+        s = EpochScheduler()
+        la, lb = load("a", 200.0, 3000.0), load("b", 300.0, 30.0)
+        s.update(0.0, [la, lb])
+        b_nodes = {
+            id(n) for n in s.plan.gpus
+            if any(al.session_id == "b@300ms" for al in n.allocations)
+        }
+        assert b_nodes
+        up = s.update(30_000.0, [la])
+        after = {id(n) for n in s.plan.gpus}
+        # Nodes that hosted b are rebuilt or released; a's dedicated
+        # saturated nodes carry over unchanged.
+        assert not (b_nodes & after)
+        assert up.nodes_reused >= 1
+        for n in s.plan.gpus:
+            assert all(al.session_id != "b@300ms" for al in n.allocations)
+
+
 class TestEvictionPath:
     def test_overloaded_node_evicts_and_repacks(self):
         """When a shared node becomes overloaded by rate growth, the

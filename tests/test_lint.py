@@ -238,6 +238,58 @@ class TestUntracedMutation:
         """, rel_path=CORE) == []
 
 
+class TestUnmemoizedProfileScan:
+    def test_latency_scan_over_max_batch_flagged(self):
+        found = findings("""
+            def peak(profile, slo_ms):
+                best = 0
+                for b in range(1, profile.max_batch + 1):
+                    if profile.latency(b) <= slo_ms:
+                        best = b
+                return best
+        """)
+        assert "unmemoized-profile-scan" in rules_of(found)
+
+    def test_bare_max_batch_name_flagged(self):
+        found = findings("""
+            def peak(profile, max_batch, slo_ms):
+                for b in range(1, max_batch + 1):
+                    profile.latency(b)
+        """)
+        assert "unmemoized-profile-scan" in rules_of(found)
+
+    def test_range_without_max_batch_clean(self):
+        assert findings("""
+            def warm(profile):
+                for b in range(1, 9):
+                    profile.latency(b)
+        """, rules=frozenset({"unmemoized-profile-scan"})) == []
+
+    def test_scan_without_latency_call_clean(self):
+        assert findings("""
+            def sizes(profile):
+                out = []
+                for b in range(1, profile.max_batch + 1):
+                    out.append(b)
+                return out
+        """, rules=frozenset({"unmemoized-profile-scan"})) == []
+
+    def test_rule_scoped_to_core(self):
+        assert findings("""
+            def peak(profile, slo_ms):
+                for b in range(1, profile.max_batch + 1):
+                    profile.latency(b)
+        """, rel_path=EXPERIMENTS) == []
+
+    def test_suppressible(self):
+        found = findings("""
+            def peak(profile, slo_ms):
+                for b in range(1, profile.max_batch + 1):  # nexuslint: disable=unmemoized-profile-scan
+                    profile.latency(b)
+        """, rules=frozenset({"unmemoized-profile-scan"}))
+        assert found == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         found = findings("""
@@ -298,6 +350,14 @@ SEEDED_VIOLATIONS = {
     "core/units.py": "def f(a_ms, b_us):\n    return a_ms + b_us\n",
     "cluster/mutate.py": (
         "def f(self, request, now):\n    request.done = True\n"
+    ),
+    "core/scan.py": (
+        "def f(profile, slo_ms):\n"
+        "    best = 0\n"
+        "    for b in range(1, profile.max_batch + 1):\n"
+        "        if profile.latency(b) <= slo_ms:\n"
+        "            best = b\n"
+        "    return best\n"
     ),
 }
 

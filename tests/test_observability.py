@@ -166,6 +166,60 @@ class TestNullTracer:
         with pytest.raises(RuntimeError):
             NULL_TRACER.add_sink(TraceBuffer())
 
+    def test_null_tracer_run_matches_traced_run(self):
+        """Tracing must be observation only: the same workload under a
+        NullTracer and under a full recording tracer produces identical
+        per-request outcomes, while the NullTracer run materializes zero
+        TraceEvents and records nothing."""
+        import random
+
+        def drive(tracer, collector):
+            sim = Simulator()
+            backend = Backend(sim, collector=collector, tracer=tracer)
+            backend.set_schedule([spec("a", batch=4, duty=40.0),
+                                  spec("b", beta=12.0, batch=4, duty=60.0)])
+            outcomes = []
+
+            def on_complete(req, t, ok):
+                outcomes.append(("done", req.session_id, req.arrival_ms,
+                                 t, ok))
+
+            def on_drop(req, t):
+                outcomes.append(("drop", req.session_id, req.arrival_ms, t))
+
+            rng = random.Random(42)
+            now = 0.0
+            # Overloaded arrivals so both completion and drop paths fire.
+            for _ in range(400):
+                now += rng.expovariate(1.0)
+                sid = "a" if rng.random() < 0.6 else "b"
+                at = now
+                sim.schedule_at(at, lambda sid=sid, at=at: backend.enqueue(
+                    Request(session_id=sid, arrival_ms=at,
+                            deadline_ms=at + 100.0,
+                            on_complete=on_complete, on_drop=on_drop)
+                ))
+            sim.run()
+            return outcomes, backend.batches_executed
+
+        buffer = TraceBuffer()
+        traced_coll = MetricsCollector()
+        traced = Tracer([MetricsSink(invocation=traced_coll), buffer])
+        traced_outcomes, traced_batches = drive(traced, traced_coll)
+
+        null_coll = MetricsCollector()
+        null_outcomes, null_batches = drive(NULL_TRACER, null_coll)
+
+        assert null_outcomes == traced_outcomes
+        assert null_batches == traced_batches
+        assert any(o[0] == "done" for o in traced_outcomes)
+        assert any(o[0] == "drop" for o in traced_outcomes)
+        # The traced run captured the stream; the NullTracer run fed
+        # nothing anywhere -- no events, no metrics records.
+        assert buffer.by_kind(REQUEST_COMPLETED)
+        assert len(traced_coll.records) == len(traced_outcomes)
+        assert null_coll.records == []
+
     def test_lifecycle_skipped_without_recording_sink(self):
         """Metrics-only tracers never materialize lifecycle events."""
         coll = MetricsCollector()

@@ -88,6 +88,11 @@ class TestBenchJson:
         assert b["simulate_dispatch"]["requests_per_s"] > 0
         assert b["cluster_headline"]["good_rate"] > 0.5
         sweep = b["parallel_cluster_sweep"]
-        assert sweep["workers"] == 2
+        # Requested workers are recorded verbatim; the effective count
+        # is clamped to the machine so speedup is never misattributed.
+        assert sweep["workers_requested"] == 2
+        assert sweep["workers"] == max(1, min(2, os.cpu_count() or 1))
+        assert b["epoch_schedule"]["epochs_per_s"] > 0
+        assert 0.0 <= b["epoch_schedule"]["reuse_fraction"] <= 1.0
         assert sweep["speedup"] > 0
         assert sweep["identical_results"] is True
