@@ -51,6 +51,16 @@ Performance contract (``core/`` only):
                           Bisect the precomputed lookup tables instead
                           (``profile.max_batch_with_latency`` /
                           ``max_batch_residual`` or ``profile.tables()``).
+- ``sim-in-planner-inner-loop``  (``core/epoch.py`` and ``core/squishy.py``
+                          only) direct simulator invocations --
+                          ``simulate_*()`` calls or ``*Simulator``
+                          construction -- inside the planner's inner
+                          loop.  Capacity questions route through
+                          :func:`repro.core.queueing.capacity_answer`,
+                          which consults the O(1) analytic oracle and
+                          owns the documented fallback-to-simulation
+                          policy; an inline simulator turns every
+                          capacity probe into an event-loop run.
 
 Suppression: append ``# nexuslint: disable=<rule>[,<rule>...]`` to the
 offending line, or ``# nexuslint: disable-file=<rule>`` anywhere in the
@@ -93,6 +103,9 @@ RULES: dict[str, str] = {
     "unmemoized-profile-scan":
         "linear profile.latency() scan over batch sizes; use the "
         "precomputed profile.tables() lookups",
+    "sim-in-planner-inner-loop":
+        "direct simulator call in the planner's capacity path; route "
+        "through repro.core.queueing.capacity_answer",
 }
 
 #: path components that mark deterministic planning code.
@@ -102,6 +115,9 @@ _LIFECYCLE_PARTS = frozenset({"cluster"})
 #: path components where batch-size scans must go through the
 #: precomputed lookup tables (the planning hot path).
 _PROFILE_SCAN_PARTS = frozenset({"core"})
+#: planner inner-loop files (under ``core/``) where capacity questions
+#: must route through the queueing oracle, never a direct simulator.
+_PLANNER_LOOP_FILES = frozenset({"epoch.py", "squishy.py"})
 
 # wall-clock: dotted callables that read host time.
 _CLOCK_CALLS = frozenset({
@@ -308,11 +324,12 @@ class _Linter(ast.NodeVisitor):
     """Single-pass visitor evaluating every applicable rule."""
 
     def __init__(self, path: str, planning: bool, lifecycle: bool,
-                 profile_scan: bool = False):
+                 profile_scan: bool = False, planner_loop: bool = False):
         self.path = path
         self.planning = planning
         self.lifecycle = lifecycle
         self.profile_scan = profile_scan
+        self.planner_loop = planner_loop
         self.findings: list[Finding] = []
 
     # ------------------------------------------------------------ plumbing
@@ -332,7 +349,22 @@ class _Linter(ast.NodeVisitor):
         if self.planning:
             self._check_wall_clock(node)
             self._check_unseeded_random(node)
+        if self.planner_loop:
+            self._check_sim_in_planner(node)
         self.generic_visit(node)
+
+    def _check_sim_in_planner(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if name is None:
+            return
+        if name.startswith("simulate") or name.endswith("Simulator"):
+            self._report(
+                node, "sim-in-planner-inner-loop",
+                f"{name}() invoked in the planner's capacity path; route "
+                f"capacity questions through "
+                f"repro.core.queueing.capacity_answer (oracle + documented "
+                f"fallback) instead of an inline simulator",
+            )
 
     def _check_wall_clock(self, node: ast.Call) -> None:
         dotted = _dotted_name(node.func)
@@ -538,12 +570,13 @@ class _Linter(ast.NodeVisitor):
 # --------------------------------------------------------------- front end
 
 
-def _scopes_for(rel_path: Path) -> tuple[bool, bool, bool]:
+def _scopes_for(rel_path: Path) -> tuple[bool, bool, bool, bool]:
     parts = set(rel_path.parts[:-1])
     return (
         bool(parts & _PLANNING_PARTS),
         bool(parts & _LIFECYCLE_PARTS),
         bool(parts & _PROFILE_SCAN_PARTS),
+        "core" in parts and rel_path.name in _PLANNER_LOOP_FILES,
     )
 
 
@@ -555,11 +588,13 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one unit of Python source; returns findings (never raises on
     rule matches, raises ``SyntaxError`` on unparsable input)."""
-    planning, lifecycle, profile_scan = _scopes_for(rel_path or Path(path))
+    planning, lifecycle, profile_scan, planner_loop = _scopes_for(
+        rel_path or Path(path)
+    )
     per_line, file_wide = _parse_suppressions(source)
     tree = ast.parse(source, filename=path)
     visitor = _Linter(path, planning=planning, lifecycle=lifecycle,
-                      profile_scan=profile_scan)
+                      profile_scan=profile_scan, planner_loop=planner_loop)
     visitor.visit(tree)
     findings = [
         f for f in visitor.findings

@@ -7,6 +7,9 @@ Commands:
                              scaled-down parameters)
 - ``fault-recovery``         kill k of N backends mid-run; report goodput
                              dip depth, detection latency, time-to-recover
+- ``oracle-validation``      compare the closed-form queueing oracle
+                             against simulated ground truth across arrival
+                             processes and load levels (docs/queueing.md)
 - ``models``                 show the model zoo with sizes and profiles
 - ``profile <model>``        print a model's batching profile on a device
 - ``plan``                   capacity-plan a workload of sessions given as
@@ -59,6 +62,7 @@ _EXPERIMENTS: dict[str, dict] = {
     "fault_recovery": {"quick": {"duration_ms": 60_000.0,
                                  "kill_at_ms": 20_000.0,
                                  "warmup_ms": 5_000.0}},
+    "oracle_validation": {"quick": {"duration_ms": 20_000.0}},
 }
 
 
@@ -104,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--duration", type=float, default=120_000.0,
                     metavar="MS", help="run length (virtual ms)")
     fr.add_argument("--seed", type=int, default=0)
+
+    ov = sub.add_parser(
+        "oracle-validation",
+        help="validate the queueing oracle against simulated ground truth",
+    )
+    ov.add_argument("--duration", type=float, default=120_000.0,
+                    metavar="MS", help="arrival stream length (virtual ms)")
+    ov.add_argument("--seed", type=int, default=0)
+    ov.add_argument("--quick", action="store_true",
+                    help="shorter streams (noisier quantiles; for smoke "
+                         "runs)")
 
     sub.add_parser("models", help="show the model zoo")
 
@@ -206,6 +221,19 @@ def _cmd_fault_recovery(gpus: int, kill: int, kill_at_ms: float,
     print("time to recover   : "
           + ("not recovered" if ttr is None else f"{ttr:.0f} ms"))
     print(f"recovered level   : {output.recovered_fraction:.2f}x pre-fault")
+    return 0
+
+
+def _cmd_oracle_validation(duration_ms: float, seed: int,
+                           quick: bool) -> int:
+    from .experiments.common import format_table
+    from .experiments.oracle_validation import run
+
+    if quick:
+        duration_ms = min(duration_ms, 20_000.0)
+    result = run(duration_ms=duration_ms, seed=seed)
+    print(format_table(result.name, result.columns, result.rows,
+                       result.notes))
     return 0
 
 
@@ -332,6 +360,8 @@ def _dispatch(args) -> int:
     if args.command == "fault-recovery":
         return _cmd_fault_recovery(args.gpus, args.kill, args.kill_at,
                                    args.duration, args.seed)
+    if args.command == "oracle-validation":
+        return _cmd_oracle_validation(args.duration, args.seed, args.quick)
     if args.command == "models":
         return _cmd_models()
     if args.command == "profile":

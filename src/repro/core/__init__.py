@@ -9,7 +9,9 @@
   case section 6.2 mentions;
 - :mod:`prefix` -- prefix batching of specialized models (section 6.3);
 - :mod:`drop` -- lazy/early drop dispatch policies (sections 4.3, 6.3);
-- :mod:`epoch` -- incremental epoch scheduling (sections 5, 6.1).
+- :mod:`epoch` -- incremental epoch scheduling (sections 5, 6.1);
+- :mod:`queueing` -- closed-form queueing oracle for O(1) capacity /
+  what-if answers and p99 admission (docs/queueing.md).
 """
 
 from .dag import Parallel, Series, SPPlan, SPStage, plan_sp, sp_from_edges
@@ -29,6 +31,15 @@ from .profile import (
     EffectiveProfile,
     LinearProfile,
     TabulatedProfile,
+)
+from .queueing import (
+    OracleInapplicable,
+    QueueEstimate,
+    analytic_estimate,
+    capacity_answer,
+    max_batch_under_p99,
+    queue_latencies,
+    simulate_estimate,
 )
 from .query import (
     LatencySplit,
@@ -73,6 +84,13 @@ __all__ = [
     "EffectiveProfile",
     "LinearProfile",
     "TabulatedProfile",
+    "OracleInapplicable",
+    "QueueEstimate",
+    "analytic_estimate",
+    "capacity_answer",
+    "max_batch_under_p99",
+    "queue_latencies",
+    "simulate_estimate",
     "LatencySplit",
     "Query",
     "QueryStage",

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 
 from .floatcmp import approx_zero
+from .queueing import QueueEstimate, capacity_answer
 from .session import SessionLoad
 from .squishy import (
     Allocation,
@@ -77,6 +78,13 @@ class EpochScheduler:
             (:mod:`repro.analysis.plan_check`) and a violation raises
             :class:`~repro.analysis.plan_check.PlanCheckError`.  Leave
             False for baselines that are latency-infeasible by design.
+        slo_mode: admission regime for residual nodes -- ``"worst_case"``
+            (the paper's deterministic bounds) or ``"p99"`` (the queueing
+            oracle's tail bound; docs/queueing.md).
+        capacity_mode: how capacity/what-if questions are answered --
+            ``"analytic"`` consults the closed-form oracle and falls back
+            to the seeded queue simulation when its preconditions fail;
+            ``"simulate"`` always simulates.
     """
 
     epoch_ms: float = 30_000.0
@@ -85,6 +93,8 @@ class EpochScheduler:
     memory_capacity: int | None = None
     max_gpus: int | None = None
     validate: bool = False
+    slo_mode: str = "worst_case"
+    capacity_mode: str = "analytic"
 
     plan: SchedulePlan = field(default_factory=lambda: SchedulePlan(gpus=[]))
     updates: list[EpochUpdate] = field(default_factory=list)
@@ -232,7 +242,8 @@ class EpochScheduler:
                 continue  # release this backend
             candidate = GpuPlan(
                 new_allocs, node.duty_cycle_ms, saturated=node.saturated,
-                node_id=node.node_id,
+                node_id=node.node_id, slo_mode=node.slo_mode,
+                capacity_mode=node.capacity_mode,
             )
             # Overload check: evict cheapest sessions until feasible.
             while candidate.validate(self.memory_capacity):
@@ -254,6 +265,8 @@ class EpochScheduler:
                 candidate = GpuPlan(
                     rest, candidate.duty_cycle_ms,
                     saturated=candidate.saturated, node_id=candidate.node_id,
+                    slo_mode=candidate.slo_mode,
+                    capacity_mode=candidate.capacity_mode,
                 )
             if candidate is not None and candidate.allocations:
                 kept.append(candidate)
@@ -265,7 +278,8 @@ class EpochScheduler:
             if rate > 1e-9
         ]
         extra = squishy_bin_packing(
-            residual_loads, memory_capacity=self.memory_capacity
+            residual_loads, memory_capacity=self.memory_capacity,
+            slo_mode=self.slo_mode, capacity_mode=self.capacity_mode,
         )
         return SchedulePlan(
             gpus=kept + extra.gpus, infeasible=extra.infeasible
@@ -339,6 +353,27 @@ class EpochScheduler:
         self.plan = plan
         self._last_schedule_ms = now_ms
         self._last_rates = {l.session_id: l.rate_rps for l in loads}
+
+    # ------------------------------------------------------ capacity queries
+
+    def capacity_query(
+        self, load: SessionLoad, batch_cap: int | None = None,
+        seed: int = 0,
+    ) -> QueueEstimate:
+        """What-if oracle: the latency distribution / sustainable rate one
+        dedicated GPU would give this load at its current rate.
+
+        Routes through :func:`repro.core.queueing.capacity_answer` under
+        this scheduler's ``capacity_mode`` -- the analytic path answers in
+        O(1) with no event loop, falling back to the seeded queue
+        simulation only when the oracle's preconditions fail.  Direct
+        simulator calls here are a lint error
+        (``sim-in-planner-inner-loop``).
+        """
+        return capacity_answer(
+            load.profile, load.rate_rps, batch_cap=batch_cap,
+            mode=self.capacity_mode, seed=seed,
+        )
 
     # -------------------------------------------------------------- helpers
 

@@ -58,10 +58,13 @@ class ProfileTables:
         slo_memo: ``slo_ms -> max_batch_under_slo`` cache (filled by
             :meth:`BatchingProfile.max_batch_under_slo`, which routes
             through the subclass's ``max_batch_with_latency`` override).
+        p99_memo: ``(rate_rps, slo_ms, mode) -> max_batch_under_p99``
+            cache (filled by :func:`repro.core.queueing.max_batch_under_p99`,
+            the queueing oracle's p99 analogue of Equation 2).
     """
 
     __slots__ = ("max_batch", "latency_ms", "throughput_rps", "memory_bytes",
-                 "monotone", "residual_memo", "slo_memo")
+                 "monotone", "residual_memo", "slo_memo", "p99_memo")
 
     def __init__(self, profile: BatchingProfile) -> None:
         max_batch = profile.max_batch
@@ -81,6 +84,7 @@ class ProfileTables:
         )
         self.residual_memo: dict[tuple[float, float], int] = {}
         self.slo_memo: dict[float, int] = {}
+        self.p99_memo: dict[tuple[float, float, str], int] = {}
 
     def max_batch_with_latency(self, budget_ms: float) -> int:
         """Largest batch whose execution latency fits the budget (0 if none).

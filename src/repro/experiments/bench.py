@@ -1,9 +1,10 @@
 """Performance benchmarks: the repo's wall-clock baseline.
 
-``python -m repro bench`` times the three hot paths every experiment sits
-on -- the discrete-event loop, the single-GPU dispatch simulation, and a
-full cluster run -- plus a serial-vs-parallel cluster rate sweep through
-the process-pool runner, and writes the measurements to
+``python -m repro bench`` times the hot paths every experiment sits
+on -- the discrete-event loop, the single-GPU dispatch simulation, the
+epoch replanner, the queueing oracle's capacity queries (analytic vs
+simulated), and a full cluster run -- plus a serial-vs-parallel cluster
+rate sweep through the process-pool runner, and writes the measurements to
 ``BENCH_simulator.json`` so future changes have a trajectory to compare
 against (``benchmarks/perf/`` wraps the same functions in
 pytest-benchmark for statistical runs).
@@ -161,6 +162,46 @@ def bench_parallel_sweep(duration_ms: float, workers: int,
     }
 
 
+def bench_oracle_vs_sim(queries: int = 400, batch_cap: int = 32,
+                        seed: int = 0) -> dict:
+    """Per-capacity-query cost: the closed-form oracle vs the simulation
+    it replaces in the planner's inner loop (docs/queueing.md).
+
+    Both modes answer the same rate sweep through
+    :func:`~repro.core.queueing.capacity_answer` on a warmed profile; the
+    simulate side runs 1/20th the queries (each one replays a 20k-arrival
+    queue) and reports the per-query average.
+    """
+    from ..core.queueing import capacity_answer
+
+    profile = _dispatch_profile()
+    rates = [200.0 + (i % 97) * 3.0 for i in range(queries)]
+    capacity_answer(profile, rates[0], batch_cap=batch_cap)  # warm tables
+
+    t0 = time.perf_counter()
+    for rate in rates:
+        capacity_answer(profile, rate, batch_cap=batch_cap, mode="analytic")
+    analytic_wall = time.perf_counter() - t0
+
+    sim_queries = max(1, queries // 20)
+    t0 = time.perf_counter()
+    for rate in rates[:sim_queries]:
+        capacity_answer(profile, rate, batch_cap=batch_cap, mode="simulate",
+                        seed=seed)
+    sim_wall = time.perf_counter() - t0
+
+    analytic_us = analytic_wall / queries * 1e6
+    sim_us = sim_wall / sim_queries * 1e6
+    return {
+        "queries": queries,
+        "wall_s": round(analytic_wall, 4),
+        "analytic_us_per_query": round(analytic_us, 1),
+        "simulate_us_per_query": round(sim_us, 1),
+        "speedup": round(sim_us / analytic_us, 1),
+        "oracle_queries_per_s": round(queries / analytic_wall),
+    }
+
+
 def bench_epoch_schedule(epochs: int = 200, sessions: int = 40,
                          seed: int = 0) -> dict:
     """Epoch-scheduler throughput under a mostly-stable workload.
@@ -244,6 +285,11 @@ def run_bench(quick: bool = False, workers: int = 4,
         (bench_epoch_schedule(epochs) for _ in range(repeats)),
         key=lambda r: r["wall_s"],
     )
+    oracle = min(
+        (bench_oracle_vs_sim(queries=100 if quick else 400)
+         for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
     cluster = min(
         (bench_cluster(cluster_ms) for _ in range(repeats)),
         key=lambda r: r["wall_s"],
@@ -262,6 +308,7 @@ def run_bench(quick: bool = False, workers: int = 4,
             "simulator_event_loop": event_loop,
             "simulate_dispatch": dispatch,
             "epoch_schedule": epoch_sched,
+            "oracle_vs_sim": oracle,
             "cluster_headline": cluster,
             "parallel_cluster_sweep": sweep,
         },
@@ -280,6 +327,7 @@ _GATE_METRICS = (
     ("simulator_event_loop", "events_per_s"),
     ("simulate_dispatch", "requests_per_s"),
     ("epoch_schedule", "epochs_per_s"),
+    ("oracle_vs_sim", "oracle_queries_per_s"),
     ("cluster_headline", "sim_ms_per_wall_s"),
 )
 
@@ -347,6 +395,10 @@ def format_bench(payload: dict) -> str:
          f"{b['epoch_schedule']['epochs_per_s']:,} epochs/s "
          f"({b['epoch_schedule']['reuse_fraction']:.0%} reused)",
          b["epoch_schedule"]["wall_s"]],
+        ["oracle_vs_sim",
+         f"{b['oracle_vs_sim']['oracle_queries_per_s']:,} queries/s "
+         f"({b['oracle_vs_sim']['speedup']}x vs simulate)",
+         b["oracle_vs_sim"]["wall_s"]],
         ["cluster_headline",
          f"{b['cluster_headline']['sim_ms_per_wall_s']:,} sim-ms/s",
          b["cluster_headline"]["wall_s"]],

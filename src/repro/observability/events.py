@@ -35,6 +35,10 @@ kind                      meaning
 ``request.retried``       a frontend re-dispatched a request lost to a
                           backend failure (``detail["attempt"]``)
 ``sim.window``            one simulator ``run_until`` window (events processed)
+``oracle.compared``       one queueing-oracle estimate checked against a
+                          simulated ground truth (``detail`` carries the
+                          p99s and relative error; validation runs emit
+                          these so oracle drift is observable)
 ========================  =====================================================
 
 The outcome kinds (``request.completed``, ``request.dropped``,
@@ -67,6 +71,7 @@ __all__ = [
     "BACKEND_SLOWDOWN",
     "REQUEST_RETRIED",
     "SIM_WINDOW",
+    "ORACLE_COMPARED",
     "OUTCOME_KINDS",
     "LIFECYCLE_KINDS",
     "DROP_MISROUTED",
@@ -95,6 +100,7 @@ BACKEND_RECOVERED = "backend.recovered"
 BACKEND_SLOWDOWN = "backend.slowdown"
 REQUEST_RETRIED = "request.retried"
 SIM_WINDOW = "sim.window"
+ORACLE_COMPARED = "oracle.compared"
 
 #: kinds the metrics pipeline depends on -- always emitted when any sink
 #: is attached, because :class:`MetricsSink` derives the paper's numbers
@@ -123,6 +129,7 @@ LIFECYCLE_KINDS = frozenset({
     BACKEND_SLOWDOWN,
     REQUEST_RETRIED,
     SIM_WINDOW,
+    ORACLE_COMPARED,
 })
 
 # ------------------------------------------------------------ drop reasons

@@ -35,6 +35,7 @@ from .events import (
     BACKEND_SLOWDOWN,
     BATCH_EXECUTED,
     EPOCH_PLANNED,
+    ORACLE_COMPARED,
     PLAN_APPLIED,
     QUERY_COMPLETED,
     QUERY_SUBMITTED,
@@ -425,6 +426,30 @@ class Tracer:
         self.emit(TraceEvent(
             start_ms, SIM_WINDOW, dur_ms=max(0.0, end_ms - start_ms),
             detail={"events_processed": events_processed},
+        ))
+
+    def oracle_compared(
+        self, ts_ms: float, session_id: str, batch_cap: int,
+        oracle_p99_ms: float, sim_p99_ms: float,
+        detail: dict[str, object] | None = None,
+    ) -> None:
+        """One queueing-oracle estimate checked against simulated ground
+        truth (emitted by validation runs so oracle drift is observable)."""
+        if not self.recording:
+            return
+        info: dict[str, object] = {
+            "oracle_p99_ms": oracle_p99_ms,
+            "sim_p99_ms": sim_p99_ms,
+            "p99_err": (
+                (oracle_p99_ms - sim_p99_ms) / sim_p99_ms
+                if sim_p99_ms > 0 else 0.0
+            ),
+        }
+        if detail:
+            info.update(detail)
+        self.emit(TraceEvent(
+            ts_ms, ORACLE_COMPARED, session_id=session_id, batch=batch_cap,
+            detail=info,
         ))
 
 

@@ -116,3 +116,10 @@ class TestQuickRuns:
     def test_run_ilp_gap_quick(self, capsys):
         assert main(["run", "ilp_gap", "--quick"]) == 0
         assert "mean_gap" in capsys.readouterr().out
+
+    def test_oracle_validation_quick(self, capsys):
+        assert main(["oracle-validation", "--quick", "--duration",
+                     "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "poisson" in out
+        assert "p99_err_pct" in out

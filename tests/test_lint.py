@@ -290,6 +290,62 @@ class TestUnmemoizedProfileScan:
         assert found == []
 
 
+class TestSimInPlannerInnerLoop:
+    EPOCH = Path("core/epoch.py")
+    SQUISHY = Path("core/squishy.py")
+
+    def test_simulate_call_flagged_in_epoch(self):
+        found = findings("""
+            def capacity(profile, rate_rps):
+                return simulate_estimate(profile, rate_rps)
+        """, rel_path=self.EPOCH)
+        assert "sim-in-planner-inner-loop" in rules_of(found)
+
+    def test_simulator_constructor_flagged_in_squishy(self):
+        found = findings("""
+            def capacity(profile):
+                sim = DispatchSimulator()
+                return sim
+        """, rel_path=self.SQUISHY)
+        assert "sim-in-planner-inner-loop" in rules_of(found)
+
+    def test_attribute_call_flagged(self):
+        found = findings("""
+            def capacity(queueing, profile, rate_rps):
+                return queueing.simulate_estimate(profile, rate_rps)
+        """, rel_path=self.EPOCH)
+        assert "sim-in-planner-inner-loop" in rules_of(found)
+
+    def test_capacity_answer_clean(self):
+        assert findings("""
+            def capacity(profile, rate_rps):
+                return capacity_answer(profile, rate_rps, mode="analytic")
+        """, rel_path=self.EPOCH,
+            rules=frozenset({"sim-in-planner-inner-loop"})) == []
+
+    def test_other_core_module_clean(self):
+        assert findings("""
+            def capacity(profile, rate_rps):
+                return simulate_estimate(profile, rate_rps)
+        """, rel_path=Path("core/queueing.py"),
+            rules=frozenset({"sim-in-planner-inner-loop"})) == []
+
+    def test_out_of_scope_path_clean(self):
+        assert findings("""
+            def capacity(profile, rate_rps):
+                return simulate_estimate(profile, rate_rps)
+        """, rel_path=EXPERIMENTS,
+            rules=frozenset({"sim-in-planner-inner-loop"})) == []
+
+    def test_suppressible(self):
+        found = findings("""
+            def capacity(profile, rate_rps):
+                return simulate_estimate(profile, rate_rps)  # nexuslint: disable=sim-in-planner-inner-loop
+        """, rel_path=self.EPOCH,
+            rules=frozenset({"sim-in-planner-inner-loop"}))
+        assert found == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         found = findings("""
@@ -358,6 +414,10 @@ SEEDED_VIOLATIONS = {
         "        if profile.latency(b) <= slo_ms:\n"
         "            best = b\n"
         "    return best\n"
+    ),
+    "core/epoch.py": (
+        "def f(profile, rate):\n"
+        "    return simulate_estimate(profile, rate)\n"
     ),
 }
 
