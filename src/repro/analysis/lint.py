@@ -30,6 +30,20 @@ Unit discipline (everywhere):
                           vs ``_rps``); multiplication/division are
                           conversions and stay legal.
 
+Unit discipline (``serving/`` and ``cluster/`` only -- the code that
+runs under both virtual and wall clocks):
+
+- ``raw-time-literal``    a bare numeric literal combined with a
+                          time-suffixed quantity (``deadline_ms + 50``),
+                          compared against one (``elapsed_ms > 5000``),
+                          passed to a scheduling call
+                          (``sim.schedule(50, fn)``), or used as a unit
+                          conversion factor (``span_ms / 1000.0``).
+                          Name the quantity (a ``*_ms`` constant) or use
+                          ``repro.runtime.clock.MS_PER_S``; literals
+                          below ``1e-3`` are treated as float-jitter
+                          epsilons and stay legal.
+
 Observability contract (``cluster/`` only):
 
 - ``untraced-mutation``   a function that mutates request state (assigns
@@ -106,6 +120,9 @@ RULES: dict[str, str] = {
     "sim-in-planner-inner-loop":
         "direct simulator call in the planner's capacity path; route "
         "through repro.core.queueing.capacity_answer",
+    "raw-time-literal":
+        "bare numeric time literal in serving/cluster code; name it "
+        "(a *_ms constant) or use repro.runtime.clock.MS_PER_S",
 }
 
 #: path components that mark deterministic planning code.
@@ -118,6 +135,10 @@ _PROFILE_SCAN_PARTS = frozenset({"core"})
 #: planner inner-loop files (under ``core/``) where capacity questions
 #: must route through the queueing oracle, never a direct simulator.
 _PLANNER_LOOP_FILES = frozenset({"epoch.py", "squishy.py"})
+#: path components where raw numeric time literals are banned (the code
+#: that runs under both the simulator and wall clocks, where an unnamed
+#: ``50`` can silently be ms in one driver and s in another).
+_TIME_LITERAL_PARTS = frozenset({"serving", "cluster"})
 
 # wall-clock: dotted callables that read host time.
 _CLOCK_CALLS = frozenset({
@@ -141,6 +162,18 @@ _GLOBAL_RANDOM_FNS = frozenset({
 # incompatible under +/-/comparison; ``rps`` is incompatible with all of
 # them.
 _UNIT_SUFFIXES = frozenset({"ns", "us", "ms", "s", "rps"})
+
+# raw-time-literal: suffixes that mark a *time* quantity, the calls whose
+# numeric arguments are delays/instants, the conversion factors that must
+# be spelled MS_PER_S, and the magnitude floor below which a literal is
+# treated as a float-comparison epsilon.
+_TIME_SUFFIXES = frozenset({"ns", "us", "ms", "s"})
+_SCHEDULING_CALLS = frozenset({
+    "schedule", "schedule_at", "schedule_after",
+    "call_later", "call_at", "sleep",
+})
+_CONVERSION_LITERALS = frozenset({1e3, 1e-3, 1e6, 1e-6, 6e4})
+_EPSILON_FLOOR = 1e-3
 
 # float-equality: name fragments marking latency/rate quantities.
 _QUANTITY_FRAGMENTS = (
@@ -255,6 +288,30 @@ def _is_float_literal(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and isinstance(node.value, float)
 
 
+def _numeric_literal(node: ast.expr) -> float | None:
+    """The value of a (possibly sign-wrapped) int/float literal, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return float(node.value)
+    return None
+
+
+def _bare_time_literal(node: ast.expr) -> bool:
+    """A numeric literal big enough to be a duration, not an epsilon."""
+    value = _numeric_literal(node)
+    return value is not None and abs(value) >= _EPSILON_FLOOR
+
+
+def _time_suffix(node: ast.expr) -> str | None:
+    suffix = _unit_suffix(node)
+    return suffix if suffix in _TIME_SUFFIXES else None
+
+
 def _is_quantity_name(node: ast.expr) -> bool:
     name = _terminal_name(node)
     if name is None:
@@ -324,12 +381,14 @@ class _Linter(ast.NodeVisitor):
     """Single-pass visitor evaluating every applicable rule."""
 
     def __init__(self, path: str, planning: bool, lifecycle: bool,
-                 profile_scan: bool = False, planner_loop: bool = False):
+                 profile_scan: bool = False, planner_loop: bool = False,
+                 time_literals: bool = False):
         self.path = path
         self.planning = planning
         self.lifecycle = lifecycle
         self.profile_scan = profile_scan
         self.planner_loop = planner_loop
+        self.time_literals = time_literals
         self.findings: list[Finding] = []
 
     # ------------------------------------------------------------ plumbing
@@ -351,7 +410,21 @@ class _Linter(ast.NodeVisitor):
             self._check_unseeded_random(node)
         if self.planner_loop:
             self._check_sim_in_planner(node)
+        if self.time_literals:
+            self._check_scheduling_literal(node)
         self.generic_visit(node)
+
+    def _check_scheduling_literal(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if name not in _SCHEDULING_CALLS:
+            return
+        for arg in node.args:
+            if _bare_time_literal(arg):
+                self._report(
+                    arg, "raw-time-literal",
+                    f"bare numeric delay passed to {name}(); name the "
+                    f"duration (a *_ms constant) so its unit is explicit",
+                )
 
     def _check_sim_in_planner(self, node: ast.Call) -> None:
         name = _terminal_name(node.func)
@@ -471,7 +544,23 @@ class _Linter(ast.NodeVisitor):
                 op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
             ):
                 self._check_mixed_units(node, left, right)
+                if self.time_literals:
+                    self._check_time_literal_pair(node, left, right)
         self.generic_visit(node)
+
+    def _check_time_literal_pair(
+        self, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        """A time-suffixed quantity combined/compared with a bare literal."""
+        for suffixed, other in ((left, right), (right, left)):
+            if _time_suffix(suffixed) is not None and _bare_time_literal(other):
+                self._report(
+                    node, "raw-time-literal",
+                    f"bare numeric literal against a _"
+                    f"{_time_suffix(suffixed)} quantity; name it (a *_ms "
+                    f"constant) so its unit is explicit",
+                )
+                return
 
     def _check_float_equality(
         self, node: ast.Compare, left: ast.expr, right: ast.expr
@@ -488,7 +577,29 @@ class _Linter(ast.NodeVisitor):
     def visit_BinOp(self, node: ast.BinOp) -> None:
         if isinstance(node.op, (ast.Add, ast.Sub)):
             self._check_mixed_units(node, node.left, node.right)
+            if self.time_literals:
+                self._check_time_literal_pair(node, node.left, node.right)
+        elif self.time_literals and isinstance(node.op, (ast.Mult, ast.Div)):
+            self._check_conversion_literal(node)
         self.generic_visit(node)
+
+    def _check_conversion_literal(self, node: ast.BinOp) -> None:
+        """``span_ms / 1000.0``-style conversions must spell MS_PER_S."""
+        for suffixed, other in (
+            (node.left, node.right), (node.right, node.left)
+        ):
+            value = _numeric_literal(other)
+            if (
+                _time_suffix(suffixed) is not None
+                and value is not None
+                and abs(value) in _CONVERSION_LITERALS
+            ):
+                self._report(
+                    node, "raw-time-literal",
+                    "unit conversion by raw literal; use "
+                    "repro.runtime.clock.MS_PER_S (or a named factor)",
+                )
+                return
 
     def _check_mixed_units(
         self, node: ast.AST, left: ast.expr, right: ast.expr
@@ -570,13 +681,14 @@ class _Linter(ast.NodeVisitor):
 # --------------------------------------------------------------- front end
 
 
-def _scopes_for(rel_path: Path) -> tuple[bool, bool, bool, bool]:
+def _scopes_for(rel_path: Path) -> tuple[bool, bool, bool, bool, bool]:
     parts = set(rel_path.parts[:-1])
     return (
         bool(parts & _PLANNING_PARTS),
         bool(parts & _LIFECYCLE_PARTS),
         bool(parts & _PROFILE_SCAN_PARTS),
         "core" in parts and rel_path.name in _PLANNER_LOOP_FILES,
+        bool(parts & _TIME_LITERAL_PARTS),
     )
 
 
@@ -588,13 +700,14 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one unit of Python source; returns findings (never raises on
     rule matches, raises ``SyntaxError`` on unparsable input)."""
-    planning, lifecycle, profile_scan, planner_loop = _scopes_for(
-        rel_path or Path(path)
+    planning, lifecycle, profile_scan, planner_loop, time_literals = (
+        _scopes_for(rel_path or Path(path))
     )
     per_line, file_wide = _parse_suppressions(source)
     tree = ast.parse(source, filename=path)
     visitor = _Linter(path, planning=planning, lifecycle=lifecycle,
-                      profile_scan=profile_scan, planner_loop=planner_loop)
+                      profile_scan=profile_scan, planner_loop=planner_loop,
+                      time_literals=time_literals)
     visitor.visit(tree)
     findings = [
         f for f in visitor.findings

@@ -19,6 +19,12 @@ Commands:
 - ``bench``                  time the simulator/dispatch/cluster hot paths
                              and the parallel sweep runner; write the
                              measurements to ``BENCH_simulator.json``
+- ``serve``                  run the live asyncio serving plane: an HTTP
+                             frontend over the shared runtime core on
+                             wall-clock epochs (docs/serving.md)
+- ``loadgen``                open-loop load generator against a live
+                             server; reports achieved rate, p50/p99 and
+                             drop fractions
 
 Observability flags (before the subcommand) capture the structured event
 stream of every cluster run the command performs (docs/observability.md):
@@ -174,6 +180,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline JSON; exit 1 on a >30%% "
                             "regression, exit 0 with a notice when the "
                             "hardware fingerprint differs")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live serving plane (asyncio HTTP frontend)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral, printed on start)")
+    serve.add_argument("--app", action="append", default=None,
+                       metavar="SPEC", dest="apps",
+                       help="app to deploy: MODEL:SLO_MS:RATE_RPS or "
+                            "app=NAME:RATE_RPS (repeatable; default "
+                            "lenet5:50:30000)")
+    serve.add_argument("--device", default="gtx1080ti")
+    serve.add_argument("--gpus", type=int, default=None,
+                       help="cluster size cap (default: size to demand)")
+    serve.add_argument("--epoch-ms", type=float, default=10_000.0,
+                       metavar="MS", help="epoch control-loop cadence")
+    serve.add_argument("--dynamic", action="store_true",
+                       help="re-plan every epoch from observed load")
+    serve.add_argument("--seed", type=int, default=0)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a live server",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=8642)
+    lg.add_argument("--app", default="lenet5",
+                    help="application name to invoke (default lenet5)")
+    lg.add_argument("--rate", type=float, default=25_000.0, metavar="RPS",
+                    help="offered request rate")
+    lg.add_argument("--duration", type=float, default=5.0, metavar="S",
+                    dest="duration_s", help="burst length in seconds")
+    lg.add_argument("--connections", type=int, default=8,
+                    help="pipelined keep-alive connections")
+    lg.add_argument("--arrival", choices=("poisson", "uniform"),
+                    default="poisson")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--wait-ready", type=float, default=0.0, metavar="S",
+                    dest="wait_ready_s",
+                    help="poll /v1/healthz up to S seconds before starting")
+    lg.add_argument("--min-achieved-rps", type=float, default=None,
+                    metavar="RPS", dest="min_achieved_rps",
+                    help="exit 1 if the achieved rate falls below RPS")
+    lg.add_argument("--min-goodput-rps", type=float, default=None,
+                    metavar="RPS", dest="min_goodput_rps",
+                    help="exit 1 if server-side goodput falls below RPS")
+    lg.add_argument("--report-json", default=None, metavar="PATH",
+                    help="write the full report as JSON")
+    lg.add_argument("--shutdown", action="store_true",
+                    help="POST /v1/shutdown after the run (CI smoke)")
 
     return parser
 
@@ -352,6 +410,107 @@ def _cmd_bench(quick: bool, workers: int, repeats: int,
     return 0
 
 
+def _cmd_serve(host: str, port: int, apps: list[str] | None, device: str,
+               gpus: int | None, epoch_ms: float, dynamic: bool,
+               seed: int) -> int:
+    import asyncio
+
+    from .cluster.nexus import ClusterConfig
+    from .serving import NexusServer, parse_app_spec
+
+    cfg = ClusterConfig(
+        device=device, max_gpus=gpus, epoch_ms=epoch_ms, seed=seed,
+        dynamic=dynamic, expand_to_cluster=False,
+    )
+
+    async def _run() -> int:
+        server = NexusServer(cfg, host=host, port=port, dynamic=dynamic)
+        for spec in apps or ["lenet5:50:30000"]:
+            query, rate, arrival = parse_app_spec(spec, device)
+            server.runtime.add_app(query, rate, arrival)
+        bound = await server.start()
+        plan = server.runtime.plan
+        print(
+            f"serving on http://{host}:{bound} "
+            f"({plan.num_gpus if plan else 0} emulated GPUs, "
+            f"apps: {', '.join(server.runtime.app_names)})",
+            flush=True,
+        )
+        try:
+            await server.wait_shutdown()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        print("server stopped cleanly", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("server stopped cleanly", flush=True)
+        return 0
+
+
+def _cmd_loadgen(host: str, port: int, app: str, rate: float,
+                 duration_s: float, connections: int, arrival: str,
+                 seed: int, wait_ready_s: float,
+                 min_achieved_rps: float | None,
+                 min_goodput_rps: float | None,
+                 report_json: str | None, shutdown: bool) -> int:
+    import asyncio
+    import json
+
+    from .serving.loadgen import run_loadgen, wait_ready
+
+    async def _run() -> int:
+        if wait_ready_s > 0:
+            await wait_ready(host, port, timeout_s=wait_ready_s)
+        report = await run_loadgen(
+            host, port, app, rate, duration_s,
+            connections=connections, arrival=arrival, seed=seed,
+        )
+        print(report.summary())
+        if report_json:
+            with open(report_json, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+            print(f"report -> {report_json}", file=sys.stderr)
+        status = 0
+        if min_achieved_rps is not None and (
+            report.achieved_rps < min_achieved_rps
+        ):
+            print(
+                f"FAIL: achieved {report.achieved_rps:,.1f} rps < "
+                f"required {min_achieved_rps:,.1f} rps", file=sys.stderr,
+            )
+            status = 1
+        if min_goodput_rps is not None:
+            goodput = float(report.server_stats.get("goodput_rps", 0.0))
+            if goodput < min_goodput_rps:
+                print(
+                    f"FAIL: server goodput {goodput:,.1f} rps < "
+                    f"required {min_goodput_rps:,.1f} rps",
+                    file=sys.stderr,
+                )
+                status = 1
+        if shutdown:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /v1/shutdown HTTP/1.1\r\nHost: lg\r\n"
+                    b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+                )
+                await writer.drain()
+                await reader.read()
+                writer.close()
+            except OSError as exc:
+                print(f"shutdown request failed: {exc}", file=sys.stderr)
+                status = status or 1
+        return status
+
+    return asyncio.run(_run())
+
+
 def _dispatch(args) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
@@ -374,6 +533,15 @@ def _dispatch(args) -> int:
     if args.command == "bench":
         return _cmd_bench(args.quick, args.workers, args.repeats, args.out,
                           args.check_against)
+    if args.command == "serve":
+        return _cmd_serve(args.host, args.port, args.apps, args.device,
+                          args.gpus, args.epoch_ms, args.dynamic, args.seed)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args.host, args.port, args.app, args.rate,
+                            args.duration_s, args.connections, args.arrival,
+                            args.seed, args.wait_ready_s,
+                            args.min_achieved_rps, args.min_goodput_rps,
+                            args.report_json, args.shutdown)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.drop import (
     DropPolicy,
@@ -38,8 +39,10 @@ from ..observability.events import (
     DROP_UNSCHEDULED,
 )
 from ..observability.tracer import Tracer, tracer_for_collector
-from ..simulation.simulator import EventHandle, Simulator
 from .messages import Request
+
+if TYPE_CHECKING:
+    from ..runtime.clock import EventSource, TimerHandle
 
 __all__ = ["BackendSession", "Backend", "ExecutionSpan"]
 
@@ -102,7 +105,7 @@ class Backend:
     """A single-GPU backend module.
 
     Args:
-        sim: the event loop.
+        sim: the clock/timer driver (simulator or live event source).
         gpu_id: identifier for metrics.
         collector: sink for per-request outcome records (invocation
             granularity); pass None to rely on callbacks only.
@@ -118,7 +121,7 @@ class Backend:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EventSource,
         gpu_id: int = 0,
         collector: MetricsCollector | None = None,
         pacing: str = "cycle",
@@ -152,7 +155,7 @@ class Backend:
         self._index: dict[str, int] = {}
         self._cycle_pos = 0
         self._busy = False
-        self._wake: EventHandle | None = None
+        self._wake: TimerHandle | None = None
         #: absolute time the armed wake fires (meaningful iff _wake set).
         self._wake_at = math.inf
         #: False once :meth:`fail` fires; a dead backend executes nothing
@@ -163,7 +166,7 @@ class Backend:
         self.slowdown_factor = 1.0
         #: the in-flight batch, if any: (exec handle, state, batch,
         #: completion time) -- cancelled wholesale on a crash.
-        self._inflight: tuple[EventHandle, _SessionState,
+        self._inflight: tuple[TimerHandle, _SessionState,
                               list[QueuedRequest], float] | None = None
         self.busy_ms = 0.0
         self.batches_executed = 0
@@ -506,6 +509,12 @@ class Backend:
     def _on_batch_done(
         self, state: _SessionState, batch: list[QueuedRequest], completion: float
     ) -> None:
+        # SLO verdicts and completion timestamps use the *actual* fire
+        # time, not the ``completion`` the batch was scheduled for: under
+        # the simulator they are identical, but a wall-clock timer can
+        # land late, and judging requests against the planned instant
+        # would silently mark late work on-time.
+        now = self.sim.now
         self._busy = False
         self._inflight = None
         tracer = self.tracer
@@ -517,14 +526,14 @@ class Backend:
             request = requests.pop(q.request_id, None)
             if request is None:
                 continue
-            ok = completion <= q.deadline_ms
+            ok = now <= q.deadline_ms
             if emit:
                 tracer.request_completed(
-                    completion, session_id, q.request_id,
+                    now, session_id, q.request_id,
                     q.arrival_ms, q.deadline_ms, ok, gpu_id=gpu_id,
                 )
             if request.on_complete is not None:
-                request.on_complete(request, completion, ok)
+                request.on_complete(request, now, ok)
         self._kick()
 
     def _finish_drop(self, state: _SessionState, q: QueuedRequest,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, cast
+from typing import TYPE_CHECKING, Callable, cast
 
 import numpy as np
 
@@ -28,9 +28,11 @@ from ..core.query import Query, QueryStage
 from ..metrics.collector import MetricsCollector
 from ..observability.events import DROP_BACKEND_FAILED
 from ..observability.tracer import Tracer, tracer_for_collector
-from ..simulation.simulator import Simulator
 from .backend import Backend
 from .messages import Request, new_request_id
+
+if TYPE_CHECKING:
+    from ..runtime.clock import EventSource
 
 __all__ = ["RoutingTable", "Frontend", "QueryInstance", "RetryPolicy"]
 
@@ -131,6 +133,7 @@ class QueryInstance:
     __slots__ = (
         "query", "query_id", "arrival_ms", "deadline_ms", "outstanding",
         "failed", "finished", "completion_ms", "frontend", "_budgets",
+        "on_done",
     )
 
     def __init__(self, frontend: "Frontend", query: Query,
@@ -145,6 +148,9 @@ class QueryInstance:
         self.finished = False
         self.completion_ms = arrival_ms
         self._budgets: dict[str, float] | None = None
+        #: optional completion hook (the live serving frontend resolves
+        #: its per-request response future here).
+        self.on_done: Callable[[QueryInstance], None] | None = None
 
     def spawn(self, stage: QueryStage, count: int) -> None:
         self.outstanding += count
@@ -179,7 +185,7 @@ class Frontend:
     """One frontend replica: dispatch + query orchestration.
 
     Args:
-        sim: the event loop.
+        sim: the clock/timer driver (simulator or live event source).
         routing: the (shared) routing table pushed by the global scheduler.
         query_collector: sink for whole-query outcome records.
         tracer: structured event tracer; when omitted, one is derived
@@ -192,7 +198,7 @@ class Frontend:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EventSource,
         routing: RoutingTable,
         query_collector: MetricsCollector | None = None,
         seed: int = 0,
@@ -229,8 +235,13 @@ class Frontend:
         self, session_id: str, slo_ms: float,
         on_complete: Callable[[Request, float, bool], None] | None = None,
         on_drop: Callable[[Request, float], None] | None = None,
+        context: object = None,
     ) -> bool:
-        """Dispatch a single-model request; returns False if unroutable."""
+        """Dispatch a single-model request; returns False if unroutable.
+
+        ``context`` rides along on the request untouched (the live
+        serving frontend stores its per-request completion future there).
+        """
         now = self.sim.now
         self.session_counters[session_id] = (
             self.session_counters.get(session_id, 0) + 1
@@ -243,6 +254,7 @@ class Frontend:
             on_complete=on_complete,
             on_drop=on_drop,
             on_fail=self._handle_backend_failure,
+            context=context,
         )
         if backend is None:
             self.routing_failures += 1
@@ -257,11 +269,16 @@ class Frontend:
     # -------------------------------------------------------------- queries
 
     def submit_query(self, query: Query,
-                     budgets_ms: dict[str, float] | None = None) -> QueryInstance:
+                     budgets_ms: dict[str, float] | None = None,
+                     on_done: Callable[[QueryInstance], None] | None = None,
+                     ) -> QueryInstance:
         """Start a query; per-stage SLOs come from ``budgets_ms`` (the
-        latency split) or default to the whole remaining query budget."""
+        latency split) or default to the whole remaining query budget.
+        ``on_done`` fires exactly once when the query finishes (after the
+        outcome event is emitted)."""
         instance = QueryInstance(self, query, self.sim.now)
         instance._budgets = budgets_ms
+        instance.on_done = on_done
         self.query_counters[query.name] = (
             self.query_counters.get(query.name, 0) + 1
         )
@@ -344,13 +361,22 @@ class Frontend:
         budget run out.  No outcome event was emitted for the loss
         itself, so exactly one outcome is recorded per logical request:
         either the eventual completion or the terminal drop here.
+
+        The backoff respects the remaining SLO budget: a retry whose
+        backoff would land at or past the deadline cannot possibly
+        complete in time, so it drops *now* instead of burning a queue
+        slot on a doomed re-dispatch (and charging the drop to a later,
+        misleading timestamp).
         """
         policy = self.retry_policy
         if request.attempt >= policy.max_retries or now >= request.deadline_ms:
             self._final_fail_drop(request, now)
             return
+        backoff = policy.backoff_for(request.attempt + 1)
+        if now + backoff >= request.deadline_ms:
+            self._final_fail_drop(request, now)
+            return
         request.attempt += 1
-        backoff = policy.backoff_for(request.attempt)
         self.retries += 1
         self.tracer.request_retried(
             now, request.session_id, request.request_id,
@@ -403,6 +429,8 @@ class Frontend:
             instance.arrival_ms, instance.deadline_ms,
             ok=not instance.failed,
         )
+        if instance.on_done is not None:
+            instance.on_done(instance)
 
     # ------------------------------------------------------------ workload
 

@@ -20,15 +20,18 @@ handed to the recovery callback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy
+from ..core.floatcmp import definitely_gt
 from ..core.squishy import GpuPlan, SchedulePlan
 from ..metrics.collector import MetricsCollector
 from ..observability.tracer import Tracer, tracer_for_collector
-from ..simulation.simulator import Simulator
 from .backend import Backend, BackendSession
 from .frontend import RoutingTable
+
+if TYPE_CHECKING:
+    from ..runtime.clock import EventSource
 
 __all__ = ["BackendPool", "HeartbeatMonitor", "make_policy"]
 
@@ -76,7 +79,7 @@ class BackendPool:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EventSource,
         routing: RoutingTable,
         collector: MetricsCollector | None = None,
         config: PoolConfig | None = None,
@@ -329,7 +332,7 @@ class HeartbeatMonitor:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: EventSource,
         pool: BackendPool,
         heartbeat_ms: float = 500.0,
         lease_ms: float = 2_000.0,
@@ -384,7 +387,11 @@ class HeartbeatMonitor:
             # A backend first observed already-dead leases from this
             # sweep, keeping the "never before lease_ms" lower bound.
             last = self._last_beat.setdefault(idx, now)
-            if now - last > self.lease_ms:
+            # Tolerant comparison: a lease exactly at its deadline (or
+            # within float jitter of it -- wall-clock timers land with
+            # ~ns error) is still held; only a definitely stale lease
+            # declares the backend dead.
+            if definitely_gt(now - last, self.lease_ms):
                 self._declared.add(idx)
                 self.declared_failures.append((idx, now))
                 self.pool.mark_failed(idx)

@@ -36,19 +36,18 @@ from ..baselines.batch_oblivious import batch_oblivious_plan  # noqa: E402 -- le
 from ..metrics.collector import MetricsCollector
 from ..models import get_device, get_model, prefix_suffix_profiles
 from ..observability.events import TraceEvent
-from ..observability.tracer import (
-    MetricsSink,
-    TraceBuffer,
-    Tracer,
-    active_trace_buffer,
-)
+from ..runtime.core import RuntimeCore
 from ..simulation.simulator import Simulator
 from ..workloads.arrivals import poisson_arrivals, uniform_arrivals
 from .faults import FaultInjector, FaultPlan
-from .frontend import Frontend, RetryPolicy, RoutingTable
+from .frontend import Frontend, RetryPolicy
 from .global_scheduler import BackendPool, HeartbeatMonitor, PoolConfig
 
 __all__ = ["ClusterConfig", "AppSpec", "ClusterResult", "NexusCluster"]
+
+#: post-run drain window beyond the longest SLO: lets in-flight batches
+#: and retry backoffs settle before the run is declared over.
+_DRAIN_GRACE_MS = 1_000.0
 
 
 @dataclass
@@ -453,31 +452,9 @@ class NexusCluster:
         """
         cfg = self.config
         sim = Simulator()
-        routing = RoutingTable()
-        invocation_metrics = MetricsCollector()
-        query_metrics = MetricsCollector()
-        warm_query_metrics = MetricsCollector()
-
-        # One tracer serves the whole deployment: the metrics collectors
-        # are sinks on the same event stream the exporters consume.
-        sinks: list = [
-            MetricsSink(invocation=invocation_metrics, query=query_metrics)
-        ]
-        local_buffer = TraceBuffer() if trace else None
-        if local_buffer is not None:
-            sinks.append(local_buffer)
-        ambient = active_trace_buffer()
-        if ambient is not None:
-            sinks.append(ambient)
-        tracer = Tracer(sinks)
-        sim.attach_tracer(tracer)
-
-        pool = BackendPool(
+        core = RuntimeCore(
             sim,
-            routing,
-            collector=invocation_metrics,
-            tracer=tracer,
-            config=PoolConfig(
+            pool_config=PoolConfig(
                 pacing=cfg.pacing,
                 overlap=cfg.overlap,
                 drop_policy=cfg.drop_policy,
@@ -492,38 +469,34 @@ class NexusCluster:
                 validate_plans=cfg.scheduler == "squishy",
                 memory_capacity=int(get_device(cfg.device).mem_capacity),
             ),
+            num_frontends=cfg.num_frontends,
+            seed=cfg.seed,
+            retry_policy=RetryPolicy(
+                max_retries=cfg.retry_max,
+                backoff_ms=cfg.retry_backoff_ms,
+            ),
+            trace=trace,
         )
-        frontends = [
-            Frontend(sim, routing, query_collector=query_metrics,
-                     seed=cfg.seed + 1009 * i, tracer=tracer,
-                     retry_policy=RetryPolicy(
-                         max_retries=cfg.retry_max,
-                         backoff_ms=cfg.retry_backoff_ms,
-                     ))
-            for i in range(max(1, cfg.num_frontends))
-        ]
+        pool = core.pool
+        query_metrics = core.query_metrics
+        warm_query_metrics = MetricsCollector()
 
         plan = self.plan()
-        for sid, target in self._aliases.items():
-            routing.set_alias(sid, target)
-        pool.apply_plan(plan)
+        core.deploy(plan, self._aliases)
 
-        self._generate_traffic(sim, frontends, duration_ms, warmup_ms)
+        self._generate_traffic(sim, core.frontends, duration_ms, warmup_ms)
 
         injector: FaultInjector | None = None
         monitor: HeartbeatMonitor | None = None
         if faults is not None:
             injector = FaultInjector(sim, pool.backends, faults)
             injector.arm()
-            monitor = self._install_ft_loop(
-                sim, frontends, pool, plan, duration_ms, tracer
-            )
+            monitor = self._install_ft_loop(core, plan, duration_ms)
         elif cfg.dynamic:
-            self._install_epoch_loop(sim, frontends, pool, duration_ms,
-                                     tracer)
+            self._install_epoch_loop(core, duration_ms)
 
         tail_ms = max((a.query.slo_ms for a in self.apps), default=0.0)
-        sim.run_until(duration_ms + tail_ms + 1000)
+        sim.run_until(duration_ms + tail_ms + _DRAIN_GRACE_MS)
         epochs = getattr(self, "_epoch_state", {"epochs": 0})["epochs"]
 
         if warmup_ms > 0:
@@ -535,12 +508,15 @@ class NexusCluster:
 
         return ClusterResult(
             query_metrics=query_metrics,
-            invocation_metrics=invocation_metrics,
+            invocation_metrics=core.invocation_metrics,
             plan=pool_plan_snapshot(pool, plan),
             gpus_used=max(pool.gpus_in_use, plan.num_gpus),
             duration_ms=duration_ms - warmup_ms,
             epochs=epochs,
-            trace=local_buffer.events if local_buffer is not None else None,
+            trace=(
+                core.trace_buffer.events
+                if core.trace_buffer is not None else None
+            ),
             fault_log=injector.applied if injector is not None else None,
             detections=(
                 monitor.declared_failures if monitor is not None else None
@@ -585,50 +561,38 @@ class NexusCluster:
         return out
 
     def _install_epoch_loop(
-        self, sim: Simulator, frontends: list[Frontend], pool: BackendPool,
-        duration_ms: float, tracer: Tracer,
-    ) -> int:
-        """Section 5's control loop: measure, re-plan, redeploy."""
+        self, core: RuntimeCore, duration_ms: float
+    ) -> None:
+        """Section 5's control loop: measure, re-plan, redeploy.
+
+        The cadence timer lives in :meth:`RuntimeCore.install_epoch_loop`
+        (shared with the live serving driver); this method supplies the
+        simulator driver's policy -- scratch re-plan from observed
+        whole-query rates.
+        """
         cfg = self.config
-        scheduler = EpochScheduler(
-            epoch_ms=cfg.epoch_ms,
-            memory_capacity=int(get_device(cfg.device).mem_capacity),
-            max_gpus=cfg.max_gpus,
-            validate=cfg.scheduler == "squishy",
-        )
         state = {"epochs": 0, "last": 0.0}
 
-        def tick() -> None:
-            now = sim.now
+        def on_tick(now: float) -> None:
             span_s = max((now - state["last"]) / 1000.0, 1e-9)
-            counters: dict[str, int] = {}
-            for fe in frontends:
-                fe.read_and_reset_counters()
-                for name, n in fe.read_and_reset_query_counters().items():
-                    counters[name] = counters.get(name, 0) + n
+            _, counters = core.read_counters()
             # App-level observed rates (whole-query arrivals).
             rates: dict[str, float] = {}
             for app in self.apps:
                 rates[app.query.name] = counters.get(app.query.name, 0) / span_s
             state["last"] = now
             plan = self.plan(rates)
-            for sid, target in self._aliases.items():
-                frontends[0].routing.set_alias(sid, target)
-            pool.apply_plan(plan)
+            core.deploy(plan, self._aliases)
             state["epochs"] += 1
-            tracer.epoch_planned(now, state["epochs"], plan.num_gpus,
-                                 rates=rates)
-            if now + cfg.epoch_ms <= duration_ms:
-                sim.schedule(cfg.epoch_ms, tick)
+            core.tracer.epoch_planned(now, state["epochs"], plan.num_gpus,
+                                      rates=rates)
 
-        sim.schedule(cfg.epoch_ms, tick)
-        # Return count lazily via closure; run() reads after sim completes.
+        core.install_epoch_loop(cfg.epoch_ms, on_tick, until_ms=duration_ms)
+        # Epoch count read lazily via the state dict after the run.
         self._epoch_state = state
-        return 0
 
     def _install_ft_loop(
-        self, sim: Simulator, frontends: list[Frontend], pool: BackendPool,
-        plan: SchedulePlan, duration_ms: float, tracer: Tracer,
+        self, core: RuntimeCore, plan: SchedulePlan, duration_ms: float
     ) -> HeartbeatMonitor:
         """Fault-tolerant control loop: detect, re-pack, redeploy.
 
@@ -636,9 +600,12 @@ class NexusCluster:
         a lease failure detector triggers an *emergency* recovery epoch
         the moment a backend is declared dead (the dead node's sessions
         are re-packed onto survivors under the shrunken GPU cap), and
-        regular epoch ticks keep running on the nominal cadence.
+        regular epoch ticks keep running on the nominal cadence.  The
+        timers and detector are the :class:`RuntimeCore`'s; only the
+        re-pack policy lives here.
         """
         cfg = self.config
+        pool = core.pool
         loads = list(self._session_loads)
         scheduler = EpochScheduler(
             epoch_ms=cfg.epoch_ms,
@@ -646,18 +613,16 @@ class NexusCluster:
             max_gpus=cfg.max_gpus,
             validate=cfg.scheduler == "squishy",
         )
-        scheduler.adopt(plan, sim.now, loads)
+        scheduler.adopt(plan, core.events.now, loads)
         state = {"epochs": 0, "last": 0.0}
         self._epoch_state = state
         self._ft_scheduler = scheduler
 
         def redeploy(now: float) -> None:
-            for sid, target in self._aliases.items():
-                frontends[0].routing.set_alias(sid, target)
-            pool.apply_plan(scheduler.plan)
+            core.deploy(scheduler.plan, self._aliases)
             state["epochs"] += 1
-            tracer.epoch_planned(now, state["epochs"],
-                                 scheduler.plan.num_gpus)
+            core.tracer.epoch_planned(now, state["epochs"],
+                                      scheduler.plan.num_gpus)
 
         def on_failure(backend_idx: int, now: float) -> None:
             dead_nodes = pool.nodes_on(backend_idx)
@@ -672,24 +637,16 @@ class NexusCluster:
             scheduler.update(now, loads)
             redeploy(now)
 
-        monitor = HeartbeatMonitor(
-            sim, pool,
-            heartbeat_ms=cfg.heartbeat_ms,
-            lease_ms=cfg.lease_ms,
-            on_failure=on_failure,
-            on_recovery=on_recovery,
+        monitor = core.install_heartbeat(
+            cfg.heartbeat_ms, cfg.lease_ms, on_failure, on_recovery
         )
-        monitor.start()
 
-        def tick() -> None:
-            now = sim.now
+        def on_tick(now: float) -> None:
             if scheduler.should_reschedule(now, loads):
                 scheduler.update(now, loads)
                 redeploy(now)
-            if now + cfg.epoch_ms <= duration_ms:
-                sim.schedule(cfg.epoch_ms, tick)
 
-        sim.schedule(cfg.epoch_ms, tick)
+        core.install_epoch_loop(cfg.epoch_ms, on_tick, until_ms=duration_ms)
         return monitor
 
     # ------------------------------------------------------------- measure

@@ -1,0 +1,34 @@
+"""Driver-agnostic runtime: one serving core, two clocks.
+
+The cluster modules (:mod:`repro.cluster`) are written against the
+:class:`~repro.runtime.clock.EventSource` protocol -- ``now`` in float
+milliseconds plus ``schedule``/``schedule_at`` timers -- instead of a
+concrete clock.  Two drivers implement it:
+
+- the discrete-event :class:`~repro.simulation.simulator.Simulator`
+  (virtual time; every experiment in the repo), and
+- :class:`~repro.runtime.clock.AsyncioEventSource` (wall-clock time on an
+  asyncio loop; the live serving plane in :mod:`repro.serving`).
+
+:class:`~repro.runtime.core.RuntimeCore` is the shared serving core both
+drivers run: routing table, backend pool, frontend replicas, tracer
+wiring, and the epoch/heartbeat control-loop machinery extracted from
+``NexusCluster.run()``.  See docs/serving.md.
+"""
+
+from .clock import (
+    AsyncioEventSource,
+    EventSource,
+    ManualEventSource,
+    TimerHandle,
+)
+from .core import ControlLoopHandle, RuntimeCore
+
+__all__ = [
+    "EventSource",
+    "TimerHandle",
+    "AsyncioEventSource",
+    "ManualEventSource",
+    "RuntimeCore",
+    "ControlLoopHandle",
+]

@@ -1,0 +1,28 @@
+"""Live serving plane: the wall-clock driver of the runtime core.
+
+The discrete-event simulator replays experiments; this package *serves*.
+Both sit on the same :class:`~repro.runtime.core.RuntimeCore` (routing,
+backend pool, frontends, tracer) behind the
+:class:`~repro.runtime.clock.EventSource` protocol -- the serving plane
+swaps the virtual clock for asyncio wall-clock timers and puts an HTTP
+frontend in front.  See docs/serving.md.
+
+- :class:`ServingRuntime` -- planner + runtime core over any event
+  source (the object the driver-equivalence tests exercise);
+- :class:`NexusServer` -- asyncio HTTP/REST frontend plus the wall-clock
+  epoch control loop (``python -m repro serve``);
+- :func:`run_loadgen` -- open-loop load generator reporting achieved
+  rate, p50/p99 and drop fractions (``python -m repro loadgen``).
+"""
+
+from .loadgen import LoadgenReport, run_loadgen
+from .runtime import ServingRuntime, parse_app_spec
+from .server import NexusServer
+
+__all__ = [
+    "ServingRuntime",
+    "NexusServer",
+    "LoadgenReport",
+    "run_loadgen",
+    "parse_app_spec",
+]

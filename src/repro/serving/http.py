@@ -1,0 +1,296 @@
+"""Minimal asyncio HTTP/1.1 server: keep-alive, pipelining, JSON bodies.
+
+No third-party HTTP stack is assumed (the toolchain is stdlib + numpy),
+and none is needed: the serving plane's REST surface is small and its hot
+path -- ``GET /v1/invoke`` -- must clear tens of thousands of requests
+per second on one core, which a protocol-class server with batched
+parsing and writes handles comfortably.
+
+Contract with handlers: a handler receives ``(params, body)`` and
+returns one of
+
+- ``(status, payload_bytes)`` -- answered immediately;
+- a *deferred*: a callable that is invoked with a one-shot
+  ``respond(status, payload)`` function bound to this request's in-order
+  response slot.  This is the hot path (``/v1/invoke``): completion
+  callbacks write straight into the slot with **no** per-request future,
+  coroutine, or task;
+- an awaitable of ``(status, payload)`` -- general but heavier (one
+  task per request); kept for handlers that genuinely need ``await``.
+
+Responses go out strictly in request order per connection (HTTP/1.1
+pipelining), so a slow handler holds later responses on the same
+connection -- the load generator shards its traffic over several
+connections for exactly this reason.  Slot flushes triggered by
+``respond`` are coalesced through ``call_soon`` so a burst of
+completions in one loop tick becomes a single ``write()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Awaitable, Callable, Union
+
+__all__ = ["HttpServer", "Handler", "Respond", "json_bytes"]
+
+#: handler result: (status, JSON payload bytes)
+Result = tuple[int, bytes]
+#: the one-shot completion callback handed to deferred handlers
+Respond = Callable[[int, bytes], None]
+Handler = Callable[
+    [dict[str, str], bytes],
+    Union[Result, Callable[[Respond], None], Awaitable[Result]],
+]
+
+_STATUS_LINES = {
+    200: b"HTTP/1.1 200 OK",
+    400: b"HTTP/1.1 400 Bad Request",
+    404: b"HTTP/1.1 404 Not Found",
+    500: b"HTTP/1.1 500 Internal Server Error",
+    503: b"HTTP/1.1 503 Service Unavailable",
+}
+_HDR_SUFFIX = (
+    b"\r\nContent-Type: application/json\r\nContent-Length: "
+)
+
+
+def json_bytes(obj: object) -> bytes:
+    """Compact-JSON encode (module-local import keeps the hot path free
+    of repeated global lookups)."""
+    import json
+
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
+def _response(status: int, payload: bytes) -> bytes:
+    line = _STATUS_LINES.get(status) or (
+        b"HTTP/1.1 %d Status" % status
+    )
+    return b"%s%s%d\r\n\r\n%s" % (line, _HDR_SUFFIX, len(payload), payload)
+
+
+def _parse_params(raw: bytes) -> dict[str, str]:
+    """``a=1&b=2`` -> dict; tolerant of empty segments, no %-decoding
+    (the REST surface uses plain identifiers only)."""
+    params: dict[str, str] = {}
+    for part in raw.split(b"&"):
+        if not part:
+            continue
+        key, _, value = part.partition(b"=")
+        params[key.decode("latin-1")] = value.decode("latin-1")
+    return params
+
+
+class _Connection(asyncio.Protocol):
+    """One client connection: parse pipelined requests, answer in order."""
+
+    __slots__ = ("server", "transport", "_buf", "_pending", "_closed",
+                 "_want_close", "_flush_scheduled")
+
+    def __init__(self, server: "HttpServer") -> None:
+        self.server = server
+        self.transport: asyncio.Transport | None = None
+        self._buf = b""
+        #: in-order response slots, one single-element cell per request;
+        #: ``cell[0] is None`` marks a still-running awaitable handler
+        #: (head-of-line for this connection).  Cells (not indices) are
+        #: handed to the handler tasks so flushing the filled prefix
+        #: never invalidates an outstanding slot.
+        self._pending: deque[list[bytes | None]] = deque()
+        self._closed = False
+        #: the client sent ``Connection: close``: drop the connection
+        #: once every pending response has been written.
+        self._want_close = False
+        #: a coalesced flush is already queued on the loop.
+        self._flush_scheduled = False
+
+    # ------------------------------------------------------ protocol hooks
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        self._closed = True
+        self.transport = None
+
+    def data_received(self, data: bytes) -> None:
+        buf = self._buf + data if self._buf else data
+        pos = 0
+        end = len(buf)
+        while pos < end:
+            head_end = buf.find(b"\r\n\r\n", pos)
+            if head_end < 0:
+                break
+            head = buf[pos:head_end]
+            pos = head_end + 4
+            line_end = head.find(b"\r\n")
+            request_line = head if line_end < 0 else head[:line_end]
+            try:
+                method, target, _ = request_line.split(b" ", 2)
+            except ValueError:
+                self._push(_response(400, b'{"error":"bad request line"}'))
+                continue
+            body = b""
+            if method in (b"POST", b"PUT"):
+                length = self._content_length(head)
+                if pos + length > end:
+                    pos = max(0, pos - len(head) - 4)  # wait for more data
+                    break
+                body = buf[pos:pos + length]
+                pos += length
+            if b"close" in head and b"Connection: close" in head:
+                self._want_close = True
+            self._dispatch(method, target, body)
+        self._buf = buf[pos:]
+        self._flush()
+        self._maybe_close()
+
+    # ---------------------------------------------------------- dispatch
+
+    @staticmethod
+    def _content_length(head: bytes) -> int:
+        lowered = head.lower()
+        idx = lowered.find(b"content-length:")
+        if idx < 0:
+            return 0
+        tail = head[idx + 15:]
+        line_end = tail.find(b"\r\n")
+        if line_end >= 0:
+            tail = tail[:line_end]
+        try:
+            return int(tail.strip())
+        except ValueError:
+            return 0
+
+    def _dispatch(self, method: bytes, target: bytes, body: bytes) -> None:
+        path, _, raw_params = target.partition(b"?")
+        handler = self.server.routes.get((method, path))
+        if handler is None:
+            self._push(_response(404, b'{"error":"not found"}'))
+            return
+        params = _parse_params(raw_params) if raw_params else {}
+        try:
+            result = handler(params, body)
+        except Exception as exc:  # surfaced to the client, not the loop
+            self._push(_response(500, json_bytes({"error": str(exc)})))
+            return
+        if isinstance(result, tuple):
+            self._push(_response(result[0], result[1]))
+            return
+        # Reserve this request's in-order slot now; cells (not indices)
+        # are handed out so flushing never invalidates an open slot.
+        cell: list[bytes | None] = [None]
+        self._pending.append(cell)
+        if callable(result):
+            # Deferred handler (the hot path): hand it a respond()
+            # bound to the slot -- no future, coroutine, or task.
+            result(self._make_respond(cell))
+            return
+        # Awaitable handler: one task per request (the general path).
+        task = self.server.loop.create_task(self._finish(result, cell))
+        self.server.tasks.add(task)
+        task.add_done_callback(self.server.tasks.discard)
+
+    def _make_respond(self, cell: list[bytes | None]) -> Respond:
+        def respond(status: int, payload: bytes) -> None:
+            if self._closed:
+                return
+            cell[0] = _response(status, payload)
+            # Coalesce: completions land in bursts (one emulated batch
+            # finishing fans out dozens of respond() calls in the same
+            # loop tick); one queued flush turns them into one write().
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.server.loop.call_soon(self._scheduled_flush)
+
+        return respond
+
+    def _scheduled_flush(self) -> None:
+        self._flush_scheduled = False
+        if self._closed:
+            return
+        self._flush()
+        self._maybe_close()
+
+    async def _finish(
+        self, result: Awaitable[Result], cell: list[bytes | None]
+    ) -> None:
+        try:
+            status, payload = await result
+            response = _response(status, payload)
+        except Exception as exc:
+            response = _response(500, json_bytes({"error": str(exc)}))
+        if self._closed:
+            return
+        cell[0] = response
+        self._flush()
+        self._maybe_close()
+
+    def _push(self, response: bytes) -> None:
+        if self._pending:
+            self._pending.append([response])
+        elif self.transport is not None:
+            # No awaitable ahead of us: write through (the hot path).
+            self.transport.write(response)
+
+    def _flush(self) -> None:
+        """Write the filled prefix of the in-order response slots."""
+        pending = self._pending
+        if not pending or self.transport is None:
+            return
+        ready: list[bytes] = []
+        while pending:
+            head = pending[0][0]
+            if head is None:
+                break
+            ready.append(head)
+            pending.popleft()
+        if ready:
+            self.transport.write(b"".join(ready))
+
+    def _maybe_close(self) -> None:
+        if (
+            self._want_close
+            and not self._pending
+            and self.transport is not None
+        ):
+            self.transport.close()
+
+
+class HttpServer:
+    """Route table + asyncio server lifecycle.
+
+    Routes are exact ``(method, path)`` pairs registered via :meth:`get`
+    and :meth:`post`.  ``serve`` binds and returns; ``close`` tears down
+    the listener and any in-flight handler tasks.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self.loop = loop or asyncio.get_event_loop()
+        self.routes: dict[tuple[bytes, bytes], Handler] = {}
+        self.tasks: set[asyncio.Task[None]] = set()
+        self._server: asyncio.AbstractServer | None = None
+
+    def get(self, path: str, handler: Handler) -> None:
+        self.routes[(b"GET", path.encode())] = handler
+
+    def post(self, path: str, handler: Handler) -> None:
+        self.routes[(b"POST", path.encode())] = handler
+
+    async def serve(self, host: str, port: int) -> tuple[str, int]:
+        self._server = await self.loop.create_server(
+            lambda: _Connection(self), host, port,
+        )
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        return bound_host, bound_port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self.tasks):
+            task.cancel()
+        self.tasks.clear()

@@ -1,0 +1,345 @@
+"""Open-loop load generator for the live serving plane.
+
+``python -m repro loadgen`` drives ``python -m repro serve`` the way the
+paper's clients drive Nexus: arrivals are drawn from a Poisson (or
+uniform) process at the *offered* rate and sent on schedule regardless of
+how the server is keeping up -- an open loop, so overload shows up as
+drops and latency, never as a silently throttled client.
+
+Mechanics: the arrival trace is pre-generated
+(:mod:`repro.workloads.arrivals`), sharded round-robin over several
+pipelined keep-alive connections (HTTP/1.1 answers in order per
+connection, so sharding keeps one slow query from head-of-line blocking
+everything), and each connection batches every currently-due request
+into a single ``write()``.  Per-request round-trip latencies are matched
+FIFO to sends on the same connection.
+
+The final report carries achieved rate, p50/p99 round-trip latency, and
+ok/drop fractions; when an ambient trace capture is active (the CLI's
+``--trace-out``/``--trace-csv`` flags) every response is also emitted as
+a ``query.completed`` event through the standard exporters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..observability.events import QUERY_COMPLETED, TraceEvent
+from ..observability.tracer import active_trace_buffer
+from ..workloads.arrivals import poisson_arrivals, uniform_arrivals
+
+__all__ = ["LoadgenReport", "run_loadgen"]
+
+#: ms per second (times from workloads.arrivals are milliseconds).
+_MS = 1000.0
+#: readiness-probe retry interval (seconds: these sleeps feed asyncio).
+_HEALTH_POLL_S = 0.1
+#: drain-phase completion poll interval (seconds).
+_DRAIN_POLL_S = 0.05
+
+
+@dataclass
+class LoadgenReport:
+    """What one loadgen run measured."""
+
+    app: str
+    offered_rps: float
+    duration_s: float
+    connections: int
+    sent: int = 0
+    responses: int = 0
+    ok: int = 0
+    errors: int = 0
+    achieved_rps: float = 0.0
+    ok_fraction: float = 0.0
+    drop_fraction: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    server_stats: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"app               : {self.app}",
+            f"offered rate      : {self.offered_rps:,.0f} rps "
+            f"({self.duration_s:g} s, {self.connections} connections)",
+            f"sent / answered   : {self.sent:,} / {self.responses:,}",
+            f"achieved rate     : {self.achieved_rps:,.1f} rps",
+            f"ok fraction       : {self.ok_fraction:.4f}",
+            f"drop fraction     : {self.drop_fraction:.4f}",
+            f"rtt p50 / p99     : {self.latency_p50_ms:.2f} / "
+            f"{self.latency_p99_ms:.2f} ms",
+        ]
+        stats = self.server_stats
+        if stats:
+            lines.append(
+                f"server goodput    : {stats.get('goodput_rps', 0.0):,.1f} "
+                f"rps over {stats.get('queries', 0):,} queries "
+                f"({stats.get('epochs', 0)} epochs)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "connections": self.connections,
+            "sent": self.sent,
+            "responses": self.responses,
+            "ok": self.ok,
+            "errors": self.errors,
+            "achieved_rps": self.achieved_rps,
+            "ok_fraction": self.ok_fraction,
+            "drop_fraction": self.drop_fraction,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "server_stats": self.server_stats,
+        }
+
+
+class _ClientConnection(asyncio.Protocol):
+    """One pipelined connection: batched sends, FIFO response matching."""
+
+    __slots__ = ("transport", "_buf", "send_times", "latencies_ms",
+                 "responses", "ok", "errors", "closed", "loop")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.loop = loop
+        self.transport: asyncio.Transport | None = None
+        self._buf = b""
+        self.send_times: deque[float] = deque()
+        self.latencies_ms: list[float] = []
+        self.responses = 0
+        self.ok = 0
+        self.errors = 0
+        self.closed = loop.create_future()
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        self.transport = None
+        if not self.closed.done():
+            self.closed.set_result(None)
+
+    def data_received(self, data: bytes) -> None:
+        buf = self._buf + data if self._buf else data
+        pos = 0
+        end = len(buf)
+        now = self.loop.time()
+        while pos < end:
+            head_end = buf.find(b"\r\n\r\n", pos)
+            if head_end < 0:
+                break
+            head = buf[pos:head_end]
+            idx = head.find(b"Content-Length: ")
+            length = 0
+            if idx >= 0:
+                tail = head[idx + 16:]
+                nl = tail.find(b"\r\n")
+                length = int(tail[:nl] if nl >= 0 else tail)
+            body_start = head_end + 4
+            if body_start + length > end:
+                break
+            body = buf[body_start:body_start + length]
+            pos = body_start + length
+            self._account(head, body, now)
+        self._buf = buf[pos:]
+
+    def _account(self, head: bytes, body: bytes, now: float) -> None:
+        self.responses += 1
+        if self.send_times:
+            sent_at = self.send_times.popleft()
+            self.latencies_ms.append((now - sent_at) * _MS)
+        if head.startswith(b"HTTP/1.1 200") and body.startswith(b'{"ok":true'):
+            self.ok += 1
+        elif not head.startswith(b"HTTP/1.1 200"):
+            self.errors += 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.send_times)
+
+
+async def _drive_connection(
+    conn: _ClientConnection,
+    request: bytes,
+    times_ms: list[float],
+    start_s: float,
+) -> int:
+    """Replay this connection's arrival times; returns requests sent."""
+    loop = conn.loop
+    sent = 0
+    i = 0
+    n = len(times_ms)
+    while i < n:
+        due_s = start_s + times_ms[i] / _MS
+        now_s = loop.time()
+        if due_s > now_s:
+            await asyncio.sleep(due_s - now_s)
+            now_s = loop.time()
+        # Batch everything that is due by now into a single write: the
+        # open loop stays on schedule even when one send slips.
+        j = i + 1
+        while j < n and start_s + times_ms[j] / _MS <= now_s:
+            j += 1
+        count = j - i
+        if conn.transport is None:
+            break
+        conn.send_times.extend([now_s] * count)
+        conn.transport.write(request * count)
+        sent += count
+        i = j
+    return sent
+
+
+async def _fetch_json(host: str, port: int, path: str) -> dict:
+    """One-shot GET helper (readiness probes, final server stats)."""
+    import json
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            b"GET %s HTTP/1.1\r\nHost: lg\r\nConnection: close\r\n\r\n"
+            % path.encode()
+        )
+        await writer.drain()
+        # Read by Content-Length rather than to EOF so the helper works
+        # against keep-alive servers too.
+        raw = await reader.readuntil(b"\r\n\r\n")
+        head = raw[:-4]
+        idx = head.find(b"Content-Length: ")
+        length = 0
+        if idx >= 0:
+            tail = head[idx + 16:]
+            nl = tail.find(b"\r\n")
+            length = int(tail[:nl] if nl >= 0 else tail)
+        body = await reader.readexactly(length) if length else b""
+    finally:
+        writer.close()
+    if not head.startswith(b"HTTP/1.1 200"):
+        raise RuntimeError(f"GET {path} -> {head.splitlines()[0]!r}")
+    return json.loads(body)
+
+
+async def wait_ready(host: str, port: int, timeout_s: float = 10.0) -> dict:
+    """Poll ``/v1/healthz`` until the server answers (or raise)."""
+    loop = asyncio.get_event_loop()
+    deadline_s = loop.time() + timeout_s
+    last_error: Exception | None = None
+    while loop.time() < deadline_s:
+        try:
+            return await _fetch_json(host, port, "/v1/healthz")
+        except OSError as exc:
+            last_error = exc
+            await asyncio.sleep(_HEALTH_POLL_S)
+    raise TimeoutError(
+        f"server at {host}:{port} not ready after {timeout_s:g}s: "
+        f"{last_error}"
+    )
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    app: str,
+    rate_rps: float,
+    duration_s: float,
+    connections: int = 8,
+    arrival: str = "poisson",
+    seed: int = 0,
+    drain_timeout_s: float = 5.0,
+) -> LoadgenReport:
+    """Run one open-loop burst against a live server; see module doc."""
+    loop = asyncio.get_event_loop()
+    gen = poisson_arrivals if arrival == "poisson" else uniform_arrivals
+    times_ms = gen(rate_rps, duration_s * _MS, seed=seed)
+    report = LoadgenReport(
+        app=app, offered_rps=rate_rps, duration_s=duration_s,
+        connections=connections,
+    )
+    if not times_ms:
+        return report
+
+    request = (
+        b"GET /v1/invoke?app=%s HTTP/1.1\r\nHost: lg\r\n\r\n"
+        % app.encode()
+    )
+    conns: list[_ClientConnection] = []
+    for _ in range(connections):
+        _, conn = await loop.create_connection(
+            lambda: _ClientConnection(loop), host, port,
+        )
+        conns.append(conn)  # type: ignore[arg-type]
+
+    # Shard arrivals round-robin so every connection sees the full time
+    # span (a contiguous split would serialize the bursts).
+    shards: list[list[float]] = [[] for _ in conns]
+    for k, t in enumerate(times_ms):
+        shards[k % len(conns)].append(t)
+
+    start_s = loop.time() + 0.05  # common origin for every shard
+    sent_counts = await asyncio.gather(*(
+        _drive_connection(conn, request, shard, start_s)
+        for conn, shard in zip(conns, shards)
+    ))
+    report.sent = sum(sent_counts)
+
+    # Drain: answered responses keep streaming after the last send.
+    drain_deadline_s = loop.time() + drain_timeout_s
+    while loop.time() < drain_deadline_s:
+        if all(c.outstanding == 0 for c in conns):
+            break
+        await asyncio.sleep(_DRAIN_POLL_S)
+    elapsed_s = loop.time() - start_s
+
+    for conn in conns:
+        if conn.transport is not None:
+            conn.transport.close()
+
+    latencies = sorted(
+        x for conn in conns for x in conn.latencies_ms
+    )
+    report.responses = sum(c.responses for c in conns)
+    report.ok = sum(c.ok for c in conns)
+    report.errors = sum(c.errors for c in conns)
+    span_s = max(duration_s, min(elapsed_s, duration_s + drain_timeout_s))
+    report.achieved_rps = report.responses / span_s
+    if report.responses:
+        report.ok_fraction = report.ok / report.responses
+        report.drop_fraction = (
+            (report.responses - report.ok) / report.responses
+        )
+    if latencies:
+        report.latency_p50_ms = latencies[len(latencies) // 2]
+        report.latency_p99_ms = latencies[
+            min(len(latencies) - 1, int(len(latencies) * 0.99))
+        ]
+
+    try:
+        report.server_stats = await _fetch_json(host, port, "/v1/metrics")
+    except (OSError, RuntimeError):
+        report.server_stats = {}
+
+    _emit_trace(report, latencies)
+    return report
+
+
+def _emit_trace(report: LoadgenReport, latencies: list[float]) -> None:
+    """Feed the run into an ambient trace capture, if one is active."""
+    buffer = active_trace_buffer()
+    if buffer is None:
+        return
+    t = 0.0
+    ok_left = report.ok
+    for latency in latencies:
+        ok = ok_left > 0
+        ok_left -= 1
+        buffer.emit(TraceEvent(
+            ts_ms=t + latency, kind=QUERY_COMPLETED,
+            session_id=report.app, arrival_ms=t,
+            deadline_ms=None, ok=ok, dur_ms=latency,
+        ))
+        t += _MS / max(report.offered_rps, 1e-9)

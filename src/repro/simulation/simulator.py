@@ -5,6 +5,14 @@ frontends, backends and the global scheduler are all driven by this loop.
 Time is float milliseconds.  Events fire in (time, priority, insertion
 order), so same-timestamp events are deterministic -- every experiment in
 the repo is reproducible from its seed.
+
+The simulator conforms structurally to the
+:class:`~repro.runtime.clock.EventSource` protocol (``now`` /
+``schedule`` / ``schedule_at`` returning cancellable handles), making it
+the virtual-time driver of the shared
+:class:`~repro.runtime.core.RuntimeCore`; the live serving plane
+(:mod:`repro.serving`) drives the same core with wall-clock asyncio
+timers instead.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ from repro.analysis.lint import RULES, lint_paths, lint_source, main
 CORE = Path("core/mod.py")
 CLUSTER = Path("cluster/mod.py")
 EXPERIMENTS = Path("experiments/mod.py")
+SERVING = Path("serving/mod.py")
 
 
 def findings(source, rel_path=CORE, rules=None):
@@ -394,6 +395,89 @@ class TestSuppression:
         assert rules_of(only) == {"wall-clock"}
 
 
+class TestRawTimeLiteral:
+    """serving/ + cluster/ only: bare numeric time literals are banned."""
+
+    def test_addition_with_literal_flagged_in_cluster(self):
+        found = findings("""
+            def f(deadline_ms):
+                return deadline_ms + 50
+        """, rel_path=CLUSTER)
+        assert rules_of(found) == {"raw-time-literal"}
+
+    def test_comparison_with_literal_flagged_in_serving(self):
+        found = findings("""
+            def f(elapsed_ms):
+                return elapsed_ms > 5_000
+        """, rel_path=SERVING)
+        assert rules_of(found) == {"raw-time-literal"}
+
+    def test_scheduling_call_literal_flagged(self):
+        found = findings("""
+            def f(sim):
+                sim.schedule(50, lambda: None)
+        """, rel_path=SERVING)
+        assert rules_of(found) == {"raw-time-literal"}
+
+    def test_asyncio_sleep_literal_flagged(self):
+        found = findings("""
+            import asyncio
+
+            async def f():
+                await asyncio.sleep(0.1)
+        """, rel_path=SERVING)
+        assert rules_of(found) == {"raw-time-literal"}
+
+    def test_conversion_literal_flagged(self):
+        found = findings("""
+            def f(span_ms):
+                return span_ms / 1000.0
+        """, rel_path=SERVING)
+        assert rules_of(found) == {"raw-time-literal"}
+
+    def test_epsilon_literal_clean(self):
+        assert findings("""
+            def f(duty_cycle_ms, now):
+                return now >= duty_cycle_ms - 1e-9
+        """, rel_path=CLUSTER) == []
+
+    def test_zero_guard_clean(self):
+        assert findings("""
+            def f(timeout_ms):
+                return timeout_ms > 0
+        """, rel_path=SERVING) == []
+
+    def test_named_operands_clean(self):
+        assert findings("""
+            GRACE_MS = 1_000.0
+
+            def f(tail_ms):
+                return tail_ms + GRACE_MS
+        """, rel_path=SERVING) == []
+
+    def test_rate_scaling_clean(self):
+        # Multiplying a time by a non-conversion factor is not a unit
+        # conversion (e.g. headroom scaling).
+        assert findings("""
+            def f(slo_ms):
+                return slo_ms * 0.5
+        """, rel_path=SERVING) == []
+
+    def test_out_of_scope_path_clean(self):
+        assert findings("""
+            def f(deadline_ms):
+                return deadline_ms + 50
+        """, rel_path=CORE) == []
+
+    def test_suppression_honored(self):
+        src = (
+            "def f(deadline_ms):\n"
+            "    return deadline_ms + 50"
+            "  # nexuslint: disable=raw-time-literal\n"
+        )
+        assert lint_source(src, rel_path=CLUSTER) == []
+
+
 SEEDED_VIOLATIONS = {
     # One file per rule, placed so the rule's scope applies.
     "core/clock.py": "import time\n\ndef f():\n    return time.time()\n",
@@ -418,6 +502,9 @@ SEEDED_VIOLATIONS = {
     "core/epoch.py": (
         "def f(profile, rate):\n"
         "    return simulate_estimate(profile, rate)\n"
+    ),
+    "serving/delay.py": (
+        "def f(sim):\n    sim.schedule(50, lambda: None)\n"
     ),
 }
 
