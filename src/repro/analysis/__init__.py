@@ -6,7 +6,14 @@ Two runtime-free checkers guard the repo's correctness contracts:
   pass rejecting determinism hazards (wall-clock reads, unseeded RNGs,
   set-ordered iteration), unit-discipline hazards (float ``==``, mixed
   ``_ms``/``_us``/``_s`` arithmetic), and untraced request-state
-  mutations in the planning and lifecycle paths.
+  mutations in the planning and lifecycle paths.  Directory runs add
+  the whole-program pass: :mod:`repro.analysis.callgraph` builds a
+  project-wide symbol table + call graph and
+  :mod:`repro.analysis.asynclint` runs flow-aware asyncio-hazard rules
+  (blocking calls reachable from coroutines, state read-modify-written
+  across an ``await``, unawaited coroutines, orphaned tasks, CPU-bound
+  serving handlers) over it, gated by a ``.nexuslint-baseline.json``
+  ratchet.
 - :mod:`repro.analysis.plan_check` — Algorithm-1 invariant validation on
   any :class:`~repro.core.squishy.SchedulePlan` (SLO headroom, duty-cycle
   occupancy, GPU memory, session double-assignment, node-id uniqueness),
@@ -17,7 +24,15 @@ See docs/static-analysis.md for the rule reference and suppression
 syntax.
 """
 
-from .lint import RULES, Finding, lint_paths, lint_source
+from .asynclint import RULES as ASYNC_RULES
+from .asynclint import analyze_graph
+from .callgraph import (
+    CallGraph,
+    build_call_graph,
+    build_call_graph_from_paths,
+    module_name_for,
+)
+from .lint import RULES, Finding, all_rules, lint_paths, lint_source
 from .plan_check import (
     PlanCheckError,
     PlanViolation,
@@ -30,6 +45,13 @@ from .plan_check import (
 __all__ = [
     "Finding",
     "RULES",
+    "ASYNC_RULES",
+    "all_rules",
+    "analyze_graph",
+    "CallGraph",
+    "build_call_graph",
+    "build_call_graph_from_paths",
+    "module_name_for",
     "lint_source",
     "lint_paths",
     "PlanViolation",

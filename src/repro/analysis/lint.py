@@ -76,31 +76,56 @@ Performance contract (``core/`` only):
                           policy; an inline simulator turns every
                           capacity probe into an event-loop run.
 
+Whole-program pass (``analysis/callgraph.py`` + ``analysis/asynclint.py``):
+on top of the per-file rules, :func:`lint_paths` builds a project-wide
+call graph and runs the flow-aware asyncio-hazard rules
+(``blocking-call-in-async``, ``interleaved-state-mutation``,
+``unawaited-coroutine``, ``orphan-task``, ``cpu-bound-handler``) — see
+:mod:`repro.analysis.asynclint` for their semantics.
+
 Suppression: append ``# nexuslint: disable=<rule>[,<rule>...]`` to the
 offending line, or ``# nexuslint: disable-file=<rule>`` anywhere in the
 file for a file-wide waiver.  ``disable=all`` waives every rule.
+Directives are themselves checked (``invalid-suppression``): naming an
+unknown rule slug, or a line suppression that suppresses nothing, is a
+finding — stale waivers cannot silently rot.
+
+Baseline ratchet: ``--baseline .nexuslint-baseline.json`` waives exactly
+the findings recorded in the file (matched on relative path + rule +
+line), so new rules land enforced-at-zero-*new*-findings; stale entries
+are reported so the baseline only ever shrinks.  ``--write-baseline``
+regenerates it.
 
 Run via ``python -m repro lint [paths...]`` (defaults to the installed
 ``repro`` package) — exit status 0 when clean, 1 with findings, 2 on
-unreadable/unparsable inputs.
+unreadable/unparsable inputs.  ``--format github`` emits workflow
+annotations; ``--json-out`` writes a machine-readable findings artifact.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
 import json
 import sys
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from .callgraph import build_call_graph, module_name_for
+
 __all__ = [
     "Finding",
     "RULES",
+    "all_rules",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
     "main",
 ]
 
@@ -123,7 +148,18 @@ RULES: dict[str, str] = {
     "raw-time-literal":
         "bare numeric time literal in serving/cluster code; name it "
         "(a *_ms constant) or use repro.runtime.clock.MS_PER_S",
+    "invalid-suppression":
+        "nexuslint directive naming an unknown rule, or a line "
+        "suppression that suppresses nothing",
 }
+
+
+def all_rules() -> dict[str, str]:
+    """The merged rule registry: per-file syntactic rules plus the
+    whole-program async-hazard rules."""
+    from .asynclint import RULES as ASYNC_RULES
+
+    return {**RULES, **ASYNC_RULES}
 
 #: path components that mark deterministic planning code.
 _PLANNING_PARTS = frozenset({"core", "cluster", "simulation"})
@@ -212,30 +248,107 @@ class Finding:
 # ------------------------------------------------------------- suppressions
 
 
-def _parse_suppressions(
-    source: str,
+@dataclass(frozen=True)
+class _Directive:
+    """One ``# nexuslint:`` comment, with its location and form."""
+
+    lineno: int
+    file_wide: bool
+    rules: frozenset[str]
+
+
+def _parse_suppressions(source: str) -> list[_Directive]:
+    """Extract every ``# nexuslint:`` directive with its location.
+
+    Only genuine comment tokens count — the marker appearing inside a
+    string or docstring (this module documents the syntax, after all) is
+    not a directive."""
+    marker = "# nexuslint:"
+    directives: list[_Directive] = []
+    if "nexuslint" not in source:
+        return directives
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            idx = tok.string.find(marker)
+            if idx < 0:
+                continue
+            directive = tok.string[idx + len(marker):].strip()
+            for form, file_wide in (
+                ("disable-file=", True), ("disable=", False)
+            ):
+                if not directive.startswith(form):
+                    continue
+                rules = frozenset(
+                    r.strip() for r in directive[len(form):].split(",")
+                    if r.strip()
+                )
+                directives.append(
+                    _Directive(tok.start[0], file_wide, rules)
+                )
+                break
+    except tokenize.TokenError:
+        pass  # unparsable tail: ast.parse will report it properly
+    return directives
+
+
+def _suppression_tables(
+    directives: list[_Directive],
 ) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
-    """Extract line-level and file-level ``# nexuslint:`` directives."""
+    """Directives -> (per-line rules, file-wide rules) lookup tables."""
     per_line: dict[int, frozenset[str]] = {}
     file_wide: set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        marker = "# nexuslint:"
-        idx = text.find(marker)
-        if idx < 0:
-            continue
-        directive = text[idx + len(marker):].strip()
-        for form, sink in (("disable-file=", file_wide), ("disable=", None)):
-            if not directive.startswith(form):
-                continue
-            rules = frozenset(
-                r.strip() for r in directive[len(form):].split(",") if r.strip()
-            )
-            if sink is None:
-                per_line[lineno] = per_line.get(lineno, frozenset()) | rules
-            else:
-                sink.update(rules)
-            break
+    for d in directives:
+        if d.file_wide:
+            file_wide.update(d.rules)
+        else:
+            per_line[d.lineno] = per_line.get(d.lineno, frozenset()) | d.rules
     return per_line, frozenset(file_wide)
+
+
+def _invalid_suppression_findings(
+    path: str,
+    directives: list[_Directive],
+    raw_rules_by_line: dict[int, set[str]],
+    check_unused: bool,
+) -> list[Finding]:
+    """The ``invalid-suppression`` rule: unknown slugs in any directive,
+    and line suppressions that waive nothing.
+
+    Unused-ness is only judged when ``check_unused`` is set — it needs
+    the *raw* findings of every pass (syntactic and whole-program), so
+    the per-file entry point leaves it to the project driver.
+    """
+    known = set(all_rules()) | {"all"}
+    findings: list[Finding] = []
+    for d in directives:
+        unknown = sorted(d.rules - known)
+        for slug in unknown:
+            findings.append(Finding(
+                path=path, line=d.lineno, col=1, rule="invalid-suppression",
+                message=(
+                    f"unknown rule {slug!r} in nexuslint directive; see "
+                    f"--list-rules for valid slugs"
+                ),
+            ))
+        if not check_unused or d.file_wide:
+            continue
+        valid = d.rules & known
+        if not valid:
+            continue  # fully unknown: already reported above
+        at_line = raw_rules_by_line.get(d.lineno, set())
+        used = bool(at_line) if "all" in valid else bool(valid & at_line)
+        if not used:
+            findings.append(Finding(
+                path=path, line=d.lineno, col=1, rule="invalid-suppression",
+                message=(
+                    f"suppression of {', '.join(sorted(valid))} matches no "
+                    f"finding on this line; remove the stale waiver"
+                ),
+            ))
+    return findings
 
 
 def _suppressed(rule: str, line: int,
@@ -698,19 +811,26 @@ def lint_source(
     rel_path: Path | None = None,
     rules: frozenset[str] | None = None,
 ) -> list[Finding]:
-    """Lint one unit of Python source; returns findings (never raises on
-    rule matches, raises ``SyntaxError`` on unparsable input)."""
+    """Lint one unit of Python source with the per-file syntactic rules;
+    returns findings (never raises on rule matches, raises
+    ``SyntaxError`` on unparsable input).  Unknown rule slugs in
+    directives are reported here; unused-suppression detection needs the
+    whole-program pass and lives in :func:`lint_paths`."""
     planning, lifecycle, profile_scan, planner_loop, time_literals = (
         _scopes_for(rel_path or Path(path))
     )
-    per_line, file_wide = _parse_suppressions(source)
+    directives = _parse_suppressions(source)
+    per_line, file_wide = _suppression_tables(directives)
     tree = ast.parse(source, filename=path)
     visitor = _Linter(path, planning=planning, lifecycle=lifecycle,
                       profile_scan=profile_scan, planner_loop=planner_loop,
                       time_literals=time_literals)
     visitor.visit(tree)
+    raw = visitor.findings + _invalid_suppression_findings(
+        path, directives, raw_rules_by_line={}, check_unused=False,
+    )
     findings = [
-        f for f in visitor.findings
+        f for f in raw
         if not _suppressed(f.rule, f.line, per_line, file_wide)
     ]
     if rules is not None:
@@ -738,10 +858,16 @@ def lint_paths(
     paths: Sequence[Path],
     rules: frozenset[str] | None = None,
 ) -> tuple[list[Finding], list[str]]:
-    """Lint files/trees; returns ``(findings, errors)`` where errors are
-    unreadable or unparsable inputs."""
-    findings: list[Finding] = []
+    """Run the full engine over files/trees: per-file syntactic rules,
+    then the whole-program async-hazard pass over a shared call graph,
+    then suppression filtering and directive validation.  Returns
+    ``(findings, errors)`` where errors are unreadable or unparsable
+    inputs.  Every file is parsed exactly once; both passes share the
+    trees."""
+    from .asynclint import analyze_graph
+
     errors: list[str] = []
+    units: list[tuple[Path, Path, str, ast.Module, str]] = []
     for target in paths:
         # Directory targets scope rules by path parts relative to the
         # directory; lone files keep their absolute path so the enclosing
@@ -749,10 +875,125 @@ def lint_paths(
         root = target if target.is_dir() else None
         for file in _iter_python_files(target):
             try:
-                findings.extend(lint_file(file, root=root, rules=rules))
+                source = file.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(file))
             except (OSError, SyntaxError) as exc:
                 errors.append(f"{file}: {exc}")
+                continue
+            rel = file.relative_to(root) if root is not None else file
+            units.append(
+                (file, rel, module_name_for(file, root=root), tree, source)
+            )
+
+    # Pass 1: per-file syntactic rules (raw findings: suppressions are
+    # applied after the merge so directive validation sees everything).
+    raw_by_file: dict[str, list[Finding]] = {}
+    for file, rel, _module, tree, _source in units:
+        planning, lifecycle, profile_scan, planner_loop, time_literals = (
+            _scopes_for(rel)
+        )
+        visitor = _Linter(
+            str(file), planning=planning, lifecycle=lifecycle,
+            profile_scan=profile_scan, planner_loop=planner_loop,
+            time_literals=time_literals,
+        )
+        visitor.visit(tree)
+        raw_by_file[str(file)] = visitor.findings
+
+    # Pass 2: whole-program async-hazard rules over the shared trees.
+    graph = build_call_graph(
+        [(file, rel, module, tree) for file, rel, module, tree, _ in units]
+    )
+    for finding in analyze_graph(graph):
+        raw_by_file.setdefault(finding.path, []).append(finding)
+
+    # Merge, apply suppressions, validate directives.
+    findings: list[Finding] = []
+    for file, rel, _module, _tree, source in units:
+        key = str(file)
+        raw = raw_by_file.get(key, [])
+        directives = _parse_suppressions(source)
+        per_line, file_wide = _suppression_tables(directives)
+        kept = [
+            f for f in raw
+            if not _suppressed(f.rule, f.line, per_line, file_wide)
+        ]
+        raw_rules_by_line: dict[int, set[str]] = {}
+        for f in raw:
+            raw_rules_by_line.setdefault(f.line, set()).add(f.rule)
+        invalid = [
+            f for f in _invalid_suppression_findings(
+                key, directives, raw_rules_by_line, check_unused=True,
+            )
+            if not _suppressed(f.rule, f.line, per_line, file_wide)
+        ]
+        findings.extend(kept + invalid)
+
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, errors
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """The recorded findings of a ``.nexuslint-baseline.json`` ratchet."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return list(data.get("findings", []))
+
+
+def _baseline_key(
+    path_str: str, rule: str, line: int, base_dir: Path,
+) -> tuple[str, str, int]:
+    """Baselines match on (path relative to the baseline file, rule,
+    line) so the file is stable across checkouts."""
+    p = Path(path_str)
+    try:
+        rel = p.resolve().relative_to(base_dir.resolve())
+    except ValueError:
+        rel = p
+    return (rel.as_posix(), rule, line)
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict], base_dir: Path,
+) -> tuple[list[Finding], int, list[tuple[str, str, int]]]:
+    """Filter findings through the ratchet.  Returns ``(kept, waived,
+    stale)``: findings not in the baseline, the count the baseline
+    absorbed, and recorded entries that no longer fire (the ratchet
+    should shrink by exactly those)."""
+    allowed = {
+        (str(e["path"]), str(e["rule"]), int(e["line"])) for e in entries
+    }
+    kept: list[Finding] = []
+    matched: set[tuple[str, str, int]] = set()
+    for f in findings:
+        key = _baseline_key(f.path, f.rule, f.line, base_dir)
+        if key in allowed:
+            matched.add(key)
+        else:
+            kept.append(f)
+    waived = len(findings) - len(kept)
+    stale = sorted(allowed - matched)
+    return kept, waived, stale
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """(Re)generate the ratchet from the current findings."""
+    base_dir = path.resolve().parent
+    entries = [
+        {"path": p, "rule": r, "line": n}
+        for p, r, n in sorted(
+            _baseline_key(f.path, f.rule, f.line, base_dir)
+            for f in findings
+        )
+    ]
+    path.write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2) + "\n",
+        encoding="utf-8",
+    )
 
 
 def _default_target() -> Path:
@@ -775,28 +1016,45 @@ def main(argv: Iterable[str] | None = None) -> int:
         help="comma-separated subset of rules to apply",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="findings output format",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="findings output format (github = workflow annotations)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="ratchet file: recorded findings are waived, new ones fail",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate --baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--json-out", type=Path, default=None, metavar="FILE",
+        help="also write a JSON findings artifact (post-baseline)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
+    registry = all_rules()
     if args.list_rules:
-        for slug, description in RULES.items():
-            print(f"{slug:22s} {description}")
+        for slug, description in registry.items():
+            print(f"{slug:28s} {description}")
         return 0
 
     rules: frozenset[str] | None = None
     if args.rules:
         rules = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
-        unknown = rules - set(RULES)
+        unknown = rules - set(registry)
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
+
+    if args.write_baseline and args.baseline is None:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
     targets = list(args.paths) or [_default_target()]
     missing = [t for t in targets if not t.exists()]
@@ -806,13 +1064,56 @@ def main(argv: Iterable[str] | None = None) -> int:
         return 2
 
     findings, errors = lint_paths(targets, rules=rules)
+    for error in errors:
+        print(error, file=sys.stderr)
+
+    if args.write_baseline:
+        assert args.baseline is not None
+        write_baseline(findings, args.baseline)
+        print(
+            f"nexuslint: wrote {len(findings)} finding(s) to "
+            f"{args.baseline}", file=sys.stderr,
+        )
+        return 2 if errors else 0
+
+    waived = 0
+    stale: list[tuple[str, str, int]] = []
+    if args.baseline is not None:
+        if args.baseline.exists():
+            findings, waived, stale = apply_baseline(
+                findings, load_baseline(args.baseline),
+                args.baseline.resolve().parent,
+            )
+        else:
+            print(f"nexuslint: baseline {args.baseline} not found; "
+                  f"treating as empty", file=sys.stderr)
+
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps({
+            "findings": [f.as_dict() for f in findings],
+            "waived_by_baseline": waived,
+            "stale_baseline": [
+                {"path": p, "rule": r, "line": n} for p, r, n in stale
+            ],
+        }, indent=2) + "\n", encoding="utf-8")
+
     if args.format == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif args.format == "github":
+        for f in findings:
+            print(
+                f"::error file={f.path},line={f.line},col={f.col},"
+                f"title=nexuslint {f.rule}::{f.message}"
+            )
     else:
         for finding in findings:
             print(finding.render())
-    for error in errors:
-        print(error, file=sys.stderr)
+
+    for p, r, n in stale:
+        print(
+            f"nexuslint: stale baseline entry {p}:{n} [{r}] no longer "
+            f"fires; shrink the baseline", file=sys.stderr,
+        )
     if errors:
         return 2
     if findings:

@@ -152,10 +152,19 @@ def build_parser() -> argparse.ArgumentParser:
                            "package source)")
     lint.add_argument("--rules", default=None, metavar="R1,R2",
                       help="comma-separated subset of rules")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      dest="lint_format", help="findings output format")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text", dest="lint_format",
+                      help="findings output format (github = workflow "
+                           "annotations)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="ratchet file: recorded findings are waived, "
+                           "new ones fail")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate --baseline from current findings")
+    lint.add_argument("--json-out", default=None, metavar="FILE",
+                      help="also write a JSON findings artifact")
 
     bench = sub.add_parser(
         "bench",
@@ -373,7 +382,8 @@ def _cmd_plan(sessions: list[str], device: str, exact: bool) -> int:
 
 
 def _cmd_lint(paths: list[str], rules: str | None, fmt: str,
-              list_rules: bool) -> int:
+              list_rules: bool, baseline: str | None,
+              write_baseline: bool, json_out: str | None) -> int:
     from .analysis.lint import main as lint_main
 
     argv = list(paths)
@@ -383,6 +393,12 @@ def _cmd_lint(paths: list[str], rules: str | None, fmt: str,
         argv += ["--format", fmt]
     if list_rules:
         argv += ["--list-rules"]
+    if baseline:
+        argv += ["--baseline", baseline]
+    if write_baseline:
+        argv += ["--write-baseline"]
+    if json_out:
+        argv += ["--json-out", json_out]
     return lint_main(argv)
 
 
@@ -463,7 +479,7 @@ def _cmd_loadgen(host: str, port: int, app: str, rate: float,
 
     from .serving.loadgen import run_loadgen, wait_ready
 
-    async def _run() -> int:
+    async def _run() -> tuple[int, dict]:
         if wait_ready_s > 0:
             await wait_ready(host, port, timeout_s=wait_ready_s)
         report = await run_loadgen(
@@ -471,10 +487,6 @@ def _cmd_loadgen(host: str, port: int, app: str, rate: float,
             connections=connections, arrival=arrival, seed=seed,
         )
         print(report.summary())
-        if report_json:
-            with open(report_json, "w", encoding="utf-8") as fh:
-                json.dump(report.to_dict(), fh, indent=2)
-            print(f"report -> {report_json}", file=sys.stderr)
         status = 0
         if min_achieved_rps is not None and (
             report.achieved_rps < min_achieved_rps
@@ -506,9 +518,17 @@ def _cmd_loadgen(host: str, port: int, app: str, rate: float,
             except OSError as exc:
                 print(f"shutdown request failed: {exc}", file=sys.stderr)
                 status = status or 1
-        return status
+        return status, report.to_dict()
 
-    return asyncio.run(_run())
+    # The report file is written here, after the event loop has exited:
+    # synchronous file I/O inside the coroutine would stall the very
+    # connections the loadgen is still draining.
+    status, payload = asyncio.run(_run())
+    if report_json:
+        with open(report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"report -> {report_json}", file=sys.stderr)
+    return status
 
 
 def _dispatch(args) -> int:
@@ -529,7 +549,8 @@ def _dispatch(args) -> int:
         return _cmd_plan(args.sessions, args.device, args.exact)
     if args.command == "lint":
         return _cmd_lint(args.paths, args.rules, args.lint_format,
-                         args.list_rules)
+                         args.list_rules, args.baseline,
+                         args.write_baseline, args.json_out)
     if args.command == "bench":
         return _cmd_bench(args.quick, args.workers, args.repeats, args.out,
                           args.check_against)

@@ -287,10 +287,14 @@ class HttpServer:
         return bound_host, bound_port
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Detach the listener *before* awaiting: wait_closed() suspends
+        # this coroutine, and a concurrent serve() may install a new
+        # server during the suspension — writing self._server = None
+        # afterwards would silently clobber it.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for task in list(self.tasks):
             task.cancel()
         self.tasks.clear()

@@ -1,0 +1,320 @@
+"""Flow-aware async-hazard rules (repro.analysis.asynclint).
+
+Each rule gets firing and clean cases, with the interprocedural rules
+exercised across files (blocking reached through an imported helper,
+through ``self`` dispatch, through a constructor-typed attribute).  The
+two genuine bugs this pass found in the repo — the loadgen report write
+inside the event loop and the ``HttpServer.close()`` stale-write race —
+are pinned here as fixtures replicating the old code, so reintroducing
+either pattern fails immediately.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.asynclint import RULES, analyze_graph
+from repro.analysis.callgraph import build_call_graph_from_paths
+
+
+def findings_for(tree_files: dict[str, str], tmp_path: Path):
+    for rel, source in tree_files.items():
+        file = tmp_path / rel
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source), encoding="utf-8")
+    graph = build_call_graph_from_paths([tmp_path], root=tmp_path)
+    return analyze_graph(graph)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestBlockingCallInAsync:
+    def test_direct_blocking_call_fires(self, tmp_path):
+        found = findings_for({"m.py": """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+        """}, tmp_path)
+        assert rules_of(found) == {"blocking-call-in-async"}
+        assert "time.sleep" in found[0].message
+
+    def test_transitive_chain_through_imported_helper(self, tmp_path):
+        found = findings_for({
+            "util.py": """
+                import time
+
+                def backoff():
+                    time.sleep(1)
+            """,
+            "m.py": """
+                from util import backoff
+
+                async def handler():
+                    backoff()
+            """,
+        }, tmp_path)
+        blocking = [
+            f for f in found if f.rule == "blocking-call-in-async"
+        ]
+        assert len(blocking) == 1
+        # Anchored at the chain's first edge inside the coroutine, and
+        # the message names the path to the primitive.
+        assert blocking[0].path.endswith("m.py")
+        assert "handler -> backoff" in blocking[0].message
+        assert "time.sleep" in blocking[0].message
+
+    def test_chain_through_self_dispatch_and_attr_type(self, tmp_path):
+        found = findings_for({"m.py": """
+            class Store:
+                def load(self, p):
+                    return p.read_text()
+
+            class Server:
+                def __init__(self):
+                    self.store = Store()
+
+                async def handle(self):
+                    return self.store.load("x")
+        """}, tmp_path)
+        blocking = [
+            f for f in found if f.rule == "blocking-call-in-async"
+        ]
+        assert len(blocking) == 1
+        assert "handle -> load" in blocking[0].message
+
+    def test_simulator_run_loop_counts_as_blocking(self, tmp_path):
+        found = findings_for({"m.py": """
+            async def handler(sim):
+                sim.run_until(1000.0)
+        """}, tmp_path)
+        assert rules_of(found) == {"blocking-call-in-async"}
+
+    def test_asyncio_sleep_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.1)
+        """}, tmp_path)
+        assert found == []
+
+    def test_blocking_in_sync_function_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            import time
+
+            def warmup():
+                time.sleep(1)
+        """}, tmp_path)
+        assert found == []
+
+    def test_regression_loadgen_report_write(self, tmp_path):
+        """The exact shape of the old ``_cmd_loadgen`` bug: a json report
+        dumped via open() inside the driving coroutine."""
+        found = findings_for({"m.py": """
+            import json
+
+            async def _run(report, report_json):
+                with open(report_json, "w", encoding="utf-8") as fh:
+                    json.dump(report, fh, indent=2)
+                return 0
+        """}, tmp_path)
+        assert rules_of(found) == {"blocking-call-in-async"}
+        assert "open" in found[0].message
+
+
+class TestInterleavedStateMutation:
+    def test_read_await_write_fires(self, tmp_path):
+        found = findings_for({"m.py": """
+            async def bump(self_like):
+                pass
+
+            class Counter:
+                async def bump(self):
+                    snapshot = self.count
+                    await self.flush()
+                    self.count = snapshot + 1
+        """}, tmp_path)
+        assert rules_of(found) == {"interleaved-state-mutation"}
+        assert "self.count" in found[0].message
+
+    def test_regression_http_close_stale_write(self, tmp_path):
+        """The exact shape of the old ``HttpServer.close()`` race: the
+        listener handle read before ``wait_closed`` and nulled after."""
+        found = findings_for({"m.py": """
+            class HttpServer:
+                async def close(self):
+                    if self._server is not None:
+                        self._server.close()
+                        await self._server.wait_closed()
+                        self._server = None
+        """}, tmp_path)
+        assert "interleaved-state-mutation" in rules_of(found)
+        assert "self._server" in [
+            f.message.split(" ")[0] for f in found
+            if f.rule == "interleaved-state-mutation"
+        ][0]
+
+    def test_reread_after_await_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            class Counter:
+                async def bump(self):
+                    await self.flush()
+                    self.count = self.count + 1
+        """}, tmp_path)
+        assert found == []
+
+    def test_augassign_after_await_is_clean(self, tmp_path):
+        """``+=`` re-reads at the store, so it is atomic wrt the loop."""
+        found = findings_for({"m.py": """
+            class Counter:
+                async def bump(self):
+                    snapshot = self.count
+                    await self.flush()
+                    self.count += 1
+        """}, tmp_path)
+        assert found == []
+
+    def test_augassign_with_awaiting_value_fires(self, tmp_path):
+        """``self.x += await f()`` reads x, suspends, then stores."""
+        found = findings_for({"m.py": """
+            class Counter:
+                async def bump(self):
+                    self.count += await self.next_delta()
+        """}, tmp_path)
+        assert rules_of(found) == {"interleaved-state-mutation"}
+
+    def test_write_before_await_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            class Server:
+                async def close(self):
+                    server, self._server = self._server, None
+                    if server is not None:
+                        await server.wait_closed()
+        """}, tmp_path)
+        assert found == []
+
+
+class TestUnawaitedCoroutine:
+    def test_discarded_project_coroutine_fires(self, tmp_path):
+        found = findings_for({"m.py": """
+            async def job():
+                pass
+
+            async def go():
+                job()
+        """}, tmp_path)
+        assert rules_of(found) == {"unawaited-coroutine"}
+
+    def test_known_asyncio_factory_fires(self, tmp_path):
+        found = findings_for({"m.py": """
+            import asyncio
+
+            async def go():
+                asyncio.sleep(1)
+        """}, tmp_path)
+        assert rules_of(found) == {"unawaited-coroutine"}
+
+    def test_gather_arguments_are_clean(self, tmp_path):
+        """Coroutines handed to gather() are consumed, not discarded."""
+        found = findings_for({"m.py": """
+            import asyncio
+
+            async def job(i):
+                pass
+
+            async def go():
+                await asyncio.gather(*(job(i) for i in range(3)))
+        """}, tmp_path)
+        assert found == []
+
+    def test_retained_coroutine_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            async def job():
+                pass
+
+            async def go():
+                handle = job()
+                await handle
+        """}, tmp_path)
+        assert found == []
+
+
+class TestOrphanTask:
+    def test_discarded_create_task_fires(self, tmp_path):
+        found = findings_for({"m.py": """
+            import asyncio
+
+            async def job():
+                pass
+
+            async def go(loop):
+                loop.create_task(job())
+        """}, tmp_path)
+        assert rules_of(found) == {"orphan-task"}
+
+    def test_retained_task_with_done_callback_is_clean(self, tmp_path):
+        found = findings_for({"m.py": """
+            import asyncio
+
+            async def job():
+                pass
+
+            async def go(loop, tasks):
+                task = loop.create_task(job())
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        """}, tmp_path)
+        assert found == []
+
+
+class TestCpuBoundHandler:
+    def test_unbounded_request_loop_in_serving_handler(self, tmp_path):
+        found = findings_for({"serving/routes.py": """
+            class Frontend:
+                def _h_metrics(self, pending_requests):
+                    total = 0
+                    for request in pending_requests:
+                        total += request.cost
+                    return total
+        """}, tmp_path)
+        assert rules_of(found) == {"cpu-bound-handler"}
+
+    def test_bounded_slice_is_clean(self, tmp_path):
+        found = findings_for({"serving/routes.py": """
+            class Frontend:
+                def _h_metrics(self, pending_requests):
+                    total = 0
+                    for request in pending_requests[:64]:
+                        total += request.cost
+                    return total
+        """}, tmp_path)
+        assert found == []
+
+    def test_same_loop_outside_serving_is_clean(self, tmp_path):
+        found = findings_for({"cluster/routes.py": """
+            class Frontend:
+                def _h_metrics(self, pending_requests):
+                    total = 0
+                    for request in pending_requests:
+                        total += request.cost
+                    return total
+        """}, tmp_path)
+        assert found == []
+
+    def test_non_handler_function_is_clean(self, tmp_path):
+        found = findings_for({"serving/routes.py": """
+            def summarize(pending_requests):
+                total = 0
+                for request in pending_requests:
+                    total += request.cost
+                return total
+        """}, tmp_path)
+        assert found == []
+
+
+class TestRegistry:
+    def test_every_rule_has_description(self):
+        for slug, description in RULES.items():
+            assert "-" in slug and len(description) > 10

@@ -6,7 +6,7 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.analysis.lint import RULES, lint_paths, lint_source, main
+from repro.analysis.lint import RULES, all_rules, lint_paths, lint_source, main
 
 CORE = Path("core/mod.py")
 CLUSTER = Path("cluster/mod.py")
@@ -506,7 +506,171 @@ SEEDED_VIOLATIONS = {
     "serving/delay.py": (
         "def f(sim):\n    sim.schedule(50, lambda: None)\n"
     ),
+    "serving/waiver.py": (
+        "def f():\n    return 1  # nexuslint: disable=no-such-rule\n"
+    ),
 }
+
+
+class TestInvalidSuppression:
+    """Directives are themselves linted: unknown slugs and waivers that
+    waive nothing are findings (ruff's unused-noqa, for nexuslint)."""
+
+    def test_unknown_rule_slug_fires(self):
+        found = findings("""
+            def f():
+                return 1  # nexuslint: disable=definitely-not-a-rule
+        """)
+        assert rules_of(found) == {"invalid-suppression"}
+        assert "definitely-not-a-rule" in found[0].message
+
+    def test_unknown_slug_in_file_wide_directive_fires(self):
+        found = findings("""
+            # nexuslint: disable-file=not-a-rule
+
+            def f():
+                return 1
+        """)
+        assert rules_of(found) == {"invalid-suppression"}
+
+    def test_async_rule_slugs_are_known(self):
+        # A line waiver naming a whole-program rule is a *valid* slug;
+        # lint_source leaves unused-ness to the project driver.
+        found = findings("""
+            import time
+
+            async def f():
+                time.sleep(1)  # nexuslint: disable=blocking-call-in-async
+        """)
+        assert found == []
+
+    def test_unused_line_suppression_fires_in_project_run(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "def f(a_ms, b_ms):\n"
+            "    return a_ms + b_ms  # nexuslint: disable=wall-clock\n"
+        )
+        found, errors = lint_paths([tmp_path])
+        assert errors == []
+        assert rules_of(found) == {"invalid-suppression"}
+        assert "matches no finding" in found[0].message
+
+    def test_used_line_suppression_is_clean_in_project_run(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # nexuslint: disable=wall-clock\n"
+        )
+        found, errors = lint_paths([tmp_path])
+        assert errors == []
+        assert found == []
+
+    def test_used_suppression_of_async_rule_is_clean(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import time\n\n\n"
+            "async def f():\n"
+            "    time.sleep(1)  # nexuslint: disable=blocking-call-in-async\n"
+        )
+        found, errors = lint_paths([tmp_path])
+        assert errors == []
+        assert found == []
+
+    def test_docstring_mention_is_not_a_directive(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            '"""Waive with ``# nexuslint: disable=wall-clock``."""\n\n'
+            "def f(a_ms, b_ms):\n"
+            "    return a_ms + b_ms\n"
+        )
+        found, errors = lint_paths([tmp_path])
+        assert errors == []
+        assert found == []
+
+    def test_invalid_suppression_is_itself_suppressible(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "# nexuslint: disable-file=invalid-suppression\n\n"
+            "def f(a_ms, b_ms):\n"
+            "    return a_ms + b_ms  # nexuslint: disable=wall-clock\n"
+        )
+        found, errors = lint_paths([tmp_path])
+        assert errors == []
+        assert found == []
+
+
+class TestGithubFormat:
+    def test_findings_render_as_workflow_annotations(self, tmp_path, capsys):
+        target = tmp_path / "core" / "eq.py"
+        target.parent.mkdir()
+        target.write_text(SEEDED_VIOLATIONS["core/eq.py"])
+        assert main([str(tmp_path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines() if ln.startswith("::error"))
+        assert line.startswith(f"::error file={target}")
+        assert ",line=2," in line
+        assert "title=nexuslint float-equality::" in line
+
+    def test_clean_tree_emits_no_annotations(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f():\n    return 1\n")
+        assert main([str(tmp_path), "--format", "github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+class TestBaseline:
+    def seed(self, tmp_path):
+        target = tmp_path / "core" / "eq.py"
+        target.parent.mkdir(exist_ok=True)
+        target.write_text(SEEDED_VIOLATIONS["core/eq.py"])
+        return target
+
+    def test_write_then_check_is_clean(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        extra = tmp_path / "core" / "clock.py"
+        extra.write_text(SEEDED_VIOLATIONS["core/clock.py"])
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "[wall-clock]" in out
+        assert "[float-equality]" not in out  # ratcheted away
+
+    def test_stale_entries_are_reported(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        target.write_text("def f():\n    return 1\n")  # fixed the finding
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+
+    def test_json_out_artifact(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        artifact = tmp_path / "findings.json"
+        assert main([str(tmp_path), "--json-out", str(artifact)]) == 1
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["findings"][0]["rule"] == "float-equality"
+        assert payload["waived_by_baseline"] == 0
 
 
 class TestCli:
@@ -550,7 +714,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in RULES:
+        for rule in all_rules():  # syntactic + whole-program registries
             assert rule in out
 
 

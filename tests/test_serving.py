@@ -146,6 +146,44 @@ def _make_server() -> NexusServer:
     return server
 
 
+class TestHttpServerCloseRace:
+    def test_close_does_not_clobber_concurrent_serve(self):
+        """Regression (found by asynclint's interleaved-state-mutation):
+        ``HttpServer.close()`` used to null ``self._server`` *after*
+        awaiting ``wait_closed()``.  A ``serve()`` completing during that
+        suspension installed a fresh listener, and the resumed close then
+        silently clobbered it — a live server with no handle."""
+        from repro.serving.http import HttpServer
+
+        class _StubServer:
+            def __init__(self):
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+            async def wait_closed(self):
+                await asyncio.sleep(0)
+                await asyncio.sleep(0)
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            http = HttpServer(loop)
+            old = _StubServer()
+            http._server = old
+            closing = loop.create_task(http.close())
+            await asyncio.sleep(0)  # let close() suspend in wait_closed()
+            new = _StubServer()
+            http._server = new      # concurrent serve() lands here
+            await closing
+            assert old.closed
+            assert http._server is new, (
+                "close() clobbered the server installed during its await"
+            )
+
+        asyncio.run(scenario())
+
+
 class TestHttpSurface:
     def test_rest_endpoints(self):
         async def scenario():
