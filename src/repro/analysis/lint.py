@@ -20,6 +20,16 @@ runs for seeded fault plans and plan diffing to work):
                           construction driven by such iteration is
                           order-dependent.
 
+Sizing discipline (planning paths only, same scope as determinism):
+
+- ``raw-gpu-count-literal`` a bare integer literal compared against a
+                          GPU-count quantity (``num_gpus < 64``), or
+                          capping a search loop whose condition also
+                          tests one (``... and hi < 64``): cluster sizes
+                          are configuration (``max_gpus``, the fleet
+                          inventory), never constants baked into
+                          planning code.
+
 Unit discipline (everywhere):
 
 - ``float-equality``      ``==``/``!=`` against float literals or between
@@ -148,6 +158,9 @@ RULES: dict[str, str] = {
     "raw-time-literal":
         "bare numeric time literal in serving/cluster code; name it "
         "(a *_ms constant) or use repro.runtime.clock.MS_PER_S",
+    "raw-gpu-count-literal":
+        "bare integer literal bounding a GPU-count quantity in planning "
+        "code; derive the bound from max_gpus / the fleet inventory",
     "invalid-suppression":
         "nexuslint directive naming an unknown rule, or a line "
         "suppression that suppresses nothing",
@@ -210,6 +223,11 @@ _SCHEDULING_CALLS = frozenset({
 })
 _CONVERSION_LITERALS = frozenset({1e3, 1e-3, 1e6, 1e-6, 6e4})
 _EPSILON_FLOOR = 1e-3
+
+# raw-gpu-count-literal: literals below this are legal degenerate checks
+# (``num_gpus <= 0``, ``num_gpus > 1``); at or above it they encode a
+# cluster size.
+_GPU_LITERAL_FLOOR = 2
 
 # float-equality: name fragments marking latency/rate quantities.
 _QUANTITY_FRAGMENTS = (
@@ -476,6 +494,31 @@ def _mentions_max_batch(node: ast.expr) -> bool:
     return False
 
 
+def _mentions_gpus(node: ast.expr) -> bool:
+    """True when any name in the expression denotes a GPU count."""
+    for child in ast.walk(node):
+        name: str | None = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        if name is not None and name.lower().endswith("gpus"):
+            return True
+    return False
+
+
+def _bare_gpu_count_literal(node: ast.expr) -> bool:
+    """An int literal big enough to encode a cluster size."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        and node.value >= _GPU_LITERAL_FLOOR
+    )
+
+
 def _is_dict_view_or_set(node: ast.expr) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -659,7 +702,49 @@ class _Linter(ast.NodeVisitor):
                 self._check_mixed_units(node, left, right)
                 if self.time_literals:
                     self._check_time_literal_pair(node, left, right)
+                if self.planning:
+                    self._check_gpu_count_literal(node, left, right)
         self.generic_visit(node)
+
+    def _check_gpu_count_literal(
+        self, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        """A GPU-count quantity compared against a bare integer literal."""
+        for gpu_side, other in ((left, right), (right, left)):
+            if _mentions_gpus(gpu_side) and _bare_gpu_count_literal(other):
+                self._report(
+                    node, "raw-gpu-count-literal",
+                    "GPU-count quantity compared against a bare integer "
+                    "literal; derive the bound from max_gpus or the fleet "
+                    "inventory instead of baking in a cluster size",
+                )
+                return
+
+    def visit_While(self, node: ast.While) -> None:
+        if self.planning:
+            self._check_gpu_search_cap(node.test)
+        self.generic_visit(node)
+
+    def _check_gpu_search_cap(self, test: ast.expr) -> None:
+        """``while pack(hi).num_gpus <= max_gpus and hi < 64`` — the bare
+        literal caps a cluster-size search independently of the cluster
+        size, so the search silently stops scaling past it."""
+        if not isinstance(test, ast.BoolOp):
+            return
+        if not any(_mentions_gpus(value) for value in test.values):
+            return
+        for value in test.values:
+            if not isinstance(value, ast.Compare) or _mentions_gpus(value):
+                continue
+            operands = [value.left, *value.comparators]
+            if any(_bare_gpu_count_literal(op) for op in operands):
+                self._report(
+                    value, "raw-gpu-count-literal",
+                    "bare integer literal caps a search loop that tests a "
+                    "GPU count; derive the cap from max_gpus or the fleet "
+                    "inventory instead of baking in a cluster size",
+                )
+                return
 
     def _check_time_literal_pair(
         self, node: ast.AST, left: ast.expr, right: ast.expr

@@ -30,7 +30,14 @@ Checked invariants (one rule slug per class of violation):
 - ``nonpositive-duty``   duty cycles are positive.
 - ``duplicate-node-id``  plan nodes carry unique stable identities (churn
                          accounting diffs on ``node_id``).
-- ``gpu-cap``            (opt-in) the plan fits a hard cluster size.
+- ``gpu-cap``            (opt-in) the plan fits a hard cluster size; with
+                         a :class:`~repro.core.fleet.Fleet`, each class's
+                         GPU count also fits that class's inventory.
+- ``device-consistency`` (fleet only) every node is tagged with a known
+                         fleet class and every allocation's load carries
+                         the same class tag -- a load packed against one
+                         class's profile must not land on another class's
+                         GPU.  Memory capacity is then checked per class.
 
 :func:`assert_valid_plan` is the assertion-layer entry point wired into
 ``EpochScheduler.update``, ``BackendPool.apply_plan``, and the
@@ -43,6 +50,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.fleet import Fleet
 from ..core.floatcmp import approx_le
 from ..core.queueing import capacity_answer
 from ..core.squishy import GpuPlan, SchedulePlan
@@ -243,20 +251,63 @@ def check_gpu_plan(
     return violations
 
 
+def _check_device_consistency(
+    plan: GpuPlan, fleet: Fleet, gpu_index: int
+) -> tuple[list[PlanViolation], int | None]:
+    """Fleet invariants for one node: known class, matching load tags.
+
+    Returns ``(violations, memory_capacity)`` where the capacity is the
+    node's class capacity, or None when the class is unknown (the memory
+    check is then meaningless).
+    """
+    violations: list[PlanViolation] = []
+    if plan.device not in fleet.names:
+        violations.append(PlanViolation(
+            "device-consistency",
+            f"node tagged {plan.device!r}, not a fleet class "
+            f"{fleet.names}",
+            gpu_index=gpu_index,
+        ))
+        return violations, None
+    for alloc in plan.allocations:
+        if alloc.device != plan.device:
+            violations.append(PlanViolation(
+                "device-consistency",
+                f"{alloc.session_id}: load tagged {alloc.device!r} on a "
+                f"{plan.device!r} GPU (profile/class mismatch)",
+                gpu_index=gpu_index, session_id=alloc.session_id,
+            ))
+    return violations, fleet.memory_capacity(plan.device)
+
+
 def check_plan(
     plan: SchedulePlan,
     memory_capacity: int | None = None,
     max_gpus: int | None = None,
+    fleet: Fleet | None = None,
 ) -> list[PlanViolation]:
-    """Validate a full cluster plan; returns violations (empty if sound)."""
+    """Validate a full cluster plan; returns violations (empty if sound).
+
+    With ``fleet`` set, memory is bounded per class, every node must be
+    consistently class-tagged (``device-consistency``), and each class's
+    GPU count must fit its inventory (``gpu-cap`` per class).
+    """
     global _plans_checked
     _plans_checked += 1
 
     violations: list[PlanViolation] = []
     node_ids: dict[int, int] = {}
     for i, gpu in enumerate(plan.gpus):
+        gpu_memory = memory_capacity
+        if fleet is not None:
+            device_violations, class_memory = _check_device_consistency(
+                gpu, fleet, i
+            )
+            violations.extend(device_violations)
+            if class_memory is not None:
+                gpu_memory = class_memory
         violations.extend(
-            check_gpu_plan(gpu, memory_capacity=memory_capacity, gpu_index=i)
+            check_gpu_plan(gpu, memory_capacity=gpu_memory, gpu_index=i)
         )
         if gpu.node_id in node_ids:
             violations.append(PlanViolation(
@@ -275,6 +326,18 @@ def check_plan(
             f"{max_gpus}",
         ))
 
+    if fleet is not None:
+        for name, used in plan.gpus_by_class().items():
+            if name not in fleet.names:
+                continue  # already a device-consistency violation
+            cap = fleet.count(name)
+            if cap is not None and used > cap:
+                violations.append(PlanViolation(
+                    "gpu-cap",
+                    f"class {name!r} uses {used} GPUs, exceeding its "
+                    f"inventory {cap}",
+                ))
+
     return violations
 
 
@@ -282,6 +345,7 @@ def assert_valid_plan(
     plan: SchedulePlan,
     memory_capacity: int | None = None,
     max_gpus: int | None = None,
+    fleet: Fleet | None = None,
     context: str = "",
 ) -> SchedulePlan:
     """Raise :class:`PlanCheckError` if the plan violates any invariant.
@@ -291,7 +355,7 @@ def assert_valid_plan(
         pool.apply_plan(assert_valid_plan(plan, context="epoch"))
     """
     violations = check_plan(
-        plan, memory_capacity=memory_capacity, max_gpus=max_gpus
+        plan, memory_capacity=memory_capacity, max_gpus=max_gpus, fleet=fleet
     )
     if violations:
         raise PlanCheckError(violations, context=context)

@@ -10,6 +10,9 @@ Commands:
 - ``oracle-validation``      compare the closed-form queueing oracle
                              against simulated ground truth across arrival
                              processes and load levels (docs/queueing.md)
+- ``mixed-fleet``            heterogeneous fleets: cost-optimal mixed-class
+                             placement vs homogeneous baselines
+                             (docs/heterogeneous.md)
 - ``models``                 show the model zoo with sizes and profiles
 - ``profile <model>``        print a model's batching profile on a device
 - ``plan``                   capacity-plan a workload of sessions given as
@@ -65,6 +68,7 @@ _EXPERIMENTS: dict[str, dict] = {
                         "slos": (400.0,), "gammas": (1.0,)}},
     "utilization": {"quick": {"duration_ms": 15_000.0}},
     "ilp_gap": {"quick": {"sizes": (4, 6), "trials": 5}},
+    "mixed_fleet": {},
     "fault_recovery": {"quick": {"duration_ms": 60_000.0,
                                  "kill_at_ms": 20_000.0,
                                  "warmup_ms": 5_000.0}},
@@ -125,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
     ov.add_argument("--quick", action="store_true",
                     help="shorter streams (noisier quantiles; for smoke "
                          "runs)")
+
+    mf = sub.add_parser(
+        "mixed-fleet",
+        help="heterogeneous fleets: cost-optimal mixed-class placement "
+             "vs homogeneous baselines (docs/heterogeneous.md)",
+    )
+    mf.add_argument("--class", action="append", default=None,
+                    metavar="NAME:COUNT", dest="classes",
+                    help="fleet class with inventory, e.g. t4:4 or "
+                         "gtx1080ti:16 (repeatable; COUNT '-' = "
+                         "unbounded; default: gtx1080ti:16 k80:16 t4:4)")
+    mf.add_argument("--no-stage-placement", action="store_true",
+                    help="skip the PPipe-style per-stage placement rows")
 
     sub.add_parser("models", help="show the model zoo")
 
@@ -301,6 +318,26 @@ def _cmd_oracle_validation(duration_ms: float, seed: int,
     result = run(duration_ms=duration_ms, seed=seed)
     print(format_table(result.name, result.columns, result.rows,
                        result.notes))
+    return 0
+
+
+def _cmd_mixed_fleet(classes: list[str] | None,
+                     no_stage_placement: bool) -> int:
+    from .experiments.mixed_fleet import run
+
+    counts: dict[str, int | None] | None = None
+    if classes:
+        counts = {}
+        for spec in classes:
+            try:
+                name, count_s = spec.rsplit(":", 1)
+                counts[name] = None if count_s == "-" else int(count_s)
+            except ValueError:
+                print(f"bad class spec {spec!r}; want NAME:COUNT",
+                      file=sys.stderr)
+                return 2
+    print(run(counts=counts,
+              include_stage_placement=not no_stage_placement))
     return 0
 
 
@@ -541,6 +578,8 @@ def _dispatch(args) -> int:
                                    args.duration, args.seed)
     if args.command == "oracle-validation":
         return _cmd_oracle_validation(args.duration, args.seed, args.quick)
+    if args.command == "mixed-fleet":
+        return _cmd_mixed_fleet(args.classes, args.no_stage_placement)
     if args.command == "models":
         return _cmd_models()
     if args.command == "profile":

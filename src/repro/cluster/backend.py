@@ -117,6 +117,9 @@ class Backend:
         overlap: CPU/GPU overlap (OL).
         interference_factor: per-extra-co-located-session latency
             inflation; 0 disables (Nexus, TF Serving).
+        device: GPU class this backend belongs to in a heterogeneous
+            fleet ("" on homogeneous clusters).  The pool only deploys
+            plan nodes of the matching class onto it.
     """
 
     def __init__(
@@ -129,11 +132,13 @@ class Backend:
         interference_factor: float = 0.0,
         defer_missed: bool = False,
         tracer: Tracer | None = None,
+        device: str = "",
     ) -> None:
         if pacing not in ("cycle", "greedy"):
             raise ValueError(f"unknown pacing {pacing!r}")
         self.sim = sim
         self.gpu_id = gpu_id
+        self.device = device
         self.collector = collector
         self.tracer = (
             tracer if tracer is not None else tracer_for_collector(collector)

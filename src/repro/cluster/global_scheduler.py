@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..core.drop import DropPolicy, EarlyDropPolicy, LazyDropPolicy
+from ..core.fleet import Fleet
 from ..core.floatcmp import definitely_gt
 from ..core.squishy import GpuPlan, SchedulePlan
 from ..metrics.collector import MetricsCollector
@@ -72,6 +73,10 @@ class PoolConfig:
     validate_plans: bool = False
     #: per-GPU memory bound the validator enforces (``None`` = unchecked).
     memory_capacity: int | None = None
+    #: heterogeneous fleet: class-tags backend slots, restricts matching
+    #: to same-class slots, and switches plan validation to per-class
+    #: memory/consistency invariants.  ``None`` = homogeneous cluster.
+    fleet: Fleet | None = None
 
 
 class BackendPool:
@@ -104,6 +109,10 @@ class BackendPool:
         #: (stable identity across epochs; basis for sticky matching and
         #: for mapping a dead backend back to its plan nodes).
         self._node_backend: dict[int, int] = {}
+        #: backend slot -> device class, fixed the first time a slot is
+        #: drafted (a physical machine's class never changes; a drained
+        #: t4 slot cannot host a 1080ti plan node later).
+        self._slot_device: dict[int, str] = {}
 
     @property
     def gpus_in_use(self) -> int:
@@ -140,7 +149,8 @@ class BackendPool:
             from ..analysis.plan_check import assert_valid_plan
 
             assert_valid_plan(
-                plan, memory_capacity=self.config.memory_capacity
+                plan, memory_capacity=self.config.memory_capacity,
+                fleet=self.config.fleet,
             )
         assignments = self._match(plan.gpus)
 
@@ -148,6 +158,8 @@ class BackendPool:
         self._active = set()
         for backend_idx, gpu_plan in assignments:
             backend = self._backend(backend_idx)
+            if gpu_plan.device and not backend.device:
+                backend.device = gpu_plan.device
             specs = []
             for alloc in gpu_plan.allocations:
                 if not self.config.paced:
@@ -253,6 +265,11 @@ class BackendPool:
         never assigned.  Keeps models resident across epochs where
         possible (section 6.1: "minimizing the movement of models across
         nodes").
+
+        A class-tagged plan node only lands on a slot of its class: a
+        slot's class is fixed when first drafted, and every pass skips
+        incompatible slots (an untagged, never-drafted slot accepts any
+        class and adopts the node's).
         """
         current: dict[int, set[str]] = {
             i: set(backend._sessions)  # noqa: SLF001 -- pool owns backends
@@ -264,6 +281,17 @@ class BackendPool:
         backend_taken: set[int] = set(self.failed)
         out: list[tuple[int, GpuPlan]] = []
 
+        def compatible(b_idx: int, plan: GpuPlan) -> bool:
+            slot_class = self._slot_device.get(b_idx, "")
+            return slot_class == plan.device or not slot_class
+
+        def claim(b_idx: int, p_idx: int, plan: GpuPlan) -> None:
+            plan_taken.add(p_idx)
+            backend_taken.add(b_idx)
+            if plan.device:
+                self._slot_device.setdefault(b_idx, plan.device)
+            out.append((b_idx, plan))
+
         # Pass 0: node_id stickiness.
         for p_idx, plan in enumerate(gpu_plans):
             b_idx = self._node_backend.get(plan.node_id)
@@ -271,9 +299,9 @@ class BackendPool:
                 continue
             if b_idx >= len(self.backends):
                 continue
-            plan_taken.add(p_idx)
-            backend_taken.add(b_idx)
-            out.append((b_idx, plan))
+            if not compatible(b_idx, plan):
+                continue
+            claim(b_idx, p_idx, plan)
 
         # Pass 1: session overlap.
         scored: list[tuple[int, int, int]] = []  # (-overlap, plan_idx, backend_idx)
@@ -282,7 +310,7 @@ class BackendPool:
                 continue
             sessions = set(plan.session_ids())
             for b_idx, hosted in current.items():
-                if b_idx in backend_taken:
+                if b_idx in backend_taken or not compatible(b_idx, plan):
                     continue
                 overlap = len(sessions & hosted)
                 if overlap:
@@ -291,16 +319,14 @@ class BackendPool:
         for neg, p_idx, b_idx in scored:
             if p_idx in plan_taken or b_idx in backend_taken:
                 continue
-            plan_taken.add(p_idx)
-            backend_taken.add(b_idx)
-            out.append((b_idx, gpu_plans[p_idx]))
+            claim(b_idx, p_idx, gpu_plans[p_idx])
 
-        # Pass 2: free / drafted slots (skipping dead ones).
-        next_free = 0
+        # Pass 2: free / drafted slots (skipping dead and wrong-class ones).
         for p_idx, plan in enumerate(gpu_plans):
             if p_idx in plan_taken:
                 continue
-            while next_free in backend_taken:
+            next_free = 0
+            while next_free in backend_taken or not compatible(next_free, plan):
                 next_free += 1
             cap = self.config.max_backends
             if cap is not None and next_free >= cap:
@@ -308,8 +334,7 @@ class BackendPool:
                     f"plan needs more than the {cap} backend slots the "
                     f"cluster has ({len(self.failed)} failed)"
                 )
-            backend_taken.add(next_free)
-            out.append((next_free, plan))
+            claim(next_free, p_idx, plan)
         return out
 
 

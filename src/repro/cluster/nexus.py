@@ -27,14 +27,16 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..core.epoch import EpochScheduler
+from ..core.fleet import Fleet, assign_classes
 from ..core.prefix import PrefixGroup
 from ..core.profile import EffectiveProfile
 from ..core.query import Query, QueryStage, even_split, plan_query
 from ..core.session import Session, SessionLoad
-from ..core.squishy import SchedulePlan, squishy_bin_packing
+from ..core.squishy import SchedulePlan, pack_fleet, squishy_bin_packing
 from ..baselines.batch_oblivious import batch_oblivious_plan  # noqa: E402 -- leaf module, no cycle
 from ..metrics.collector import MetricsCollector
 from ..models import get_device, get_model, prefix_suffix_profiles
+from ..models import profile as profile_on
 from ..observability.events import TraceEvent
 from ..runtime.core import RuntimeCore
 from ..simulation.simulator import Simulator
@@ -49,6 +51,13 @@ __all__ = ["ClusterConfig", "AppSpec", "ClusterResult", "NexusCluster"]
 #: and retry backoffs settle before the run is declared over.
 _DRAIN_GRACE_MS = 1_000.0
 
+#: rate-multiplier slack for the expand-to-cluster search: a 1-GPU plan
+#: scaled by ``max_gpus`` already fills ``max_gpus`` GPUs, so a few x
+#: covers batching-efficiency gains at any cluster size.  The cap must
+#: scale with ``max_gpus`` -- a fixed literal silently stops the search
+#: short on large clusters (the old ``hi < 64`` bug).
+_EXPAND_SCALE_SLACK = 4.0
+
 
 @dataclass
 class ClusterConfig:
@@ -60,6 +69,18 @@ class ClusterConfig:
 
     device: str = "gtx1080ti"
     max_gpus: int | None = None
+    #: heterogeneous mode: a named-class fleet (see
+    #: :func:`repro.models.gpus.make_fleet`).  When set, the squishy
+    #: packer runs per class with class-specific profiles and memory,
+    #: and ``device`` only names the fallback class for sessions that
+    #: cannot be re-profiled (prefix-fused pseudo-models).  ``None``
+    #: keeps the homogeneous single-``device`` path, byte-identical to
+    #: the fleetless planner.
+    fleet: Fleet | None = None
+    #: class-choice objective in fleet mode: "gpus" minimizes GPU count
+    #: (the paper's homogeneous objective), "cost" minimizes
+    #: price_per_hour per unit throughput (Table 1 generalized).
+    objective: str = "gpus"
     scheduler: str = "squishy"          # "squishy" | "batch_oblivious"
     pacing: str = "cycle"               # "cycle" | "greedy"
     drop_policy: str = "early"          # "early" | "lazy"
@@ -350,6 +371,8 @@ class NexusCluster:
         cfg = self.config
         device = get_device(cfg.device)
         if cfg.scheduler == "squishy":
+            if cfg.fleet is not None:
+                return self._pack_onto_fleet(loads, cfg.fleet)
             memory = int(device.mem_capacity)
             plan = squishy_bin_packing(loads, memory_capacity=memory)
             if cfg.max_gpus is not None:
@@ -361,6 +384,49 @@ class NexusCluster:
         if cfg.scheduler == "batch_oblivious":
             return batch_oblivious_plan(loads, num_gpus=cfg.max_gpus)
         raise ValueError(f"unknown scheduler {cfg.scheduler!r}")
+
+    def _pack_onto_fleet(
+        self, loads: list[SessionLoad], fleet: Fleet
+    ) -> SchedulePlan:
+        """Heterogeneous path: pick a class per session, pack per class.
+
+        Each session is re-profiled on every fleet class (the analytic
+        profiler models each device's flops/bandwidth), the cost- or
+        GPU-minimizing class is chosen under the fleet's inventory
+        bounds, and squishy bin packing runs once per class with that
+        class's memory capacity.  The fleet's per-class ``count`` fields
+        are the capacity bound, so ``max_gpus``/``expand_to_cluster`` do
+        not apply here.
+        """
+        class_loads = {
+            name: self._class_variants(loads, name) for name in fleet.names
+        }
+        assignment = assign_classes(
+            class_loads, fleet, objective=self.config.objective
+        )
+        return pack_fleet(assignment.loads, fleet)
+
+    def _class_variants(
+        self, loads: list[SessionLoad], class_name: str
+    ) -> list[SessionLoad]:
+        """The given sessions carrying ``class_name``'s profiles.
+
+        Sessions whose model cannot be re-profiled (prefix-fused
+        pseudo-models) are pinned to the configured default class: they
+        keep their existing profile and are offered on no other class.
+        """
+        cfg = self.config
+        out: list[SessionLoad] = []
+        for load in loads:
+            try:
+                base = profile_on(load.session.model_id, class_name)
+            except (KeyError, ValueError):
+                if class_name == cfg.device:
+                    out.append(load.with_device(class_name))
+                continue
+            effective = EffectiveProfile(base=base, overlap=cfg.overlap)
+            out.append(load.with_device(class_name, profile=effective))
+        return out
 
     @staticmethod
     def _shrink(
@@ -415,7 +481,8 @@ class NexusCluster:
             return squishy_bin_packing(scaled, memory_capacity=memory)
 
         lo, hi = 1.0, 2.0
-        while pack_at(hi).num_gpus <= max_gpus and hi < 64:
+        scale_cap = _EXPAND_SCALE_SLACK * max_gpus
+        while pack_at(hi).num_gpus <= max_gpus and hi < scale_cap:
             lo, hi = hi, hi * 2
         best = plan
         for _ in range(10):
@@ -468,6 +535,7 @@ class NexusCluster:
                 # Baselines (batch-oblivious) are infeasible by design.
                 validate_plans=cfg.scheduler == "squishy",
                 memory_capacity=int(get_device(cfg.device).mem_capacity),
+                fleet=cfg.fleet,
             ),
             num_frontends=cfg.num_frontends,
             seed=cfg.seed,
@@ -612,6 +680,7 @@ class NexusCluster:
             memory_capacity=int(get_device(cfg.device).mem_capacity),
             max_gpus=cfg.max_gpus,
             validate=cfg.scheduler == "squishy",
+            fleet=cfg.fleet,
         )
         scheduler.adopt(plan, core.events.now, loads)
         state = {"epochs": 0, "last": 0.0}
@@ -626,14 +695,16 @@ class NexusCluster:
 
         def on_failure(backend_idx: int, now: float) -> None:
             dead_nodes = pool.nodes_on(backend_idx)
-            if cfg.max_gpus is not None:
-                scheduler.max_gpus = pool.live_backends
+            # Unconditional: even with no configured cap the recovery
+            # re-pack must not plan onto more GPUs than are alive, or
+            # the redeploy silently drafts phantom backends for the dead
+            # node's sessions.
+            scheduler.max_gpus = pool.live_backends
             scheduler.handle_failure(now, dead_nodes, loads)
             redeploy(now)
 
         def on_recovery(backend_idx: int, now: float) -> None:
-            if cfg.max_gpus is not None:
-                scheduler.max_gpus = pool.live_backends
+            scheduler.max_gpus = pool.live_backends
             scheduler.update(now, loads)
             redeploy(now)
 

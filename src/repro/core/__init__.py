@@ -24,6 +24,7 @@ from .drop import (
     simulate_dispatch,
 )
 from .epoch import EpochScheduler, EpochUpdate
+from .fleet import ClassAssignment, Fleet, GpuClass, assign_classes
 from .ilp import exact_min_gpus, fgsp_feasible_partition, subset_feasible
 from .prefix import PrefixBatchedProfile, PrefixGroup, find_prefix_groups
 from .profile import (
@@ -43,17 +44,20 @@ from .queueing import (
 )
 from .query import (
     LatencySplit,
+    MixedSplit,
     Query,
     QueryStage,
     evaluate_split,
     even_split,
     plan_query,
+    plan_query_classes,
 )
 from .session import Session, SessionLoad
 from .squishy import (
     Allocation,
     GpuPlan,
     SchedulePlan,
+    pack_fleet,
     schedule_residue,
     schedule_saturate,
     squishy_bin_packing,
@@ -74,6 +78,10 @@ __all__ = [
     "simulate_dispatch",
     "EpochScheduler",
     "EpochUpdate",
+    "ClassAssignment",
+    "Fleet",
+    "GpuClass",
+    "assign_classes",
     "exact_min_gpus",
     "fgsp_feasible_partition",
     "subset_feasible",
@@ -92,16 +100,19 @@ __all__ = [
     "queue_latencies",
     "simulate_estimate",
     "LatencySplit",
+    "MixedSplit",
     "Query",
     "QueryStage",
     "evaluate_split",
     "even_split",
     "plan_query",
+    "plan_query_classes",
     "Session",
     "SessionLoad",
     "Allocation",
     "GpuPlan",
     "SchedulePlan",
+    "pack_fleet",
     "schedule_residue",
     "schedule_saturate",
     "squishy_bin_packing",

@@ -35,9 +35,9 @@ __all__ = ["SPStage", "Series", "Parallel", "SPPlan", "plan_sp",
 #: a node of the series-parallel expression tree.
 SPNode = Union["SPStage", "Series", "Parallel"]
 
-#: ``assign(budget_index, out)`` writes a subtree's chosen per-stage
-#: budgets into ``out``.
-_Assign = Callable[[int, "dict[str, float]"], None]
+#: ``assign(budget_index, out, devices)`` writes a subtree's chosen
+#: per-stage budgets into ``out`` and class placements into ``devices``.
+_Assign = Callable[[int, "dict[str, float]", "dict[str, str]"], None]
 
 
 @dataclass
@@ -47,16 +47,26 @@ class SPStage:
     ``rate_multiplier`` is the stage's invocation rate relative to the
     query root (the product of fan-outs on the way in, times the number
     of join inputs consumed per output where applicable).
+
+    ``class_profiles`` opts the stage into heterogeneous placement: a
+    ``device class -> profile`` map lets :func:`plan_sp` choose the
+    class jointly with the budget (PPipe-style pool placement).  When
+    set, ``profile`` may be None.
     """
 
     name: str
-    profile: BatchingProfile
+    profile: BatchingProfile | None
     rate_multiplier: float = 1.0
+    class_profiles: dict[str, BatchingProfile] | None = None
 
     def __post_init__(self) -> None:
         if self.rate_multiplier < 0:
             raise ValueError(
                 f"rate_multiplier must be >= 0, got {self.rate_multiplier}"
+            )
+        if self.profile is None and not self.class_profiles:
+            raise ValueError(
+                f"stage {self.name!r} needs a profile or class_profiles"
             )
 
 
@@ -84,24 +94,71 @@ class Parallel:
 
 @dataclass
 class SPPlan:
-    """Planned budgets for every stage plus the total GPU cost."""
+    """Planned budgets for every stage plus the total GPU cost.
+
+    ``devices`` maps heterogeneously placed stages to their chosen
+    device class (empty for stages planned on a single profile);
+    ``price_per_hour`` is the fractional-GPU dollar estimate when class
+    prices were supplied, else 0.
+    """
 
     budgets_ms: dict[str, float]
     total_gpus: float
     slo_ms: float
+    devices: dict[str, str] = field(default_factory=dict)
+    price_per_hour: float = 0.0
 
 
-def _stage_costs(stage: SPStage, rate_rps: float, budgets: list[float],
-                 worst_case_factor: float) -> list[float]:
-    costs = []
+def _stage_costs(
+    stage: SPStage,
+    rate_rps: float,
+    budgets: list[float],
+    worst_case_factor: float,
+    weight: Callable[[str], float],
+) -> tuple[list[float], list[str]]:
+    """Per-budget cost table for one stage, plus the winning class.
+
+    A stage with ``class_profiles`` takes the cheapest class at each
+    budget (weighted by ``weight``, e.g. its hourly price); a
+    single-profile stage keeps its classic table with an empty winner.
+    """
+    costs: list[float] = []
+    winners: list[str] = []
     rate = rate_rps * stage.rate_multiplier
+    if stage.class_profiles:
+        names = sorted(stage.class_profiles)
+        for budget in budgets:
+            best_cost, best_name = math.inf, ""
+            for name in names:
+                prof = stage.class_profiles[name]
+                b = prof.max_batch_with_latency(budget / worst_case_factor)
+                if b == 0:
+                    continue
+                c = weight(name) * rate * prof.latency(b) / b / 1000.0
+                if c < best_cost:
+                    best_cost, best_name = c, name
+            costs.append(best_cost)
+            winners.append(best_name)
+        return costs, winners
+    assert stage.profile is not None  # __post_init__ guarantees one of the two
     for budget in budgets:
         b = stage.profile.max_batch_with_latency(budget / worst_case_factor)
         if b == 0:
             costs.append(math.inf)
         else:
             costs.append(rate * stage.profile.latency(b) / b / 1000.0)
-    return costs
+        winners.append("")
+    return costs, winners
+
+
+def _leaves(expr: SPNode) -> list[SPStage]:
+    if isinstance(expr, SPStage):
+        return [expr]
+    if isinstance(expr, Parallel):
+        return [s for b in expr.branches for s in _leaves(b)]
+    if isinstance(expr, Series):
+        return [s for p in expr.parts for s in _leaves(p)]
+    raise TypeError(f"not a series-parallel node: {expr!r}")
 
 
 def plan_sp(
@@ -110,8 +167,14 @@ def plan_sp(
     rate_rps: float,
     epsilon_ms: float = 5.0,
     worst_case_factor: float = 1.0,
+    prices: dict[str, float] | None = None,
+    objective: str = "gpus",
 ) -> SPPlan:
     """Plan latency budgets over a series-parallel expression.
+
+    Stages carrying ``class_profiles`` are also *placed*: at each budget
+    the DP picks the device class minimizing the stage's weighted cost,
+    so one fork-join query can pipeline across classes.
 
     Args:
         expr: an :class:`SPStage`, :class:`Series`, or :class:`Parallel`.
@@ -119,25 +182,41 @@ def plan_sp(
         rate_rps: offered rate at the query root.
         epsilon_ms: budget discretization.
         worst_case_factor: see :mod:`repro.core.query`.
+        prices: ``class -> price_per_hour`` weights for heterogeneous
+            stages under the cost objective (missing/non-positive = 1.0).
+        objective: ``"gpus"`` (classic; every class weighted equally) or
+            ``"cost"`` (weight each class by its hourly price).
 
     Returns:
         :class:`SPPlan` with per-stage budgets summing within ``slo_ms``
-        along every source-to-sink path.
+        along every source-to-sink path, plus per-stage class placements
+        for heterogeneous stages.
 
     Raises:
         ValueError: if no feasible assignment exists.
     """
     if slo_ms <= 0:
         raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+    if objective not in ("gpus", "cost"):
+        raise ValueError(f"unknown objective {objective!r}")
     steps = max(1, int(round(slo_ms / epsilon_ms)))
     budgets = [i * slo_ms / steps for i in range(steps + 1)]
 
+    def weight(name: str) -> float:
+        if objective == "cost" and prices is not None:
+            price = prices.get(name, 0.0)
+            if price > 0.0:
+                return price
+        return 1.0
+
     # Each node yields (cost_table, assign) where cost_table[t] is the min
-    # GPU cost within budget index t, and assign(t, out) writes the
-    # chosen per-stage budgets into `out` for that allocation.
+    # cost within budget index t, and assign(t, out, devices) writes the
+    # chosen per-stage budgets and class placements for that allocation.
     def solve(node: SPNode) -> tuple[list[float], _Assign]:
         if isinstance(node, SPStage):
-            costs = _stage_costs(node, rate_rps, budgets, worst_case_factor)
+            costs, winners = _stage_costs(
+                node, rate_rps, budgets, worst_case_factor, weight
+            )
             # A stage's cost is non-increasing in budget; make the table
             # monotone so callers can always spend the full window.
             best = list(costs)
@@ -150,8 +229,14 @@ def plan_sp(
                     best_k[t] = t
 
             def assign(t: int, out: dict[str, float],
+                       devices: dict[str, str],
                        _k: list[int] = best_k) -> None:
                 out[node.name] = budgets[t]
+                # The class that won at the cost-minimizing index within
+                # the window (the full window t only ties or beats it).
+                winner = winners[_k[t]]
+                if winner:
+                    devices[node.name] = winner
 
             return best, assign
 
@@ -169,9 +254,10 @@ def plan_sp(
 
             table = [cost(t) for t in range(steps + 1)]
 
-            def assign(t: int, out: dict[str, float]) -> None:
+            def assign(t: int, out: dict[str, float],
+                       devices: dict[str, str]) -> None:
                 for _, sub_assign in tables:
-                    sub_assign(t, out)
+                    sub_assign(t, out, devices)
 
             return table, assign
 
@@ -195,7 +281,8 @@ def plan_sp(
                 acc = new
                 choices.append(choice)
 
-            def assign(t: int, out: dict[str, float]) -> None:
+            def assign(t: int, out: dict[str, float],
+                       devices: dict[str, str]) -> None:
                 remaining = t
                 # Walk parts in reverse: each recorded its chosen k given
                 # the budget remaining when it was composed.
@@ -203,7 +290,7 @@ def plan_sp(
                     reversed(tables), reversed(choices)
                 ):
                     k = choice[remaining]
-                    sub_assign(k, out)
+                    sub_assign(k, out, devices)
                     remaining -= k
 
             return acc, assign
@@ -216,8 +303,38 @@ def plan_sp(
             f"no feasible budget assignment within {slo_ms} ms"
         )
     out: dict[str, float] = {}
-    assign(steps, out)
-    return SPPlan(budgets_ms=out, total_gpus=table[steps], slo_ms=slo_ms)
+    devices: dict[str, str] = {}
+    assign(steps, out, devices)
+
+    total_gpus = table[steps]
+    dollars = 0.0
+    if devices or objective == "cost":
+        # Re-derive true GPU counts (and dollars) from the final budgets:
+        # the DP table holds *weighted* costs once prices enter it.
+        total_gpus = 0.0
+        for leaf in _leaves(expr):
+            name = devices.get(leaf.name, "")
+            prof = (
+                leaf.class_profiles[name]
+                if name and leaf.class_profiles
+                else leaf.profile
+            )
+            assert prof is not None
+            b = prof.max_batch_with_latency(
+                out[leaf.name] / worst_case_factor
+            )
+            if b == 0:
+                continue  # source-like zero-budget stages cost nothing
+            gpus = (
+                rate_rps * leaf.rate_multiplier * prof.latency(b) / b / 1000.0
+            )
+            total_gpus += gpus
+            if prices is not None and name:
+                dollars += prices.get(name, 0.0) * gpus
+    return SPPlan(
+        budgets_ms=out, total_gpus=total_gpus, slo_ms=slo_ms,
+        devices=devices, price_per_hour=dollars,
+    )
 
 
 def sp_from_edges(

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .fleet import Fleet
 from .floatcmp import approx_zero
 from .queueing import QueueEstimate, capacity_answer
 from .session import SessionLoad
@@ -29,6 +30,7 @@ from .squishy import (
     Allocation,
     GpuPlan,
     SchedulePlan,
+    pack_fleet,
     schedule_residue,
     schedule_saturate,
     squishy_bin_packing,
@@ -73,6 +75,10 @@ class EpochScheduler:
         memory_capacity: per-GPU memory bound handed to the packer.
         max_gpus: optional cluster size cap; demand beyond it is left to
             admission control (the runtime's drop policy).
+        fleet: optional heterogeneous fleet.  When set, class-tagged
+            loads repack per class (class memory capacities and inventory
+            counts come from the fleet) and ``memory_capacity`` only
+            applies to nodes whose class the fleet does not know.
         validate: when True, every plan this scheduler emits is checked
             against the Algorithm-1 invariants
             (:mod:`repro.analysis.plan_check`) and a violation raises
@@ -95,6 +101,7 @@ class EpochScheduler:
     validate: bool = False
     slo_mode: str = "worst_case"
     capacity_mode: str = "analytic"
+    fleet: Fleet | None = None
 
     plan: SchedulePlan = field(default_factory=lambda: SchedulePlan(gpus=[]))
     updates: list[EpochUpdate] = field(default_factory=list)
@@ -148,7 +155,10 @@ class EpochScheduler:
             # is imported first.
             from ..analysis.plan_check import assert_valid_plan
 
-            assert_valid_plan(new_plan, memory_capacity=self.memory_capacity)
+            assert_valid_plan(
+                new_plan, memory_capacity=self.memory_capacity,
+                fleet=self.fleet,
+            )
         prev_nodes = {id(n) for n in self.plan.gpus}
         reused = sum(1 for n in new_plan.gpus if id(n) in prev_nodes)
         self.plan = new_plan
@@ -219,7 +229,7 @@ class EpochScheduler:
             # iteration of the slow path's eviction check, since the node
             # contents match what the rebuild would produce); the savings
             # come from skipping the allocation/GpuPlan reconstruction.
-            if reuse and not node.validate(self.memory_capacity):
+            if reuse and not node.validate(self._node_memory(node)):
                 demand.update(taken)
                 kept.append(node)
                 continue
@@ -243,10 +253,10 @@ class EpochScheduler:
             candidate = GpuPlan(
                 new_allocs, node.duty_cycle_ms, saturated=node.saturated,
                 node_id=node.node_id, slo_mode=node.slo_mode,
-                capacity_mode=node.capacity_mode,
+                capacity_mode=node.capacity_mode, device=node.device,
             )
             # Overload check: evict cheapest sessions until feasible.
-            while candidate.validate(self.memory_capacity):
+            while candidate.validate(self._node_memory(node)):
                 cheapest = min(
                     range(len(candidate.allocations)),
                     key=lambda i: candidate.allocations[i].exec_ms,
@@ -267,6 +277,7 @@ class EpochScheduler:
                     saturated=candidate.saturated, node_id=candidate.node_id,
                     slo_mode=candidate.slo_mode,
                     capacity_mode=candidate.capacity_mode,
+                    device=candidate.device,
                 )
             if candidate is not None and candidate.allocations:
                 kept.append(candidate)
@@ -277,12 +288,27 @@ class EpochScheduler:
             for sid, rate in demand.items()
             if rate > 1e-9
         ]
-        extra = squishy_bin_packing(
-            residual_loads, memory_capacity=self.memory_capacity,
-            slo_mode=self.slo_mode, capacity_mode=self.capacity_mode,
-        )
+        extra = self._repack(residual_loads)
         return SchedulePlan(
             gpus=kept + extra.gpus, infeasible=extra.infeasible
+        )
+
+    def _node_memory(self, node: GpuPlan) -> int | None:
+        """Memory bound for one node: its class's capacity under a fleet."""
+        if self.fleet is not None and node.device in self.fleet.names:
+            return self.fleet.memory_capacity(node.device)
+        return self.memory_capacity
+
+    def _repack(self, loads: list[SessionLoad]) -> SchedulePlan:
+        """Pack uncovered demand: per class under a fleet, flat otherwise."""
+        if self.fleet is not None:
+            return pack_fleet(
+                loads, self.fleet, slo_mode=self.slo_mode,
+                capacity_mode=self.capacity_mode,
+            )
+        return squishy_bin_packing(
+            loads, memory_capacity=self.memory_capacity,
+            slo_mode=self.slo_mode, capacity_mode=self.capacity_mode,
         )
 
     def _capped_plan(self, loads: list[SessionLoad]) -> SchedulePlan:

@@ -1,0 +1,245 @@
+"""Heterogeneous GPU fleets: named device classes and cost-aware placement.
+
+Nexus evaluates on a homogeneous cluster but chooses the GPU *type* by
+dollar cost per throughput (Table 1).  A :class:`Fleet` generalizes that
+choice to a running cluster: a set of named GPU classes, each with a
+memory capacity, an hourly price, and an optional inventory count.  The
+squishy packer runs once per class (class-specific profiles, memory and
+duty cycles); :func:`assign_classes` picks, per session, the class that
+minimizes GPUs or dollars subject to the SLO -- the per-stage analogue of
+PPipe's pool-based placement for complex queries lives in
+:func:`repro.core.query.plan_query_classes`.
+
+This module is deliberately free of device databases: a ``GpuClass`` only
+carries the numbers planning needs, so :mod:`repro.models.gpus` can build
+fleets from calibrated ``DeviceSpec`` entries without a core->models
+import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .session import SessionLoad
+
+__all__ = ["GpuClass", "Fleet", "ClassAssignment", "assign_classes"]
+
+
+@dataclass(frozen=True)
+class GpuClass:
+    """One device class of a fleet.
+
+    Attributes:
+        name: class name (conventionally the ``DeviceSpec`` key).
+        mem_capacity: per-GPU memory in bytes.
+        price_per_hour: dollar cost of one GPU-hour (0 when unknown).
+        count: inventory of this class, or None for unbounded.
+    """
+
+    name: str
+    mem_capacity: int
+    price_per_hour: float = 0.0
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("GpuClass.name must be non-empty")
+        if self.mem_capacity <= 0:
+            raise ValueError(
+                f"{self.name}: mem_capacity must be positive, got "
+                f"{self.mem_capacity}"
+            )
+        if self.price_per_hour < 0:
+            raise ValueError(
+                f"{self.name}: price_per_hour must be >= 0, got "
+                f"{self.price_per_hour}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ValueError(
+                f"{self.name}: count must be >= 1 or None, got {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered, named collection of GPU classes.
+
+    Classes are kept sorted by name so every consumer iterates the fleet
+    in the same order (the determinism contract nexuslint enforces).
+    """
+
+    classes: tuple[GpuClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("Fleet needs at least one GpuClass")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in fleet: {names}")
+        ordered = tuple(sorted(self.classes, key=lambda c: c.name))
+        object.__setattr__(self, "classes", ordered)
+
+    @classmethod
+    def of(cls, *classes: GpuClass) -> "Fleet":
+        return cls(tuple(classes))
+
+    @classmethod
+    def single(
+        cls,
+        name: str,
+        mem_capacity: int,
+        price_per_hour: float = 0.0,
+        count: int | None = None,
+    ) -> "Fleet":
+        """A one-class fleet -- the homogeneous special case."""
+        return cls((GpuClass(name, mem_capacity, price_per_hour, count),))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.classes)
+
+    @property
+    def is_single_class(self) -> bool:
+        return len(self.classes) == 1
+
+    def get(self, name: str) -> GpuClass:
+        for c in self.classes:
+            if c.name == name:
+                return c
+        raise KeyError(f"unknown device class {name!r}; fleet has {self.names}")
+
+    def memory_capacity(self, name: str) -> int:
+        return self.get(name).mem_capacity
+
+    def price_per_hour(self, name: str) -> float:
+        return self.get(name).price_per_hour
+
+    def count(self, name: str) -> int | None:
+        return self.get(name).count
+
+    def total_count(self) -> int | None:
+        """Total GPUs in the fleet, or None if any class is unbounded."""
+        total = 0
+        for c in self.classes:
+            if c.count is None:
+                return None
+            total += c.count
+        return total
+
+
+#: Target utilization for sessions too tight to saturate (mirrors the
+#: packer's dedicated batch-1 slots; see squishy._TIGHT_SESSION_UTILIZATION).
+_TIGHT_UTILIZATION = 0.55
+
+
+def _class_capacity_rps(load: SessionLoad) -> float:
+    """One GPU's sustainable rate for this load on its class's profile.
+
+    Saturate-regime sessions use the peak ``B/l(B)`` throughput; sessions
+    too tight to saturate (``2*l(1) > SLO >= l(1)``) fall back to the
+    mostly-idle batch-1 slot capacity the residue phase grants them.
+    Returns 0 when even a batch of one misses the SLO.
+    """
+    profile = load.profile
+    if profile.latency(1) > load.slo_ms:
+        return 0.0
+    peak = profile.peak_throughput_under_slo(load.slo_ms)
+    if peak > 0:
+        return peak
+    return _TIGHT_UTILIZATION / profile.latency(1) * 1000.0
+
+
+@dataclass
+class ClassAssignment:
+    """Result of :func:`assign_classes`.
+
+    ``loads`` carry the chosen class in ``SessionLoad.device`` (with that
+    class's profile); ``infeasible`` lists sessions no class can serve.
+    """
+
+    loads: list[SessionLoad]
+    infeasible: list[SessionLoad]
+
+    def by_class(self) -> dict[str, list[SessionLoad]]:
+        grouped: dict[str, list[SessionLoad]] = {}
+        for load in self.loads:
+            grouped.setdefault(load.device, []).append(load)
+        return {name: grouped[name] for name in sorted(grouped)}
+
+
+def assign_classes(
+    class_loads: dict[str, list[SessionLoad]],
+    fleet: Fleet,
+    objective: str = "cost",
+) -> ClassAssignment:
+    """Pick a device class per session: Table 1 generalized to a fleet.
+
+    Args:
+        class_loads: for each class name, the sessions carrying that
+            class's profile (e.g. from ``profile(model, class)``).  A
+            session absent from a class's list is treated as infeasible
+            on that class (how callers pin a session -- say a fused
+            pseudo-model that can only be profiled on one device -- to a
+            subset of the fleet).
+        fleet: the available classes; ``count`` bounds are respected by a
+            greedy spill to the next-cheapest feasible class.
+        objective: ``"cost"`` minimizes ``price_per_hour`` per unit
+            throughput (dollars per request); ``"gpus"`` minimizes GPU
+            count (unit price for every class), recovering the paper's
+            homogeneous objective.
+
+    Returns a :class:`ClassAssignment` of class-tagged loads.
+    """
+    if objective not in ("cost", "gpus"):
+        raise ValueError(f"unknown objective {objective!r}")
+    for name in fleet.names:
+        if name not in class_loads:
+            raise ValueError(f"class_loads missing fleet class {name!r}")
+
+    by_session: dict[str, dict[str, SessionLoad]] = {}
+    for name in fleet.names:
+        for load in class_loads[name]:
+            by_session.setdefault(load.session_id, {})[name] = load
+
+    # Fractional GPUs already committed per class, so inventory bounds
+    # hold across sessions as the greedy pass walks them.
+    committed: dict[str, float] = {name: 0.0 for name in fleet.names}
+    chosen: list[SessionLoad] = []
+    infeasible: list[SessionLoad] = []
+    for session_id in sorted(by_session):
+        variants = by_session[session_id]
+        # Rank classes by unit cost; ties break on name for determinism.
+        ranked: list[tuple[float, str, SessionLoad, float]] = []
+        for name in fleet.names:
+            if name not in variants:
+                continue  # session pinned away from this class
+            load = variants[name]
+            capacity = _class_capacity_rps(load)
+            if capacity <= 0:
+                continue
+            price = fleet.price_per_hour(name) if objective == "cost" else 1.0
+            if price <= 0:
+                price = 1.0
+            ranked.append((price / capacity, name, load, capacity))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        if not ranked:
+            any_load = variants[sorted(variants)[0]]
+            infeasible.append(any_load)
+            continue
+        placed = False
+        for _, name, load, capacity in ranked:
+            need = load.rate_rps / capacity
+            cap = fleet.count(name)
+            if cap is not None and committed[name] + need > cap:
+                continue
+            committed[name] += need
+            chosen.append(load.with_device(name))
+            placed = True
+            break
+        if not placed:
+            # Inventory exhausted everywhere: take the cheapest class and
+            # let admission control shed the overflow.
+            _, name, load, capacity = ranked[0]
+            committed[name] += load.rate_rps / capacity
+            chosen.append(load.with_device(name))
+    return ClassAssignment(loads=chosen, infeasible=infeasible)

@@ -58,7 +58,9 @@ class ProfileTables:
         slo_memo: ``slo_ms -> max_batch_under_slo`` cache (filled by
             :meth:`BatchingProfile.max_batch_under_slo`, which routes
             through the subclass's ``max_batch_with_latency`` override).
-        p99_memo: ``(rate_rps, slo_ms, mode) -> max_batch_under_p99``
+        p99_memo: ``(rate_rps, slo_ms, mode, device) ->
+            max_batch_under_p99`` -- the device-class component keeps one
+            profile's memo from answering for another fleet class
             cache (filled by :func:`repro.core.queueing.max_batch_under_p99`,
             the queueing oracle's p99 analogue of Equation 2).
     """
@@ -84,7 +86,7 @@ class ProfileTables:
         )
         self.residual_memo: dict[tuple[float, float], int] = {}
         self.slo_memo: dict[float, int] = {}
-        self.p99_memo: dict[tuple[float, float, str], int] = {}
+        self.p99_memo: dict[tuple[float, float, str, str], int] = {}
 
     def max_batch_with_latency(self, budget_ms: float) -> int:
         """Largest batch whose execution latency fits the budget (0 if none).

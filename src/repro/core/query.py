@@ -25,8 +25,9 @@ from typing import Iterator
 from .profile import BatchingProfile
 from .session import Session, SessionLoad
 
-__all__ = ["QueryStage", "Query", "LatencySplit", "plan_query", "evaluate_split",
-           "even_split", "average_throughput"]
+__all__ = ["QueryStage", "Query", "LatencySplit", "MixedSplit", "plan_query",
+           "plan_query_classes", "evaluate_split", "even_split",
+           "average_throughput"]
 
 
 @dataclass
@@ -279,6 +280,223 @@ def plan_query(
         budgets_ms=budgets_out,
         batches=batches_out,
         total_gpus=root_f[steps],
+        rate_rps=rate_rps,
+    )
+
+
+@dataclass
+class MixedSplit:
+    """A latency split whose stages may land on different device classes.
+
+    The heterogeneous analogue of :class:`LatencySplit` (PPipe-style
+    pool-based pipelining): each stage carries the class it was placed on
+    and that class's profile, so :meth:`sessions` materializes loads the
+    per-class packer can deploy directly.
+    """
+
+    budgets_ms: dict[str, float]
+    batches: dict[str, int]
+    devices: dict[str, str]
+    stage_profiles: dict[str, BatchingProfile]
+    total_gpus: float
+    price_per_hour: float
+    rate_rps: float
+
+    def sessions(self, query: Query) -> list[SessionLoad]:
+        """One class-tagged SessionLoad per stage for the fleet packer."""
+        out = []
+        for stage, mult in query.stages():
+            if stage.is_source:
+                continue
+            session = Session(
+                model_id=stage.model_id,
+                slo_ms=self.budgets_ms[stage.name],
+                session_id=f"{query.name}/{stage.name}",
+            )
+            out.append(SessionLoad(
+                session, self.rate_rps * mult,
+                self.stage_profiles[stage.name],
+                device=self.devices[stage.name],
+            ))
+        return out
+
+
+def plan_query_classes(
+    query: Query,
+    rate_rps: float,
+    class_profiles: dict[str, dict[str, BatchingProfile]],
+    prices: dict[str, float] | None = None,
+    objective: str = "cost",
+    epsilon_ms: float = 5.0,
+    worst_case_factor: float = 1.0,
+    min_stage_frac: float = 0.2,
+    slack_tolerance: float = 0.05,
+) -> MixedSplit:
+    """Latency split *and* per-stage device class, jointly (PPipe-style).
+
+    Extends the section 6.2 DP: at every candidate budget each stage also
+    chooses the device class minimizing its weighted GPU cost, so one
+    dataflow query can pipeline across classes (e.g. a bandwidth-bound
+    detector on 1080Ti feeding recognizers on cheap T4s).
+
+    Args:
+        query: the dataflow query (its stages' own profiles are ignored;
+            ``class_profiles`` supplies the per-class ones).
+        rate_rps: offered rate at the query root.
+        class_profiles: ``class name -> stage name -> profile``.  Every
+            class must profile every model stage of the query.
+        prices: ``class name -> price_per_hour`` for the cost objective;
+            missing or non-positive prices count as 1.0.
+        objective: ``"cost"`` minimizes dollars per hour, ``"gpus"``
+            minimizes GPU count (all classes weighted equally).
+        epsilon_ms / worst_case_factor / min_stage_frac / slack_tolerance:
+            as in :func:`plan_query`.
+
+    Returns the optimal :class:`MixedSplit`.
+
+    Raises:
+        ValueError: if no (split, placement) satisfies the SLO.
+    """
+    if rate_rps < 0:
+        raise ValueError(f"rate_rps must be >= 0, got {rate_rps}")
+    if objective not in ("cost", "gpus"):
+        raise ValueError(f"unknown objective {objective!r}")
+    class_names = sorted(class_profiles)
+    if not class_names:
+        raise ValueError("class_profiles must name at least one class")
+    weights: dict[str, float] = {}
+    for name in class_names:
+        weight = 1.0
+        if objective == "cost" and prices is not None:
+            weight = prices.get(name, 0.0)
+            if weight <= 0.0:
+                weight = 1.0
+        weights[name] = weight
+
+    steps = max(1, int(round(query.slo_ms / epsilon_ms)))
+    budgets = [i * query.slo_ms / steps for i in range(steps + 1)]
+    floor_frac = min(min_stage_frac, 0.8 / max(1, query.depth()))
+    floor_idx = int(floor_frac * steps)
+
+    # Per stage: chosen budget index plus, per budget, the winning class
+    # and its batch -- the DP below is plan_query's with the stage cost
+    # replaced by the min over classes.
+    tables: dict[int, tuple[list[int], list[int], list[str]]] = {}
+
+    def stage_tables(
+        stage: QueryStage, stage_rate: float
+    ) -> tuple[list[float], list[int], list[str]]:
+        if stage.is_source:
+            n = len(budgets)
+            return [0.0] * n, [0] * n, [""] * n
+        costs: list[float] = []
+        batches: list[int] = []
+        chosen: list[str] = []
+        for budget in budgets:
+            best_cost, best_batch, best_class = math.inf, 0, ""
+            for name in class_names:
+                profile = class_profiles[name].get(stage.name)
+                if profile is None:
+                    raise ValueError(
+                        f"class {name!r} has no profile for stage "
+                        f"{stage.name!r}"
+                    )
+                b = profile.max_batch_with_latency(budget / worst_case_factor)
+                if b == 0:
+                    continue
+                cost = (
+                    weights[name] * stage_rate * profile.latency(b) / b / 1000.0
+                )
+                if cost < best_cost:
+                    best_cost, best_batch, best_class = cost, b, name
+            costs.append(best_cost)
+            batches.append(best_batch)
+            chosen.append(best_class)
+        return costs, batches, chosen
+
+    def solve(stage: QueryStage, mult: float) -> list[float]:
+        costs, batch_tab, class_tab = stage_tables(stage, rate_rps * mult)
+        child_fs = [solve(child, mult * child.gamma) for child in stage.children]
+        k_min = 0 if stage.is_source else floor_idx
+        f = [math.inf] * (steps + 1)
+        choice = [0] * (steps + 1)
+        for t in range(steps + 1):
+            totals = [math.inf] * (t + 1)
+            for k in range(k_min, t + 1):
+                c = costs[k]
+                if math.isinf(c):
+                    continue
+                rest = t - k
+                bad = False
+                for child_f in child_fs:
+                    if math.isinf(child_f[rest]):
+                        bad = True
+                        break
+                    c += child_f[rest]
+                if bad:
+                    continue
+                totals[k] = c
+                if c < f[t]:
+                    f[t] = c
+            if math.isinf(f[t]):
+                continue
+            limit = f[t] * (1.0 + slack_tolerance)
+            for k in range(k_min, t + 1):
+                if totals[k] <= limit:
+                    choice[t] = k
+                    break
+        tables[id(stage)] = (choice, batch_tab, class_tab)
+        return f
+
+    root_f = solve(query.root, query.root.gamma)
+    if math.isinf(root_f[steps]):
+        raise ValueError(
+            f"query {query.name!r}: no feasible latency split within "
+            f"{query.slo_ms}ms SLO on any class of {class_names}"
+        )
+
+    budgets_out: dict[str, float] = {}
+    batches_out: dict[str, int] = {}
+    devices_out: dict[str, str] = {}
+    profiles_out: dict[str, BatchingProfile] = {}
+    totals = {"gpus": 0.0, "dollars": 0.0}
+
+    def reconstruct(stage: QueryStage, t: int, mult: float) -> None:
+        choice, batch_tab, class_tab = tables[id(stage)]
+        k = choice[t]
+        if not stage.children and not stage.is_source:
+            k = t  # leaf absorbs remaining path slack (see plan_query)
+        budgets_out[stage.name] = budgets[k]
+        if not stage.is_source:
+            name = class_tab[k]
+            profile = class_profiles[name][stage.name]
+            # The chosen budget may exceed what the winning batch needs;
+            # re-derive the batch at the final budget (leaf slack can
+            # enlarge it, which only helps throughput).
+            b = profile.max_batch_with_latency(budgets[k] / worst_case_factor)
+            if b < 1:
+                b = max(1, batch_tab[k])
+            batches_out[stage.name] = b
+            devices_out[stage.name] = name
+            profiles_out[stage.name] = profile
+            gpus = rate_rps * mult * profile.latency(b) / b / 1000.0
+            totals["gpus"] += gpus
+            price = (prices or {}).get(name, 0.0)
+            totals["dollars"] += price * gpus
+        else:
+            batches_out[stage.name] = 0
+            devices_out[stage.name] = ""
+        for child in stage.children:
+            reconstruct(child, t - k, mult * child.gamma)
+
+    reconstruct(query.root, steps, query.root.gamma)
+    return MixedSplit(
+        budgets_ms=budgets_out,
+        batches=batches_out,
+        devices=devices_out,
+        stage_profiles=profiles_out,
+        total_gpus=totals["gpus"],
+        price_per_hour=totals["dollars"],
         rate_rps=rate_rps,
     )
 

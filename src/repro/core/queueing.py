@@ -472,6 +472,7 @@ def max_batch_under_p99(
     mode: str = "analytic",
     seed: int = 0,
     num_arrivals: int = DEFAULT_SIM_ARRIVALS,
+    device: str = "",
 ) -> int:
     """Largest batch cap whose p99 sojourn meets the SLO at this rate
     (0 if none): the p99 analogue of Equation 2's worst-case batch.
@@ -479,12 +480,14 @@ def max_batch_under_p99(
     Scans caps downward from the profile maximum -- p99 is not monotone
     in the cap, so bisection is unsound -- and stops early once the rate
     is unstable (smaller caps only have less capacity).  Memoized per
-    ``(rate, slo, mode)`` on the profile's tables.
+    ``(rate, slo, mode, device)`` on the profile's tables: memos
+    effectively key on (profile, device class), so a profile object
+    shared across fleet classes cannot alias another class's answer.
     """
     tables = profile.tables()
     if rate_rps <= 0.0 or tables.latency_ms[0] > slo_ms:
         return 0
-    key = (rate_rps, slo_ms, mode)
+    key = (rate_rps, slo_ms, mode, device)
     memo = tables.p99_memo
     hit = memo.get(key)
     if hit is not None:

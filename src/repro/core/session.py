@@ -48,12 +48,15 @@ class SessionLoad:
 
     This is the scheduler's working record: ``rate_rps`` comes from the
     runtime's workload statistics (control plane), ``profile`` from the
-    model database.
+    model database.  ``device`` names the GPU class the profile was built
+    for; the empty string means "the cluster's (single) default class"
+    and keeps homogeneous planning byte-identical.
     """
 
     session: Session
     rate_rps: float
     profile: BatchingProfile
+    device: str = ""
 
     def __post_init__(self) -> None:
         if self.rate_rps < 0:
@@ -68,7 +71,15 @@ class SessionLoad:
         return self.session.session_id
 
     def with_rate(self, rate_rps: float) -> "SessionLoad":
-        return SessionLoad(self.session, rate_rps, self.profile)
+        return SessionLoad(self.session, rate_rps, self.profile, self.device)
+
+    def with_device(
+        self, device: str, profile: BatchingProfile | None = None
+    ) -> "SessionLoad":
+        """Retag this load onto a device class (optionally re-profiled)."""
+        return SessionLoad(
+            self.session, self.rate_rps, profile or self.profile, device
+        )
 
     def peak_throughput(self) -> float:
         """Best single-GPU rate for this session (saturate regime)."""

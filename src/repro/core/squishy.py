@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from .fleet import Fleet
 from .floatcmp import approx_ge, approx_le
 from .queueing import capacity_answer, max_batch_under_p99
 from .session import SessionLoad
@@ -40,6 +42,7 @@ __all__ = [
     "schedule_saturate",
     "schedule_residue",
     "squishy_bin_packing",
+    "pack_fleet",
 ]
 
 
@@ -53,6 +56,11 @@ class Allocation:
     @property
     def session_id(self) -> str:
         return self.load.session_id
+
+    @property
+    def device(self) -> str:
+        """Device class this allocation's load was profiled for."""
+        return self.load.device
 
     @property
     def exec_ms(self) -> float:
@@ -114,6 +122,7 @@ class GpuPlan:
     node_id: int = field(default_factory=_next_node_id)
     slo_mode: str = "worst_case"
     capacity_mode: str = "analytic"
+    device: str = ""
 
     @property
     def busy_ms(self) -> float:
@@ -135,7 +144,23 @@ class GpuPlan:
         return total
 
     def memory_bytes(self) -> int:
-        return sum(a.memory_bytes() for a in self.allocations)
+        """Resident bytes on this GPU: weights once per model, activations
+        per allocation.
+
+        Two sessions of the same model merged into one duty cycle share
+        one resident copy of the weights (one model instance, several
+        queues), so weight bytes are deduped per model id -- summing
+        ``Allocation.memory_bytes`` would double-count them and refuse
+        merges that actually fit.
+        """
+        total = 0
+        weight_bytes: dict[str, int] = {}
+        for a in self.allocations:
+            total += a.batch * a.load.profile.memory_per_input_bytes
+            model = a.load.session.model_id
+            prior = weight_bytes.get(model, 0)
+            weight_bytes[model] = max(prior, a.load.profile.memory_model_bytes)
+        return total + sum(weight_bytes.values())
 
     def session_ids(self) -> list[str]:
         return [a.session_id for a in self.allocations]
@@ -216,6 +241,17 @@ class SchedulePlan:
     def capacity_rps(self, session_id: str) -> float:
         return sum(g.throughput_rps(session_id) for g in self.gpus)
 
+    def gpus_by_class(self) -> dict[str, int]:
+        """GPU counts per device class (sorted by class name)."""
+        counts: dict[str, int] = {}
+        for gpu in self.gpus:
+            counts[gpu.device] = counts.get(gpu.device, 0) + 1
+        return {name: counts[name] for name in sorted(counts)}
+
+    def price_per_hour(self, fleet: Fleet) -> float:
+        """Hourly dollar cost of every GPU this plan occupies."""
+        return sum(fleet.price_per_hour(g.device) for g in self.gpus)
+
     def validate(self, memory_capacity: int | None = None) -> list[str]:
         problems = []
         for i, gpu in enumerate(self.gpus):
@@ -282,6 +318,7 @@ def schedule_saturate(
                     allocations=[Allocation(load.with_rate(peak_tput), peak_batch)],
                     duty_cycle_ms=load.profile.latency(peak_batch),
                     saturated=True,
+                    device=load.device,
                 )
             )
         residue_rate = load.rate_rps - whole_gpus * peak_tput
@@ -354,7 +391,8 @@ def _p99_residual(load: SessionLoad, capacity_mode: str) -> _Residual | None:
     timer).  Returns None when no cap works on one GPU.
     """
     cap = max_batch_under_p99(
-        load.profile, load.rate_rps, load.slo_ms, mode=capacity_mode
+        load.profile, load.rate_rps, load.slo_ms, mode=capacity_mode,
+        device=load.device,
     )
     if cap == 0:
         return None
@@ -401,6 +439,7 @@ def _schedule_residue_p99(
                 nodes.append(GpuPlan(
                     [Allocation(res.load, res.batch)], res.duty_ms,
                     slo_mode="p99", capacity_mode=capacity_mode,
+                    device=load.device,
                 ))
             placed = True
             break
@@ -433,6 +472,10 @@ def _try_merge(
     """
     if any(a.session_id == res.load.session_id for a in node.allocations):
         return None
+    # Never mix device classes in one duty cycle: the node's profiles and
+    # memory bound are all class-specific.
+    if res.load.device != node.device:
+        return None
     new_duty = min(node.duty_cycle_ms, res.duty_ms)
     members = [(a.load, a.batch) for a in node.allocations] + [(res.load, res.batch)]
     new_allocs: list[Allocation] = []
@@ -451,7 +494,8 @@ def _try_merge(
     if not approx_le(busy, occupancy_cap * new_duty):
         return None
     # The merge grows an existing node in place: keep its identity.
-    merged = GpuPlan(new_allocs, new_duty, node_id=node.node_id)
+    merged = GpuPlan(new_allocs, new_duty, node_id=node.node_id,
+                     device=node.device)
     if memory_capacity is not None and merged.memory_bytes() > memory_capacity:
         return None
     return merged
@@ -527,7 +571,8 @@ def schedule_residue(
             nodes[chosen_idx] = chosen_plan
         else:
             nodes.append(
-                GpuPlan([Allocation(res.load, res.batch)], res.duty_ms)
+                GpuPlan([Allocation(res.load, res.batch)], res.duty_ms,
+                        device=res.load.device)
             )
     return nodes, infeasible
 
@@ -561,3 +606,86 @@ def squishy_bin_packing(
         gpus=saturated + residual_nodes,
         infeasible=infeasible + more_infeasible,
     )
+
+
+#: Binary-search depth when shedding a class's rates down to its
+#: inventory; 1e-12 of the scale interval is far below rate granularity.
+_SHED_SEARCH_ITERS = 40
+
+
+def _shed_to_count(
+    loads: list[SessionLoad],
+    count: int,
+    pack: Callable[[list[SessionLoad]], SchedulePlan],
+) -> SchedulePlan:
+    """Proportionally scale a class's rates until its plan fits ``count``.
+
+    Mirrors the cluster's admission control: when a class's inventory
+    cannot serve its assigned rates, every session sheds the same
+    fraction rather than any session being dropped outright.
+    """
+    lo, hi = 0.0, 1.0
+    best = pack([l.with_rate(0.0) for l in loads])
+    for _ in range(_SHED_SEARCH_ITERS):
+        mid = (lo + hi) / 2.0
+        plan = pack([l.with_rate(l.rate_rps * mid) for l in loads])
+        if plan.num_gpus <= count:
+            lo, best = mid, plan
+        else:
+            hi = mid
+    return best
+
+
+def pack_fleet(
+    loads: list[SessionLoad],
+    fleet: Fleet,
+    merge_order: str = "best_fit",
+    slo_mode: str = "worst_case",
+    capacity_mode: str = "analytic",
+) -> SchedulePlan:
+    """Algorithm 1 per device class: heterogeneous squishy packing.
+
+    Every load must be tagged with a fleet class (``SessionLoad.device``)
+    and carry that class's profile -- see
+    :func:`repro.core.fleet.assign_classes`.  As a convenience, untagged
+    loads are legal on a *single-class* fleet and adopt its class, so the
+    homogeneous path needs no re-tagging.  Each class packs independently
+    with its own memory capacity; a class whose plan exceeds its
+    inventory ``count`` sheds rate proportionally until it fits.
+    """
+    tagged: list[SessionLoad] = []
+    for load in loads:
+        if not load.device:
+            if not fleet.is_single_class:
+                raise ValueError(
+                    f"untagged load {load.session_id!r} on a multi-class "
+                    f"fleet; assign device classes first"
+                )
+            load = load.with_device(fleet.classes[0].name)
+        elif load.device not in fleet.names:
+            raise KeyError(
+                f"load {load.session_id!r} tagged {load.device!r}, not in "
+                f"fleet {fleet.names}"
+            )
+        tagged.append(load)
+
+    gpus: list[GpuPlan] = []
+    infeasible: list[SessionLoad] = []
+    for gpu_class in fleet.classes:
+        class_loads = [l for l in tagged if l.device == gpu_class.name]
+        if not class_loads:
+            continue
+        def pack(
+            batch: list[SessionLoad], memory: int = gpu_class.mem_capacity
+        ) -> SchedulePlan:
+            return squishy_bin_packing(
+                batch, memory_capacity=memory, merge_order=merge_order,
+                slo_mode=slo_mode, capacity_mode=capacity_mode,
+            )
+
+        plan = pack(class_loads)
+        if gpu_class.count is not None and plan.num_gpus > gpu_class.count:
+            plan = _shed_to_count(class_loads, gpu_class.count, pack)
+        gpus.extend(plan.gpus)
+        infeasible.extend(plan.infeasible)
+    return SchedulePlan(gpus=gpus, infeasible=infeasible)

@@ -23,6 +23,8 @@ module              reproduces
 ``fig17``           Figure 17: query analysis vs even splits
 ``utilization``     Section 7.4: 84%-of-lower-bound utilization
 ``ilp_gap``         Appendix A companion: greedy vs exact gap
+``mixed_fleet``     Table 1 generalized: cost-optimal mixed-class
+                    placement on a heterogeneous fleet
 ``report``          run the fast subset and emit one markdown report
 ==================  ====================================================
 """
@@ -42,6 +44,7 @@ from . import (
     fig16,
     fig17,
     ilp_gap,
+    mixed_fleet,
     table1,
     utilization,
 )
@@ -64,6 +67,7 @@ __all__ = [
     "fig17",
     "utilization",
     "ilp_gap",
+    "mixed_fleet",
     "ExperimentResult",
     "max_rate_search",
 ]

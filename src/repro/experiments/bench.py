@@ -249,6 +249,29 @@ def bench_epoch_schedule(epochs: int = 200, sessions: int = 40,
     }
 
 
+def bench_mixed_fleet(iterations: int = 30) -> dict:
+    """Mixed-fleet planning throughput: class assignment + per-class
+    squishy packing over the heterogeneous reference workload
+    (docs/heterogeneous.md).  One iteration is a full ``plan_mixed``
+    call: every session re-profiled on every class, the cost-greedy
+    class choice, and one ``pack_fleet`` run with per-class validation.
+    """
+    from .mixed_fleet import DEFAULT_COUNTS, plan_mixed
+
+    plan_mixed(DEFAULT_COUNTS)  # warm the profile cache outside the timer
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        result = plan_mixed(DEFAULT_COUNTS)
+    wall = time.perf_counter() - t0
+    return {
+        "iterations": iterations,
+        "wall_s": round(wall, 4),
+        "plans_per_s": round(iterations / wall, 1),
+        "gpus": result.plan.num_gpus if result.plan is not None else 0,
+        "price_per_hour": round(result.price_per_hour, 2),
+    }
+
+
 # ----------------------------------------------------------------- harness
 
 def run_bench(quick: bool = False, workers: int = 4,
@@ -294,6 +317,10 @@ def run_bench(quick: bool = False, workers: int = 4,
         (bench_cluster(cluster_ms) for _ in range(repeats)),
         key=lambda r: r["wall_s"],
     )
+    mixed = min(
+        (bench_mixed_fleet(10 if quick else 30) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
     sweep = bench_parallel_sweep(cluster_ms / 2, workers=workers,
                                  points=points)
 
@@ -310,6 +337,7 @@ def run_bench(quick: bool = False, workers: int = 4,
             "epoch_schedule": epoch_sched,
             "oracle_vs_sim": oracle,
             "cluster_headline": cluster,
+            "mixed_fleet_planning": mixed,
             "parallel_cluster_sweep": sweep,
         },
     }
@@ -329,6 +357,7 @@ _GATE_METRICS = (
     ("epoch_schedule", "epochs_per_s"),
     ("oracle_vs_sim", "oracle_queries_per_s"),
     ("cluster_headline", "sim_ms_per_wall_s"),
+    ("mixed_fleet_planning", "plans_per_s"),
 )
 
 
@@ -402,6 +431,11 @@ def format_bench(payload: dict) -> str:
         ["cluster_headline",
          f"{b['cluster_headline']['sim_ms_per_wall_s']:,} sim-ms/s",
          b["cluster_headline"]["wall_s"]],
+        ["mixed_fleet_planning",
+         f"{b['mixed_fleet_planning']['plans_per_s']:,} plans/s "
+         f"({b['mixed_fleet_planning']['gpus']} GPUs, "
+         f"${b['mixed_fleet_planning']['price_per_hour']}/hr)",
+         b["mixed_fleet_planning"]["wall_s"]],
         ["parallel_sweep",
          f"{b['parallel_cluster_sweep']['speedup']}x with "
          f"{b['parallel_cluster_sweep']['workers']} workers",

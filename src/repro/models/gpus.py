@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.fleet import Fleet, GpuClass
+
 __all__ = [
     "DeviceSpec",
     "GTX1080",
@@ -35,6 +37,7 @@ __all__ = [
     "DEVICES",
     "get_device",
     "cost_per_1000_invocations",
+    "make_fleet",
 ]
 
 
@@ -192,3 +195,22 @@ def cost_per_1000_invocations(model_flops: float, device: DeviceSpec) -> float:
     seconds_per_invocation = model_flops / device.peak_flops
     price_per_second = device.price_per_hour / 3600.0
     return 1000.0 * seconds_per_invocation * price_per_second
+
+
+def make_fleet(counts: dict[str, int | None]) -> Fleet:
+    """Build a :class:`~repro.core.fleet.Fleet` from calibrated specs.
+
+    ``counts`` maps device names (keys of :data:`DEVICES`) to inventory
+    counts (None = unbounded).  Memory capacities and hourly prices come
+    from the specs, so planning and Table-1-style cost accounting agree.
+    """
+    classes = []
+    for name in sorted(counts):
+        spec = get_device(name)
+        classes.append(GpuClass(
+            name=name,
+            mem_capacity=int(spec.mem_capacity),
+            price_per_hour=spec.price_per_hour,
+            count=counts[name],
+        ))
+    return Fleet(tuple(classes))

@@ -503,6 +503,13 @@ SEEDED_VIOLATIONS = {
         "def f(profile, rate):\n"
         "    return simulate_estimate(profile, rate)\n"
     ),
+    "core/grow.py": (
+        "def f(pack_at, max_gpus):\n"
+        "    hi = 2.0\n"
+        "    while pack_at(hi).num_gpus <= max_gpus and hi < 64:\n"
+        "        hi *= 2\n"
+        "    return hi\n"
+    ),
     "serving/delay.py": (
         "def f(sim):\n    sim.schedule(50, lambda: None)\n"
     ),

@@ -196,7 +196,7 @@ class TestMaxBatchUnderP99:
     def test_memoized_on_tables(self):
         profile = make_profile()
         first = max_batch_under_p99(profile, 200.0, 150.0)
-        assert profile.tables().p99_memo[(200.0, 150.0, "analytic")] == first
+        assert profile.tables().p99_memo[(200.0, 150.0, "analytic", "")] == first
         assert max_batch_under_p99(profile, 200.0, 150.0) == first
 
     def test_result_meets_slo_analytically(self):

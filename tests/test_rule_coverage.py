@@ -126,6 +126,22 @@ FIXTURES: dict[str, tuple[dict[str, str], dict[str, str]]] = {
                 return elapsed_ms > LIMIT_MS
         """},
     ),
+    "raw-gpu-count-literal": (
+        {"core/mod.py": """
+            def expand(pack_at, max_gpus):
+                hi = 2.0
+                while pack_at(hi).num_gpus <= max_gpus and hi < 64:
+                    hi *= 2
+                return hi
+        """},
+        {"core/mod.py": """
+            def expand(pack_at, max_gpus, scale_cap):
+                hi = 2.0
+                while pack_at(hi).num_gpus <= max_gpus and hi < scale_cap:
+                    hi *= 2
+                return hi
+        """},
+    ),
     "invalid-suppression": (
         {"serving/mod.py": """
             def f():
