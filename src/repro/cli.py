@@ -143,6 +143,30 @@ def build_parser() -> argparse.ArgumentParser:
     mf.add_argument("--no-stage-placement", action="store_true",
                     help="skip the PPipe-style per-stage placement rows")
 
+    mega = sub.add_parser(
+        "megascale",
+        help="fleet-scale sharded serving: a compressed day of diurnal "
+             "drift, regional waves and flash crowds "
+             "(docs/sharded-simulation.md)",
+    )
+    mega.add_argument("--gpus", type=int, default=10_000,
+                      help="fleet size (cap), dealt across shards")
+    mega.add_argument("--sessions", type=int, default=1_000,
+                      help="total model sessions across the fleet")
+    mega.add_argument("--shards", type=int, default=8,
+                      help="independent partitions (one worker each)")
+    mega.add_argument("--duration", type=float, default=120.0,
+                      metavar="S", help="compressed-day length (virtual s)")
+    mega.add_argument("--base-rps", type=float, default=10.0,
+                      help="per-session baseline rate")
+    mega.add_argument("--workers", type=int, default=None,
+                      help="worker processes for shard fan-out "
+                           "(default: serial)")
+    mega.add_argument("--seed", type=int, default=0)
+    mega.add_argument("--quick", action="store_true",
+                      help="small smoke configuration (64 GPUs, 12 "
+                           "sessions, 2 shards, 8s day)")
+
     sub.add_parser("models", help="show the model zoo")
 
     prof = sub.add_parser("profile", help="print a model's batching profile")
@@ -284,6 +308,22 @@ def _cmd_run(name: str, quick: bool) -> int:
     if isinstance(result, tuple):
         result = result[0]
     print(result)
+    return 0
+
+
+def _cmd_megascale(gpus: int, sessions: int, shards: int, duration_s: float,
+                   base_rps: float, workers: int | None, seed: int,
+                   quick: bool) -> int:
+    from .experiments.megascale import run
+
+    if quick:
+        gpus, sessions, shards, duration_s = 64, 12, 2, 8.0
+    table = run(
+        gpus=gpus, sessions=sessions, shards=shards,
+        duration_s=duration_s, seed=seed, workers=workers,
+        base_rps=base_rps,
+    )
+    print(table)
     return 0
 
 
@@ -580,6 +620,10 @@ def _dispatch(args) -> int:
         return _cmd_oracle_validation(args.duration, args.seed, args.quick)
     if args.command == "mixed-fleet":
         return _cmd_mixed_fleet(args.classes, args.no_stage_placement)
+    if args.command == "megascale":
+        return _cmd_megascale(args.gpus, args.sessions, args.shards,
+                              args.duration, args.base_rps, args.workers,
+                              args.seed, args.quick)
     if args.command == "models":
         return _cmd_models()
     if args.command == "profile":

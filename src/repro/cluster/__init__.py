@@ -11,6 +11,7 @@ from .global_scheduler import (
 )
 from .messages import Request
 from .nexus import AppSpec, ClusterConfig, ClusterResult, NexusCluster, find_max_rate
+from .sharded import equivalence_report, partition_apps, run_sharded
 
 __all__ = [
     "Backend",
@@ -33,4 +34,7 @@ __all__ = [
     "ClusterResult",
     "NexusCluster",
     "find_max_rate",
+    "equivalence_report",
+    "partition_apps",
+    "run_sharded",
 ]

@@ -19,6 +19,7 @@ This module provides:
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, cast
 
@@ -165,7 +166,7 @@ class QueryInstance:
             self.failed = True
         else:
             for child in stage.children:
-                n = self.frontend._sample_fanout(child.gamma)
+                n = self.frontend._sample_fanout(self.query.name, child.gamma)
                 if n > 0:
                     # A child may fail synchronously (unroutable) and
                     # finish the query from inside spawn().
@@ -212,7 +213,14 @@ class Frontend:
             tracer if tracer is not None
             else tracer_for_collector(query=query_collector)
         )
-        self.rng = np.random.default_rng(seed)
+        self._seed = seed
+        #: per-query fan-out RNG substreams (lazily created).  Keying the
+        #: stream by query name makes each query's draw sequence depend
+        #: only on its own submission order -- not on how draws from
+        #: *other* queries interleave -- so a sharded run (which hosts a
+        #: subset of the queries on this frontend replica's counterpart)
+        #: reproduces the monolithic per-query sequences exactly.
+        self._fanout_rngs: dict[str, np.random.Generator] = {}
         self.retry_policy = retry_policy or RetryPolicy()
         self.dispatched = 0
         self.routing_failures = 0
@@ -287,7 +295,9 @@ class Frontend:
                 instance.arrival_ms, query.name, instance.query_id,
                 instance.deadline_ms,
             )
-        instance.spawn(query.root, max(1, self._sample_fanout(query.root.gamma)))
+        instance.spawn(
+            query.root, max(1, self._sample_fanout(query.name, query.root.gamma))
+        )
         return instance
 
     def _stage_session_id(self, instance: QueryInstance, stage: QueryStage) -> str:
@@ -408,16 +418,24 @@ class Frontend:
         if request.on_drop is not None:
             request.on_drop(request, now)
 
-    def _sample_fanout(self, gamma: float) -> int:
-        """Integer fan-out with mean gamma.
+    def _sample_fanout(self, key: str, gamma: float) -> int:
+        """Integer fan-out with mean gamma, drawn from ``key``'s substream.
 
         Deterministic part + Bernoulli remainder keeps the variance low
         (object counts in adjacent frames are correlated, not Poisson).
         """
         whole = int(gamma)
         frac = gamma - whole
-        if frac > 0 and self.rng.random() < frac:
-            whole += 1
+        if frac > 0:
+            rng = self._fanout_rngs.get(key)
+            if rng is None:
+                # Stable across processes: crc32, not the salted hash().
+                rng = np.random.default_rng(
+                    [self._seed, zlib.crc32(key.encode())]
+                )
+                self._fanout_rngs[key] = rng
+            if rng.random() < frac:
+                whole += 1
         return whole
 
     def _finish_query(self, instance: QueryInstance) -> None:

@@ -123,6 +123,12 @@ class ClusterConfig:
     retry_max: int = 3
     retry_backoff_ms: float = 5.0
     seed: int = 0
+    #: summary-mode metrics: fold every request outcome into counters and
+    #: a log-spaced latency histogram at record time instead of retaining
+    #: per-request records (megascale runs would hold millions).  Scalar
+    #: metrics and approximate percentiles keep working; record-based
+    #: timelines and ``warmup_ms`` filtering do not.
+    summary_metrics: bool = False
 
 
 @dataclass
@@ -155,6 +161,9 @@ class ClusterResult:
     fault_log: list[tuple[float, str, int]] | None = None
     #: ``(backend_idx, declared_at_ms)`` failure-detector declarations.
     detections: list[tuple[int, float]] | None = None
+    #: simulator events processed during the run (aggregate across
+    #: shards for sharded execution); 0 for pre-existing pickles.
+    events_processed: int = 0
 
     @property
     def good_rate(self) -> float:
@@ -544,7 +553,13 @@ class NexusCluster:
                 backoff_ms=cfg.retry_backoff_ms,
             ),
             trace=trace,
+            summary_metrics=cfg.summary_metrics,
         )
+        if cfg.summary_metrics and warmup_ms > 0:
+            raise ValueError(
+                "summary_metrics folds records at record time; "
+                "warmup filtering needs retained records (use warmup_ms=0)"
+            )
         pool = core.pool
         query_metrics = core.query_metrics
         warm_query_metrics = MetricsCollector()
@@ -589,6 +604,7 @@ class NexusCluster:
             detections=(
                 monitor.declared_failures if monitor is not None else None
             ),
+            events_processed=sim.events_processed,
         )
 
     def _generate_traffic(
@@ -719,6 +735,28 @@ class NexusCluster:
 
         core.install_epoch_loop(cfg.epoch_ms, on_tick, until_ms=duration_ms)
         return monitor
+
+    # ------------------------------------------------------------- sharded
+
+    def run_sharded(
+        self,
+        duration_ms: float = 30_000.0,
+        warmup_ms: float = 0.0,
+        n_shards: int = 2,
+        faults: "FaultPlan | None" = None,
+    ) -> ClusterResult:
+        """Serve with the partitioned engine (:mod:`repro.cluster.sharded`).
+
+        Splits the deployment into ``n_shards`` per-component event
+        loops that synchronize only at control barriers; equivalent to
+        :meth:`run` for partition-closed configurations (``n_shards=1``
+        is the monolithic schedule with barrier bookkeeping).
+        """
+        from .sharded import run_sharded
+
+        return run_sharded(
+            self, duration_ms, n_shards, warmup_ms=warmup_ms, faults=faults
+        )
 
     # ------------------------------------------------------------- measure
 

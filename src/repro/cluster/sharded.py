@@ -1,0 +1,592 @@
+"""Sharded execution of a :class:`~repro.cluster.nexus.NexusCluster`.
+
+Partitions a cluster's applications into disjoint *components* (apps
+coupled by prefix fusion or plan co-location must share a shard), gives
+each shard a private :class:`~repro.simulation.simulator.Simulator` heap
+plus its own :class:`~repro.runtime.core.RuntimeCore`, and replays the
+monolithic control plane -- fault injection, the heartbeat/lease failure
+detector, and epoch re-planning -- as barrier actions of a
+:class:`~repro.simulation.sharded.ShardedSimulator`.
+
+The coordinator mirrors the monolithic run exactly:
+
+- every control event becomes a barrier whose markers occupy the
+  control event's seq position in every shard (see the determinism
+  argument in :mod:`repro.simulation.sharded`);
+- a :class:`_ShadowPool` replays the monolithic ``BackendPool._match``
+  decisions over the *global* plan, maintaining the global backend-slot
+  numbering that fault plans and failure detections use, and a
+  directory maps each global slot to its ``(shard, local slot)`` home;
+- the global planner (epoch scheduler, re-pack recovery) runs once at
+  each barrier against merged per-shard counters, and the resulting
+  plan is sliced per shard and deployed through each shard's own pool.
+
+A deployment that would couple two shards -- a plan node hosting
+sessions of two components, or the monolithic matcher handing a slot
+previously owned by one shard to another -- raises
+:class:`~repro.simulation.sharded.CrossShardPlanError` instead of
+silently diverging.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+from ..core.epoch import EpochScheduler
+from ..core.floatcmp import definitely_gt
+from ..core.squishy import GpuPlan, SchedulePlan
+from ..metrics.collector import MetricsCollector
+from ..models import get_device
+from ..runtime.core import RuntimeCore
+from ..simulation.sharded import (
+    CrossShardPlanError,
+    ShardedSimulator,
+    ShardMessage,
+)
+from .faults import CRASH, RECOVER, FaultEvent, FaultPlan
+from .frontend import RetryPolicy
+from .global_scheduler import PoolConfig
+from .nexus import _DRAIN_GRACE_MS, ClusterResult
+
+if TYPE_CHECKING:
+    from .nexus import NexusCluster
+
+__all__ = ["run_sharded", "partition_apps", "equivalence_report"]
+
+
+# --------------------------------------------------------------- partition
+
+
+def _session_owners(cluster: "NexusCluster") -> dict[str, set[int]]:
+    """Map every session id the planner can emit to its owning app(s).
+
+    Stage sessions (``"<query>/<stage>"``) belong to one app; a
+    prefix-fused pseudo-session belongs to every app aliased into it.
+    """
+    owners: dict[str, set[int]] = {}
+    for i, app in enumerate(cluster.apps):
+        for name in app.query.stage_names():
+            owners.setdefault(f"{app.query.name}/{name}", set()).add(i)
+    for src, dst in cluster._aliases.items():
+        owners.setdefault(dst, set()).update(owners.get(src, set()))
+    return owners
+
+
+def partition_apps(
+    cluster: "NexusCluster", plan: SchedulePlan, n_shards: int
+) -> list[int]:
+    """Assign each app to a shard; coupled apps share one.
+
+    Union-find over apps: two apps are coupled when the initial plan
+    co-locates their sessions on one GPU or prefix fusion merged their
+    sessions into one pseudo-model.  Components (sorted by smallest app
+    index) are dealt round-robin across the shards.
+    """
+    owners = _session_owners(cluster)
+    parent = list(range(len(cluster.apps)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for members in owners.values():
+        members = sorted(members)
+        for other in members[1:]:
+            union(members[0], other)
+    for gpu_plan in plan.gpus:
+        apps: list[int] = []
+        for sid in gpu_plan.session_ids():
+            if sid not in owners:
+                raise CrossShardPlanError(
+                    f"plan session {sid!r} belongs to no declared app"
+                )
+            apps.extend(owners[sid])
+        for other in apps[1:]:
+            union(apps[0], other)
+
+    components: dict[int, list[int]] = {}
+    for i in range(len(cluster.apps)):
+        components.setdefault(find(i), []).append(i)
+    app_shard = [0] * len(cluster.apps)
+    for k, root in enumerate(sorted(components)):
+        for i in components[root]:
+            app_shard[i] = k % n_shards
+    return app_shard
+
+
+# ------------------------------------------------------------ shadow pool
+
+
+class _ShadowPool:
+    """Replays monolithic ``BackendPool._match`` over the global plan.
+
+    Owns no backends -- only the matching state (node stickiness, slot
+    session sets, failed slots) needed to reproduce the monolithic
+    global slot numbering, which fault plans and detection logs are
+    expressed in.  Heterogeneous fleets are not supported in sharded
+    mode, so device-class compatibility never filters a slot.
+    """
+
+    def __init__(self, max_backends: int | None) -> None:
+        self.max_backends = max_backends
+        self.slot_count = 0
+        self.failed: set[int] = set()
+        self._node_backend: dict[int, int] = {}
+        self._slot_sessions: dict[int, set[str]] = {}
+        self._active: set[int] = set()
+
+    @property
+    def live_backends(self) -> int:
+        cap = self.max_backends
+        if cap is None:
+            return max(0, self.slot_count - len(self.failed))
+        return max(0, cap - len(self.failed))
+
+    @property
+    def gpus_in_use(self) -> int:
+        return len(self._active)
+
+    def nodes_on(self, slot: int) -> list[int]:
+        return sorted(
+            nid for nid, b in self._node_backend.items() if b == slot
+        )
+
+    def match(self, gpu_plans: list[GpuPlan]) -> list[tuple[int, GpuPlan]]:
+        """The monolithic three-pass match, over shadow state."""
+        current = {
+            i: self._slot_sessions.get(i, set())
+            for i in range(self.slot_count)
+            if i not in self.failed
+        }
+        plan_taken: set[int] = set()
+        backend_taken: set[int] = set(self.failed)
+        out: list[tuple[int, GpuPlan]] = []
+
+        def claim(b_idx: int, p_idx: int, plan: GpuPlan) -> None:
+            plan_taken.add(p_idx)
+            backend_taken.add(b_idx)
+            out.append((b_idx, plan))
+
+        for p_idx, plan in enumerate(gpu_plans):
+            b_idx = self._node_backend.get(plan.node_id)
+            if b_idx is None or b_idx in backend_taken:
+                continue
+            if b_idx >= self.slot_count:
+                continue
+            claim(b_idx, p_idx, plan)
+
+        scored: list[tuple[int, int, int]] = []
+        for p_idx, plan in enumerate(gpu_plans):
+            if p_idx in plan_taken:
+                continue
+            sessions = set(plan.session_ids())
+            for b_idx, hosted in current.items():
+                if b_idx in backend_taken:
+                    continue
+                overlap = len(sessions & hosted)
+                if overlap:
+                    scored.append((-overlap, p_idx, b_idx))
+        scored.sort()
+        for _, p_idx, b_idx in scored:
+            if p_idx in plan_taken or b_idx in backend_taken:
+                continue
+            claim(b_idx, p_idx, gpu_plans[p_idx])
+
+        for p_idx, plan in enumerate(gpu_plans):
+            if p_idx in plan_taken:
+                continue
+            next_free = 0
+            while next_free in backend_taken:
+                next_free += 1
+            cap = self.max_backends
+            if cap is not None and next_free >= cap:
+                raise ValueError(
+                    f"plan needs more than the {cap} backend slots the "
+                    f"cluster has ({len(self.failed)} failed)"
+                )
+            claim(next_free, p_idx, plan)
+        return out
+
+    def apply(self, assignments: list[tuple[int, GpuPlan]]) -> None:
+        """Commit a match: stickiness, session sets, drain semantics."""
+        self._active = {slot for slot, _ in assignments}
+        if self._active:
+            self.slot_count = max(self.slot_count, max(self._active) + 1)
+        self._node_backend = {
+            plan.node_id: slot for slot, plan in assignments
+        }
+        sessions = {
+            slot: set(plan.session_ids()) for slot, plan in assignments
+        }
+        # Slots outside the new plan are drained (their backends' session
+        # dicts are cleared by apply_plan, dead or alive).
+        self._slot_sessions = sessions
+
+
+# ------------------------------------------------------------- coordinator
+
+
+def run_sharded(
+    cluster: "NexusCluster",
+    duration_ms: float,
+    n_shards: int,
+    warmup_ms: float = 0.0,
+    faults: FaultPlan | None = None,
+) -> ClusterResult:
+    """Plan, shard, and serve; mirror of ``NexusCluster.run``.
+
+    Small partition-closed configurations produce byte-identical
+    :func:`equivalence_report` output to the monolithic run for any
+    shard count; ``n_shards=1`` is a single-heap run with barrier
+    bookkeeping.  ``trace=True`` runs and heterogeneous fleets are not
+    supported here.
+    """
+    cfg = cluster.config
+    if cfg.fleet is not None:
+        raise ValueError("sharded execution supports homogeneous fleets only")
+    if cfg.summary_metrics:
+        raise ValueError(
+            "sharded execution merges per-shard records; summary-mode "
+            "collectors belong to the federated megascale path"
+        )
+    plan = cluster.plan()
+    app_shard = partition_apps(cluster, plan, n_shards)
+    owners = _session_owners(cluster)
+    shard_aliases: list[dict[str, str]] = [
+        {
+            src: dst
+            for src, dst in cluster._aliases.items()
+            if any(app_shard[i] == s for i in owners.get(src, set()))
+        }
+        for s in range(n_shards)
+    ]
+    memory_capacity = int(get_device(cfg.device).mem_capacity)
+    validate = cfg.scheduler == "squishy"
+
+    engine = ShardedSimulator(n_shards)
+    cores: list[RuntimeCore] = []
+    for shard in engine.shards:
+        cores.append(
+            RuntimeCore(
+                shard.sim,
+                pool_config=PoolConfig(
+                    pacing=cfg.pacing,
+                    overlap=cfg.overlap,
+                    drop_policy=cfg.drop_policy,
+                    interference_factor=cfg.interference_factor,
+                    paced=cfg.paced,
+                    # The *global* cap lives in the shadow pool; a shard
+                    # never knows how many slots its peers drafted.
+                    max_backends=None,
+                    validate_plans=validate,
+                    memory_capacity=memory_capacity,
+                ),
+                num_frontends=cfg.num_frontends,
+                seed=cfg.seed,
+                retry_policy=RetryPolicy(
+                    max_retries=cfg.retry_max,
+                    backoff_ms=cfg.retry_backoff_ms,
+                ),
+                shard_id=shard.shard_id,
+            )
+        )
+
+    shadow = _ShadowPool(cfg.max_gpus if faults is not None else None)
+    #: global slot -> (shard, local slot); grows as slots are drafted.
+    directory: dict[int, tuple[int, int]] = {}
+    local_counts = [0] * n_shards
+
+    def shard_of_node(gpu_plan: GpuPlan) -> int:
+        shards = set()
+        for sid in gpu_plan.session_ids():
+            if sid not in owners:
+                raise CrossShardPlanError(
+                    f"plan session {sid!r} belongs to no declared app"
+                )
+            shards.update(app_shard[i] for i in owners[sid])
+        if len(shards) != 1:
+            raise CrossShardPlanError(
+                f"plan node {gpu_plan.node_id} co-locates sessions from "
+                f"shards {sorted(shards)}; partition is not closed"
+            )
+        return shards.pop()
+
+    def global_deploy(new_plan: SchedulePlan) -> None:
+        """Shadow-match globally, slice per shard, deploy per shard."""
+        if validate:
+            from ..analysis.plan_check import assert_valid_plan
+
+            assert_valid_plan(new_plan, memory_capacity=memory_capacity)
+        assignments = shadow.match(new_plan.gpus)
+        node_shard: dict[int, int] = {}
+        for slot, gpu_plan in assignments:
+            s = shard_of_node(gpu_plan)
+            node_shard[gpu_plan.node_id] = s
+            home = directory.get(slot)
+            if home is None:
+                directory[slot] = (s, local_counts[s])
+                local_counts[s] += 1
+            elif home[0] != s:
+                raise CrossShardPlanError(
+                    f"monolithic matching hands global slot {slot} "
+                    f"(shard {home[0]}) to a node of shard {s}; "
+                    "sharded execution cannot reproduce this run"
+                )
+        shadow.apply(assignments)
+        for s in range(n_shards):
+            sub = SchedulePlan(
+                gpus=[
+                    g for g in new_plan.gpus if node_shard[g.node_id] == s
+                ]
+            )
+            cores[s].deploy(sub, shard_aliases[s])
+
+    global_deploy(plan)
+
+    # ----- traffic: identical per-app arrival streams, routed by shard.
+    # Arrivals travel as timestamped shard messages delivered before any
+    # window runs, so posting order (the monolithic schedule-call order)
+    # fixes their seq positions.
+    for i, app in enumerate(cluster.apps):
+        arrivals = cluster._app_arrivals(app, duration_ms, cfg.seed + i * 7919)
+        budgets = cluster._splits.get(app.query.name)
+        core = cores[app_shard[i]]
+        shard = engine.shards[app_shard[i]]
+        frontends = core.frontends
+        for j, t in enumerate(arrivals):
+            fe = frontends[j % len(frontends)]
+            shard.post(ShardMessage(
+                t, lambda q=app.query, b=budgets, f=fe: f.submit_query(q, b)
+            ))
+    for shard in engine.shards:
+        shard.deliver()
+
+    state = {"epochs": 0, "last": 0.0}
+    fault_log: list[tuple[float, str, int]] | None = None
+    skipped_faults: list[FaultEvent] = []
+    detections: list[tuple[int, float]] | None = None
+
+    if faults is not None:
+        applied: list[tuple[float, str, int]] = []
+        fault_log = applied
+
+        def fire(ev: FaultEvent, now: float) -> None:
+            if ev.backend_idx >= shadow.slot_count:
+                skipped_faults.append(ev)
+                return
+            s, local = directory[ev.backend_idx]
+            backend = cores[s].pool.backends[local]
+            if ev.kind == CRASH:
+                backend.fail(cause="crash")
+            elif ev.kind == RECOVER:
+                backend.recover()
+            else:
+                backend.set_slowdown(ev.factor)
+            applied.append((now, ev.kind, ev.backend_idx))
+
+        for ev in faults.sorted_events():
+            engine.schedule_barrier(
+                ev.time_ms,
+                lambda now, e=ev: fire(e, now),
+                label=f"fault:{ev.kind}@{ev.backend_idx}",
+            )
+
+        # ----- fault-tolerant control loop (mirror of _install_ft_loop).
+        loads = list(cluster._session_loads)
+        scheduler = EpochScheduler(
+            epoch_ms=cfg.epoch_ms,
+            memory_capacity=memory_capacity,
+            max_gpus=cfg.max_gpus,
+            validate=validate,
+        )
+        scheduler.adopt(plan, 0.0, loads)
+
+        def redeploy(now: float) -> None:
+            global_deploy(scheduler.plan)
+            state["epochs"] += 1
+
+        def on_failure(idx: int, now: float) -> None:
+            dead_nodes = shadow.nodes_on(idx)
+            scheduler.max_gpus = shadow.live_backends
+            scheduler.handle_failure(now, dead_nodes, loads)
+            redeploy(now)
+
+        def on_recovery(idx: int, now: float) -> None:
+            scheduler.max_gpus = shadow.live_backends
+            scheduler.update(now, loads)
+            redeploy(now)
+
+        # ----- heartbeat/lease detector (mirror of HeartbeatMonitor).
+        last_beat: dict[int, float] = {}
+        declared: set[int] = set()
+        declared_failures: list[tuple[int, float]] = []
+        detections = declared_failures
+
+        def sweep(now: float) -> None:
+            for idx in range(shadow.slot_count):
+                s, local = directory[idx]
+                pool = cores[s].pool
+                backend = pool.backends[local]
+                if backend.alive:
+                    last_beat[idx] = now
+                    if idx in declared:
+                        declared.discard(idx)
+                        pool.mark_recovered(local)
+                        shadow.failed.discard(idx)
+                        pool.tracer.backend_recovered(
+                            now, backend.gpu_id, cause="heartbeat_resumed"
+                        )
+                        on_recovery(idx, now)
+                    continue
+                if idx in declared:
+                    continue
+                last = last_beat.setdefault(idx, now)
+                if definitely_gt(now - last, cfg.lease_ms):
+                    declared.add(idx)
+                    declared_failures.append((idx, now))
+                    pool.mark_failed(local)
+                    shadow.failed.add(idx)
+                    pool.tracer.backend_failed(
+                        now, backend.gpu_id, cause="lease_expired"
+                    )
+                    on_failure(idx, now)
+            engine.schedule_barrier(
+                now + cfg.heartbeat_ms, sweep, label="sweep"
+            )
+
+        # monitor.start() runs the first sweep synchronously at setup.
+        sweep(0.0)
+
+        def epoch_tick(now: float) -> None:
+            if scheduler.should_reschedule(now, loads):
+                scheduler.update(now, loads)
+                redeploy(now)
+            if now + cfg.epoch_ms <= duration_ms:
+                engine.schedule_barrier(
+                    now + cfg.epoch_ms, epoch_tick, label="epoch"
+                )
+
+        engine.schedule_barrier(cfg.epoch_ms, epoch_tick, label="epoch")
+
+    elif cfg.dynamic:
+        # ----- dynamic re-plan loop (mirror of _install_epoch_loop).
+        def dyn_tick(now: float) -> None:
+            span_s = max((now - state["last"]) / 1000.0, 1e-9)
+            counters: dict[str, int] = {}
+            for core in cores:
+                _, queries = core.read_counters()
+                for name, n in queries.items():
+                    counters[name] = counters.get(name, 0) + n
+            rates = {
+                app.query.name: counters.get(app.query.name, 0) / span_s
+                for app in cluster.apps
+            }
+            state["last"] = now
+            global_deploy(cluster.plan(rates))
+            state["epochs"] += 1
+            if now + cfg.epoch_ms <= duration_ms:
+                engine.schedule_barrier(
+                    now + cfg.epoch_ms, dyn_tick, label="epoch"
+                )
+
+        engine.schedule_barrier(cfg.epoch_ms, dyn_tick, label="epoch")
+
+    tail_ms = max((a.query.slo_ms for a in cluster.apps), default=0.0)
+    engine.run_until(duration_ms + tail_ms + _DRAIN_GRACE_MS)
+
+    # ----- merge per-shard metrics into one result.
+    query_metrics = MetricsCollector()
+    invocation_metrics = MetricsCollector()
+    reverse = {home: slot for slot, home in directory.items()}
+    for s, core in enumerate(cores):
+        query_metrics.records.extend(core.query_metrics.records)
+        invocation_metrics.records.extend(core.invocation_metrics.records)
+        for collector, merged in (
+            (core.invocation_metrics, invocation_metrics),
+            (core.query_metrics, query_metrics),
+        ):
+            for gpu_id, busy in collector.gpu_busy_ms.items():
+                slot = reverse.get((s, gpu_id), None)
+                if slot is None:
+                    slot = -1 - len(merged.gpu_busy_ms)
+                merged.gpu_busy_ms[slot] = (
+                    merged.gpu_busy_ms.get(slot, 0.0) + busy
+                )
+
+    if warmup_ms > 0:
+        warm = MetricsCollector()
+        warm.records = [
+            r for r in query_metrics.records if r.arrival_ms >= warmup_ms
+        ]
+        warm.gpu_busy_ms = query_metrics.gpu_busy_ms
+        query_metrics = warm
+
+    return ClusterResult(
+        query_metrics=query_metrics,
+        invocation_metrics=invocation_metrics,
+        plan=plan,
+        gpus_used=max(
+            sum(core.pool.gpus_in_use for core in cores), plan.num_gpus
+        ),
+        duration_ms=duration_ms - warmup_ms,
+        epochs=state["epochs"],
+        fault_log=fault_log,
+        detections=detections,
+        events_processed=engine.events_processed,
+    )
+
+
+# ------------------------------------------------------------ equivalence
+
+
+def equivalence_report(result: ClusterResult) -> str:
+    """Canonical, execution-order-insensitive digest of a run.
+
+    Byte-comparable between monolithic and sharded runs: per-session
+    integer counters, per-session sorted latency lists (every latency is
+    computed with identical per-component arithmetic in both runs, so
+    the floats match bit for bit), the exactly-rounded total GPU busy
+    time (``math.fsum`` is order-independent), and the fault/detection
+    logs in global backend numbering.  Deliberately excluded: request
+    and node ids (global counters whose absolute values depend on
+    cross-component interleaving) and per-slot busy keys (the monolithic
+    matcher may merge two components' busy time onto one reused slot).
+    """
+
+    def per_session(collector: MetricsCollector) -> dict[str, object]:
+        out: dict[str, object] = {}
+        by_session: dict[str, list[float]] = {}
+        for rec in collector.records:
+            if rec.latency_ms is not None:
+                by_session.setdefault(rec.session_id, []).append(
+                    rec.latency_ms
+                )
+        stats = collector.per_session_stats()
+        for sid in sorted(stats):
+            entry = dict(stats[sid])
+            entry["latencies"] = sorted(by_session.get(sid, []))
+            out[sid] = entry
+        return out
+
+    payload = {
+        "queries": per_session(result.query_metrics),
+        "invocations": per_session(result.invocation_metrics),
+        "gpu_busy_total_ms": math.fsum(
+            result.invocation_metrics.gpu_busy_ms.values()
+        ),
+        "gpus_used": result.gpus_used,
+        "epochs": result.epochs,
+        "duration_ms": result.duration_ms,
+        "fault_log": result.fault_log,
+        "detections": result.detections,
+    }
+    return json.dumps(payload, sort_keys=True)

@@ -54,17 +54,83 @@ class TimeSeries:
 
 
 class MetricsCollector:
-    """Accumulates request records and derives the paper's metrics."""
+    """Accumulates request records and derives the paper's metrics.
 
-    def __init__(self) -> None:
+    ``keep_records=False`` switches to *summary mode* for megascale runs:
+    instead of retaining every :class:`RequestRecord` (gigabytes at 10k
+    GPUs), the collector folds each record into running counters,
+    per-session stats, and a log-spaced latency histogram at record time.
+    Timeline methods that need raw records are unavailable in summary
+    mode; everything scalar (totals, rates, goodput, approximate
+    percentiles) keeps working.  ``min_arrival_ms`` drops warmup-window
+    arrivals at record time (summary mode cannot filter after the fact).
+    """
+
+    #: log-spaced latency histogram: 0.1 ms .. ~100 s in 5% steps.
+    _HIST_BASE_MS = 0.1
+    _HIST_GROWTH = 1.05
+    _HIST_BUCKETS = 284
+
+    def __init__(
+        self, keep_records: bool = True, min_arrival_ms: float = 0.0
+    ) -> None:
+        self.keep_records = keep_records
+        self.min_arrival_ms = min_arrival_ms
         self.records: list[RequestRecord] = []
         self.gpu_busy_ms: dict[int, float] = {}
         self._gpu_count_samples: list[tuple[float, int]] = []
+        # Summary-mode accumulators.
+        self._total = 0
+        self._ok = 0
+        self._dropped = 0
+        self._late = 0
+        self._first_arrival_ms = math.inf
+        self._last_completion_ms = -math.inf
+        self._latency_hist: list[int] = []
+        self._session_stats: dict[str, dict[str, float]] = {}
 
     # -------------------------------------------------------------- feeding
 
     def record(self, rec: RequestRecord) -> None:
-        self.records.append(rec)
+        if rec.arrival_ms < self.min_arrival_ms:
+            return
+        if self.keep_records:
+            self.records.append(rec)
+            return
+        self._total += 1
+        self._first_arrival_ms = min(self._first_arrival_ms, rec.arrival_ms)
+        self._last_completion_ms = max(
+            self._last_completion_ms, rec.completion_ms or rec.arrival_ms
+        )
+        stats = self._session_stats.setdefault(
+            rec.session_id, {"total": 0, "ok": 0, "dropped": 0, "late": 0}
+        )
+        stats["total"] += 1
+        if rec.ok:
+            self._ok += 1
+            stats["ok"] += 1
+        elif rec.dropped:
+            self._dropped += 1
+            stats["dropped"] += 1
+        else:
+            self._late += 1
+            stats["late"] += 1
+        lat = rec.latency_ms
+        if lat is not None:
+            if not self._latency_hist:
+                self._latency_hist = [0] * (self._HIST_BUCKETS + 1)
+            if lat <= self._HIST_BASE_MS:
+                bucket = 0
+            else:
+                bucket = min(
+                    self._HIST_BUCKETS,
+                    int(
+                        math.log(lat / self._HIST_BASE_MS)
+                        / math.log(self._HIST_GROWTH)
+                    )
+                    + 1,
+                )
+            self._latency_hist[bucket] += 1
 
     def record_gpu_busy(self, gpu_id: int, busy_ms: float) -> None:
         self.gpu_busy_ms[gpu_id] = self.gpu_busy_ms.get(gpu_id, 0.0) + busy_ms
@@ -76,25 +142,33 @@ class MetricsCollector:
 
     @property
     def total(self) -> int:
+        if not self.keep_records:
+            return self._total
         return len(self.records)
 
     @property
     def ok_count(self) -> int:
+        if not self.keep_records:
+            return self._ok
         return sum(1 for r in self.records if r.ok)
 
     @property
     def dropped_count(self) -> int:
+        if not self.keep_records:
+            return self._dropped
         return sum(1 for r in self.records if r.dropped)
 
     @property
     def late_count(self) -> int:
+        if not self.keep_records:
+            return self._late
         return sum(
             1 for r in self.records if not r.dropped and not r.ok
         )
 
     @property
     def good_rate(self) -> float:
-        if not self.records:
+        if not self.total:
             return 1.0
         return self.ok_count / self.total
 
@@ -103,25 +177,45 @@ class MetricsCollector:
         return 1.0 - self.good_rate
 
     def goodput_rps(self, span_ms: float | None = None) -> float:
-        if not self.records:
+        if not self.total:
             return 0.0
         if span_ms is None:
-            start = min(r.arrival_ms for r in self.records)
-            end = max(
-                r.completion_ms or r.arrival_ms for r in self.records
-            )
+            if self.keep_records:
+                start = min(r.arrival_ms for r in self.records)
+                end = max(
+                    r.completion_ms or r.arrival_ms for r in self.records
+                )
+            else:
+                start = self._first_arrival_ms
+                end = self._last_completion_ms
             span_ms = max(end - start, 1e-9)
         return self.ok_count / span_ms * 1000.0
 
     def latency_percentile(self, pct: float) -> float:
-        """Latency percentile over served (not dropped) requests."""
+        """Latency percentile over served (not dropped) requests.
+
+        Exact over retained records; in summary mode, the upper edge of
+        the log-spaced histogram bucket holding the percentile (<= 5%
+        relative error).
+        """
+        if not 0 <= pct <= 100:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
+        if not self.keep_records:
+            n = sum(self._latency_hist)
+            if not n:
+                return math.nan
+            rank = max(1, int(math.ceil(pct / 100.0 * n)))
+            seen = 0
+            for bucket, count in enumerate(self._latency_hist):
+                seen += count
+                if seen >= rank:
+                    return self._HIST_BASE_MS * self._HIST_GROWTH ** bucket
+            return self._HIST_BASE_MS * self._HIST_GROWTH ** self._HIST_BUCKETS
         lats = sorted(
             r.latency_ms for r in self.records if r.latency_ms is not None
         )
         if not lats:
             return math.nan
-        if not 0 <= pct <= 100:
-            raise ValueError(f"pct must be in [0, 100], got {pct}")
         idx = min(len(lats) - 1, int(math.ceil(pct / 100.0 * len(lats))) - 1)
         return lats[max(0, idx)]
 
@@ -185,6 +279,14 @@ class MetricsCollector:
     def per_session_stats(self) -> dict[str, dict[str, float]]:
         """Per-session totals: count, ok, dropped, bad rate."""
         out: dict[str, dict[str, float]] = {}
+        if not self.keep_records:
+            for sid, stats in self._session_stats.items():
+                s = dict(stats)
+                s["bad_rate"] = (
+                    1.0 - (s["ok"] / s["total"] if s["total"] else 1.0)
+                )
+                out[sid] = s
+            return out
         for rec in self.records:
             s = out.setdefault(
                 rec.session_id,

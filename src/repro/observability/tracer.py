@@ -143,9 +143,10 @@ class MetricsSink:
         gpu_id: int | None,
     ) -> None:
         # Positional RequestRecord construction: these two run once per
-        # simulated request.
+        # simulated request.  Routed through record() so summary-mode
+        # collectors fold instead of retaining.
         if self.invocation is not None:
-            self.invocation.records.append(RequestRecord(
+            self.invocation.record(RequestRecord(
                 request_id, session_id, arrival_ms, deadline_ms, ts_ms, False,
             ))
 
@@ -155,7 +156,7 @@ class MetricsSink:
         gpu_id: int | None,
     ) -> None:
         if self.invocation is not None:
-            self.invocation.records.append(RequestRecord(
+            self.invocation.record(RequestRecord(
                 request_id, session_id, arrival_ms, deadline_ms, None, True,
             ))
 
@@ -171,7 +172,7 @@ class MetricsSink:
         arrival_ms: float, deadline_ms: float, ok: bool,
     ) -> None:
         if self.query is not None:
-            self.query.records.append(RequestRecord(
+            self.query.record(RequestRecord(
                 query_id, query_name, arrival_ms, deadline_ms,
                 ts_ms if ok else None, not ok,
             ))

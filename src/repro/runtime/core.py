@@ -72,6 +72,12 @@ class RuntimeCore:
             failures.
         trace: record the full structured event stream into
             :attr:`trace_buffer` (otherwise metrics-only).
+        shard_id: which partition of a sharded run this core serves
+            (:mod:`repro.cluster.sharded`); 0 for monolithic runs, which
+            are just the one-shard case.
+        summary_metrics: megascale mode -- metrics collectors fold each
+            outcome into counters at record time instead of retaining
+            per-request records.
     """
 
     def __init__(
@@ -82,6 +88,8 @@ class RuntimeCore:
         seed: int = 0,
         retry_policy: "RetryPolicy | None" = None,
         trace: bool = False,
+        shard_id: int = 0,
+        summary_metrics: bool = False,
     ) -> None:
         # Imported lazily: repro.cluster.nexus imports this module at
         # module level, and the cluster package initializes nexus last --
@@ -98,9 +106,18 @@ class RuntimeCore:
         )
 
         self.events = events
+        self.shard_id = shard_id
         self.routing: "RoutingTable" = RoutingTable()
-        self.invocation_metrics: "MetricsCollector" = MetricsCollector()
-        self.query_metrics: "MetricsCollector" = MetricsCollector()
+        # Summary mode folds outcomes into counters/histograms at record
+        # time instead of retaining per-request records -- megascale runs
+        # would otherwise hold millions of them (see MetricsCollector).
+        keep = not summary_metrics
+        self.invocation_metrics: "MetricsCollector" = MetricsCollector(
+            keep_records=keep
+        )
+        self.query_metrics: "MetricsCollector" = MetricsCollector(
+            keep_records=keep
+        )
 
         # One tracer serves the whole deployment: the metrics collectors
         # are sinks on the same event stream the exporters consume.

@@ -1,5 +1,20 @@
 """Discrete-event simulation substrate (virtual clock + event loop)."""
 
+from .sharded import (
+    CrossShardPlanError,
+    ShardedSimulator,
+    ShardMessage,
+    SimShard,
+    shard_map,
+)
 from .simulator import EventHandle, Simulator
 
-__all__ = ["EventHandle", "Simulator"]
+__all__ = [
+    "CrossShardPlanError",
+    "EventHandle",
+    "ShardMessage",
+    "ShardedSimulator",
+    "SimShard",
+    "Simulator",
+    "shard_map",
+]

@@ -18,7 +18,7 @@ timers instead.
 from __future__ import annotations
 
 import itertools
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Callable
 
 __all__ = ["Simulator", "EventHandle"]
@@ -45,13 +45,19 @@ class _Event:
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator | None" = None):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -72,11 +78,20 @@ class Simulator:
         sim.run_until(1000.0)
     """
 
+    #: never compact heaps smaller than this -- rebuilding tiny heaps
+    #: costs more than carrying a handful of dead entries.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, int, _Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: live count of cancelled-but-unpopped events; drives compaction.
+        self._cancelled_pending = 0
+        #: set by an interrupt callback during :meth:`run_window` to pause
+        #: the loop at a window boundary (sharded execution).
+        self._interrupted = False
         #: optional observability tracer (``repro.observability.Tracer``);
         #: when attached and recording, each run window emits one
         #: ``sim.window`` span.  Never consulted inside the hot loop.
@@ -113,7 +128,25 @@ class Simulator:
             )
         event = _Event(time_ms, fn)
         heappush(self._heap, (time_ms, priority, next(self._seq), event))
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def _note_cancelled(self) -> None:
+        """A handle cancelled its event; compact if the heap is mostly dead.
+
+        Cancelled events stay in the heap until popped, so heavy timer
+        churn (heartbeat leases, retry backoffs) would otherwise grow the
+        heap without bound.  When more than half of a non-trivial heap is
+        dead weight, rebuild it from the live entries: the surviving
+        ``(time, priority, seq)`` tuples keep their original seq numbers,
+        so event ordering is untouched.
+        """
+        self._cancelled_pending += 1
+        heap = self._heap
+        if len(heap) >= self._COMPACT_MIN and self._cancelled_pending * 2 > len(heap):
+            # In place: the run loops hold a local alias to this list.
+            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heapify(heap)
+            self._cancelled_pending = 0
 
     def run_until(self, end_ms: float) -> None:
         """Process events up to and including ``end_ms``."""
@@ -121,14 +154,17 @@ class Simulator:
         start_count = self._events_processed
         heap = self._heap
         processed = 0
+        skipped = 0
         while heap and heap[0][0] <= end_ms:
             time_ms, _, _, event = heappop(heap)
             if event.cancelled:
+                skipped += 1
                 continue
             self._now = time_ms
             processed += 1
             event.fn()
         self._events_processed += processed
+        self._cancelled_pending -= skipped
         self._now = max(self._now, end_ms)
         self._trace_window(start_ms, start_count)
 
@@ -138,15 +174,62 @@ class Simulator:
         start_count = self._events_processed
         heap = self._heap
         processed = 0
+        skipped = 0
         while heap:
             time_ms, _, _, event = heappop(heap)
             if event.cancelled:
+                skipped += 1
                 continue
             self._now = time_ms
             processed += 1
             event.fn()
         self._events_processed += processed
+        self._cancelled_pending -= skipped
         self._trace_window(start_ms, start_count)
+
+    def interrupt(self) -> None:
+        """Pause :meth:`run_window` after the current event returns.
+
+        Called from *inside* an event callback (a shard's window-boundary
+        marker); :meth:`run` and :meth:`run_until` ignore it.
+        """
+        self._interrupted = True
+
+    def run_window(self, end_ms: float) -> bool:
+        """Process events up to ``end_ms``, stopping early at an interrupt.
+
+        Like :meth:`run_until`, but an event callback may call
+        :meth:`interrupt` to pause the loop *at its exact heap position*
+        -- remaining events (including same-timestamp ones with later seq
+        numbers) stay queued, and ``now`` is **not** advanced to
+        ``end_ms``.  Returns True when interrupted, False when the window
+        completed.  This is the shard-side primitive of the sharded
+        simulator's lock-step barrier protocol.
+        """
+        start_ms = self._now
+        start_count = self._events_processed
+        heap = self._heap
+        processed = 0
+        skipped = 0
+        interrupted = False
+        while heap and heap[0][0] <= end_ms:
+            time_ms, _, _, event = heappop(heap)
+            if event.cancelled:
+                skipped += 1
+                continue
+            self._now = time_ms
+            processed += 1
+            event.fn()
+            if self._interrupted:
+                self._interrupted = False
+                interrupted = True
+                break
+        self._events_processed += processed
+        self._cancelled_pending -= skipped
+        if not interrupted:
+            self._now = max(self._now, end_ms)
+        self._trace_window(start_ms, start_count)
+        return interrupted
 
     def _trace_window(self, start_ms: float, start_count: int) -> None:
         tracer = self._tracer
@@ -158,4 +241,10 @@ class Simulator:
     def peek_next_time(self) -> float | None:
         while self._heap and self._heap[0][3].cancelled:
             heappop(self._heap)
+            self._cancelled_pending -= 1
         return self._heap[0][0] if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Heap entries still queued (live + not-yet-popped cancelled)."""
+        return len(self._heap)

@@ -21,7 +21,8 @@ import math
 from ..core.floatcmp import approx_zero
 
 __all__ = ["diurnal_rate", "step_rate", "rush_hour_gammas",
-           "RateSchedule", "ar1_series", "StreamTrace"]
+           "RateSchedule", "ar1_series", "StreamTrace",
+           "DiurnalDrift", "RegionalWave", "FlashCrowd"]
 
 
 def diurnal_rate(base_rps: float, t_ms: float, day_ms: float = 86_400_000.0,
@@ -111,6 +112,111 @@ def ar1_series(
         x = phi * x + rng.normal(0.0, innovation)
         out.append(max(floor, mean + x))
     return out
+
+
+class DiurnalDrift:
+    """Diurnal curve whose *popularity* drifts across sessions.
+
+    Megascale scenarios need thousands of sessions whose relative
+    popularity shifts over the day (morning news vs evening games), not
+    one shared curve.  Each session gets a phase offset -- its personal
+    "peak hour" -- so rank order among sessions rotates as the day
+    advances.  A plain class (not a closure) so instances pickle across
+    :func:`~repro.experiments.common.parallel_map` worker processes.
+    """
+
+    def __init__(
+        self,
+        base_rps: float,
+        peak_hour: float = 12.0,
+        day_ms: float = 86_400_000.0,
+        swing: float = 0.8,
+    ):
+        if not 0.0 <= swing <= 1.0:
+            raise ValueError(f"swing must be in [0, 1], got {swing}")
+        self.base_rps = base_rps
+        self.peak_hour = peak_hour
+        self.day_ms = day_ms
+        self.swing = swing
+
+    def __call__(self, t_ms: float) -> float:
+        hour = (t_ms % self.day_ms) / self.day_ms * 24.0
+        phase = (hour - self.peak_hour) / 24.0 * 2.0 * math.pi
+        return self.base_rps * (1.0 + self.swing * math.cos(phase))
+
+
+class RegionalWave:
+    """A daily demand wave sweeping across regions (follow-the-sun).
+
+    Sessions are grouped into ``n_regions`` timezone-like regions; the
+    wave peaks in region ``region`` when the sun does, one ``day_ms /
+    n_regions`` slot later per region.  Off-peak demand decays to
+    ``floor`` of the peak.  Picklable for process fan-out.
+    """
+
+    def __init__(
+        self,
+        peak_rps: float,
+        region: int,
+        n_regions: int = 4,
+        day_ms: float = 86_400_000.0,
+        width: float = 0.15,
+        floor: float = 0.1,
+    ):
+        if n_regions < 1:
+            raise ValueError(f"need at least one region, got {n_regions}")
+        self.peak_rps = peak_rps
+        self.region = region % n_regions
+        self.n_regions = n_regions
+        self.day_ms = day_ms
+        self.width = width
+        self.floor = floor
+
+    def __call__(self, t_ms: float) -> float:
+        phase = (t_ms % self.day_ms) / self.day_ms  # 0..1 over the day
+        center = (self.region + 0.5) / self.n_regions
+        # Circular distance so the wave wraps around midnight.
+        dist = abs(phase - center)
+        dist = min(dist, 1.0 - dist)
+        bump = math.exp(-(dist * dist) / (2.0 * self.width * self.width))
+        return self.peak_rps * (self.floor + (1.0 - self.floor) * bump)
+
+
+class FlashCrowd:
+    """A flash crowd: sudden onset, exponential cool-down.
+
+    Baseline demand until ``start_ms``, then a near-instant ramp to
+    ``magnitude`` times baseline over ``ramp_ms``, decaying back with
+    time constant ``decay_ms`` (the news-event shape: seconds up, tens
+    of minutes down).  Picklable for process fan-out.
+    """
+
+    def __init__(
+        self,
+        base_rps: float,
+        start_ms: float,
+        magnitude: float = 10.0,
+        ramp_ms: float = 5_000.0,
+        decay_ms: float = 120_000.0,
+    ):
+        if magnitude < 1.0:
+            raise ValueError(f"magnitude must be >= 1, got {magnitude}")
+        self.base_rps = base_rps
+        self.start_ms = start_ms
+        self.magnitude = magnitude
+        self.ramp_ms = max(ramp_ms, 1e-9)
+        self.decay_ms = max(decay_ms, 1e-9)
+
+    def __call__(self, t_ms: float) -> float:
+        if t_ms < self.start_ms:
+            return self.base_rps
+        dt = t_ms - self.start_ms
+        excess = self.magnitude - 1.0
+        if dt < self.ramp_ms:
+            level = excess * (dt / self.ramp_ms)
+        else:
+            level = excess * math.exp(-(dt - self.ramp_ms) / self.decay_ms)
+        return self.base_rps * (1.0 + level)
 
 
 class StreamTrace:

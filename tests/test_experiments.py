@@ -101,6 +101,46 @@ class TestIlpGap:
         assert all(r[4] >= 1.0 for r in result.rows)
 
 
+class TestMegascale:
+    def test_quick_run_end_to_end(self):
+        from repro.experiments import megascale
+
+        result = megascale.run(
+            gpus=64, sessions=12, shards=2, duration_s=8.0, seed=0
+        )
+        # Two shard rows plus the fleet aggregate.
+        assert result.column("shard") == [0, 1, "all"]
+        total = result.lookup(shard="all")[0]
+        columns = dict(zip(result.columns, total))
+        assert columns["queries"] > 0
+        assert 0.0 < columns["good_rate"] <= 1.0
+        assert columns["events"] > 0
+        # Detection delays, when present, pair each detection with the
+        # latest preceding crash -- never a negative delay.
+        for row in result.rows:
+            cells = dict(zip(result.columns, row))
+            assert cells["mean_detect_ms"] >= 0.0
+            assert cells["detections"] <= cells["crashes"]
+
+    def test_serial_matches_parallel_fanout(self):
+        from repro.experiments import megascale
+
+        serial = megascale.run(
+            gpus=32, sessions=6, shards=2, duration_s=5.0, seed=3
+        )
+        fanned = megascale.run(
+            gpus=32, sessions=6, shards=2, duration_s=5.0, seed=3, workers=2
+        )
+        # Everything but the wall-clock column is a pure function of the
+        # specs, so fanning across processes must not change it.
+        wall = serial.columns.index("wall_s")
+
+        def strip(rows):
+            return [r[:wall] + r[wall + 1:] for r in rows]
+
+        assert strip(serial.rows) == strip(fanned.rows)
+
+
 class TestReport:
     def test_generate_report_subset(self):
         from repro.experiments.report import generate_report

@@ -174,3 +174,88 @@ class TestStreamTraces:
 
         with pytest.raises(ValueError):
             StreamTrace(0.0, 1000.0, 3.0)
+
+
+class TestMegascaleTraces:
+    def test_diurnal_drift_rotates_popularity(self):
+        from repro.workloads.traces import DiurnalDrift
+
+        day = 86_400_000.0
+        morning = DiurnalDrift(10.0, peak_hour=8.0, day_ms=day)
+        evening = DiurnalDrift(10.0, peak_hour=20.0, day_ms=day)
+        at_8 = 8.0 / 24.0 * day
+        at_20 = 20.0 / 24.0 * day
+        # Rank order flips between the two sessions' peak hours.
+        assert morning(at_8) > evening(at_8)
+        assert evening(at_20) > morning(at_20)
+        # Peak sits at 1+swing, trough at 1-swing.
+        assert morning(at_8) == pytest.approx(18.0)
+        assert morning(at_20) == pytest.approx(2.0)
+
+    def test_regional_wave_follows_the_sun(self):
+        from repro.workloads.traces import RegionalWave
+
+        day = 86_400_000.0
+        waves = [RegionalWave(100.0, r, n_regions=4, day_ms=day)
+                 for r in range(4)]
+        for r, wave in enumerate(waves):
+            peak_t = (r + 0.5) / 4.0 * day
+            assert wave(peak_t) == pytest.approx(100.0)
+            # Every other region is quieter at this instant.
+            for other in waves[:r] + waves[r + 1:]:
+                assert other(peak_t) < wave(peak_t)
+
+    def test_regional_wave_wraps_midnight(self):
+        from repro.workloads.traces import RegionalWave
+
+        day = 86_400_000.0
+        wave = RegionalWave(100.0, 0, n_regions=1, day_ms=day, width=0.1)
+        # Circular distance: just before midnight is near region 0's
+        # pre-dawn tail, not 23 hours away.
+        assert wave(day - 1.0) == pytest.approx(wave(1.0), rel=1e-6)
+
+    def test_flash_crowd_shape(self):
+        from repro.workloads.traces import FlashCrowd
+
+        crowd = FlashCrowd(10.0, start_ms=60_000.0, magnitude=8.0,
+                           ramp_ms=5_000.0, decay_ms=30_000.0)
+        assert crowd(0.0) == 10.0
+        assert crowd(59_999.0) == 10.0
+        peak = crowd(65_000.0)
+        assert peak == pytest.approx(80.0)
+        # Decays toward baseline afterwards, monotonically.
+        later = [crowd(65_000.0 + k * 30_000.0) for k in range(1, 5)]
+        assert all(a > b for a, b in zip([peak] + later, later))
+        assert later[-1] < 20.0
+
+    def test_generators_pickle(self):
+        import pickle
+
+        from repro.workloads.traces import (
+            DiurnalDrift,
+            FlashCrowd,
+            RegionalWave,
+        )
+
+        for fn in (
+            DiurnalDrift(5.0, peak_hour=9.0),
+            RegionalWave(50.0, 2, n_regions=8),
+            FlashCrowd(10.0, start_ms=1_000.0),
+        ):
+            clone = pickle.loads(pickle.dumps(fn))
+            for t in (0.0, 1e6, 4e7):
+                assert clone(t) == fn(t)
+
+    def test_validation(self):
+        from repro.workloads.traces import (
+            DiurnalDrift,
+            FlashCrowd,
+            RegionalWave,
+        )
+
+        with pytest.raises(ValueError):
+            DiurnalDrift(5.0, swing=1.5)
+        with pytest.raises(ValueError):
+            RegionalWave(5.0, 0, n_regions=0)
+        with pytest.raises(ValueError):
+            FlashCrowd(5.0, 0.0, magnitude=0.5)
